@@ -1,0 +1,73 @@
+// Command dmzaudit audits network designs against the four Science DMZ
+// sub-patterns, printing the findings and science-path description —
+// the pattern engine (internal/core) as an operator tool.
+//
+// Usage:
+//
+//	dmzaudit -design campus     # the general-purpose "before" network
+//	dmzaudit -design retrofit   # the same campus after core.Retrofit
+//	dmzaudit -design dmz        # the Figure 3 simple Science DMZ
+//	dmzaudit -patterns          # describe the four sub-patterns
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dtn"
+	"repro/internal/perfsonar"
+	"repro/internal/topo"
+)
+
+func main() {
+	design := flag.String("design", "", "design to audit: campus, retrofit, dmz")
+	patterns := flag.Bool("patterns", false, "describe the four sub-patterns")
+	flag.Parse()
+
+	if *patterns {
+		for _, p := range core.Patterns() {
+			fmt.Printf("%-24s (§%s) %s\n", p.ID, p.Section, p.Purpose)
+		}
+		return
+	}
+
+	var dep core.Deployment
+	switch *design {
+	case "campus":
+		c := topo.NewCampus(1, topo.CampusConfig{})
+		dep = core.Deployment{
+			Net: c.Net, Border: c.Border,
+			DTNs:      []*dtn.Node{c.ScienceHost},
+			Firewalls: nil,
+			WANHosts:  []string{"remote-dtn"},
+		}
+	case "retrofit":
+		c := topo.NewCampus(1, topo.CampusConfig{})
+		dep = *core.Retrofit(c.Net, c.Border, []string{"remote-dtn"}, core.RetrofitConfig{})
+	case "dmz":
+		d := topo.NewSimpleDMZ(1, topo.SimpleDMZConfig{})
+		dep = core.Deployment{
+			Net: d.Net, Border: d.Border, DMZSwitch: d.DMZSwitch,
+			DTNs:     []*dtn.Node{d.DTN},
+			Monitors: []*perfsonar.Toolkit{perfsonar.NewToolkit(d.PerfSONAR, perfsonar.NewArchive())},
+			WANHosts: []string{"remote-dtn"},
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "pick a design: campus, retrofit, dmz (or -patterns)")
+		os.Exit(2)
+	}
+
+	report := core.Audit(dep)
+	fmt.Print(report)
+	for _, node := range dep.DTNs {
+		for _, wan := range dep.WANHosts {
+			pr := core.DescribePath(dep, wan, node)
+			fmt.Printf("\nscience path %s -> %s: %s\n", pr.WAN, pr.DTN, strings.Join(pr.Hops, " > "))
+			fmt.Printf("  bottleneck %v, RTT %v, BDP %v, firewalled=%v\n",
+				pr.Bottleneck, pr.RTT, pr.BDP, pr.Firewalled)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Command dtnplan answers the operator question "how long will my
+// transfer take, and what will limit it?" using the analytic planner —
+// the back-of-envelope the paper's use cases turn on (window caps, disk
+// caps, path bottlenecks).
+//
+// Usage:
+//
+//	dtnplan -size 239.5e9 -rate 10e9 -rtt 25ms -tool gridftp -streams 4
+//	dtnplan -size 33e9 -rtt 70ms -tool ftp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/analytic"
+	"repro/internal/dtn"
+	"repro/internal/netsim"
+	"repro/internal/tcp"
+	"repro/internal/units"
+)
+
+func main() {
+	size := flag.Float64("size", 239.5e9, "transfer size in bytes")
+	rate := flag.Float64("rate", 10e9, "path bottleneck in bits/s")
+	rtt := flag.Duration("rtt", 25*time.Millisecond, "round-trip time")
+	tool := flag.String("tool", "gridftp", "transfer tool: gridftp, fdt, ftp, scp, hpn-scp")
+	streams := flag.Int("streams", 4, "parallel streams (gridftp/fdt)")
+	diskMBs := flag.Float64("disk", 0, "storage rate in MB/s (0 = unconstrained)")
+	flag.Parse()
+
+	// Build a minimal two-node path carrying the requested parameters so
+	// the planner sees the same inputs a real deployment would.
+	n := netsim.New(1)
+	a := n.NewHost("src")
+	b := n.NewHost("dst")
+	n.Connect(a, b, netsim.LinkConfig{
+		Rate: units.BitRate(*rate), Delay: *rtt / 2, MTU: 9000,
+	})
+	n.ComputeRoutes()
+	disk := dtn.Disk{}
+	if *diskMBs > 0 {
+		disk = dtn.Disk{
+			ReadRate:  units.BitRate(*diskMBs * 8e6),
+			WriteRate: units.BitRate(*diskMBs * 8e6),
+		}
+	}
+	src := dtn.New(a, disk, tcp.Tuned())
+	dst := dtn.New(b, disk, tcp.Tuned())
+
+	var tl dtn.Tool
+	switch *tool {
+	case "gridftp":
+		tl = dtn.GridFTP{Streams: *streams}
+	case "fdt":
+		tl = dtn.FDT{Streams: *streams}
+	case "ftp":
+		tl = dtn.LegacyFTP{}
+	case "scp":
+		tl = dtn.SCP{}
+	case "hpn-scp":
+		tl = dtn.SCP{HPN: true}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown tool %q\n", *tool)
+		os.Exit(2)
+	}
+
+	p := dtn.PlanTransfer(src, dst, units.ByteSize(*size), tl)
+	fmt.Printf("transfer:    %v via %s\n", p.Size, tl.ToolName())
+	fmt.Printf("path:        %v bottleneck, %v RTT\n", p.Bottleneck, *rtt)
+	if p.WindowCap > 0 {
+		fmt.Printf("window cap:  %v (needs %v per Eq 2)\n",
+			p.WindowCap, analytic.RequiredWindow(p.Bottleneck, *rtt))
+	}
+	if p.DiskCap > 0 {
+		fmt.Printf("disk cap:    %v\n", p.DiskCap)
+	}
+	fmt.Printf("expected:    %v (%s-limited)\n", p.Rate, p.Limit)
+	fmt.Printf("duration:    %v\n", p.Duration.Round(time.Second))
+}

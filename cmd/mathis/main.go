@@ -1,0 +1,73 @@
+// Command mathis prints the analytic curves behind Figure 1: the Mathis
+// TCP throughput bound across RTT for several loss rates, plus the
+// related design quantities (required window, loss budget, recovery
+// time).
+//
+// Usage:
+//
+//	mathis                 # the Figure 1 curve family
+//	mathis -mss 1460       # standard frames instead of jumbo
+//	mathis -rate 100e9     # against a 100G path
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/analytic"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+func main() {
+	mssFlag := flag.Int("mss", 8960, "TCP maximum segment size in bytes")
+	rateFlag := flag.Float64("rate", 10e9, "path rate in bits/s (caps the bound)")
+	flag.Parse()
+
+	mss := units.ByteSize(*mssFlag)
+	path := units.BitRate(*rateFlag)
+	losses := []float64{0, 1.0 / 22000, 1e-3}
+	rtts := []time.Duration{
+		1 * time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
+		10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond,
+		100 * time.Millisecond,
+	}
+
+	tb := stats.NewTable(
+		fmt.Sprintf("Mathis bound (MSS %v, path %v)", mss, path),
+		"rtt", "loss-free", "loss 1/22000", "loss 0.1%")
+	var xs []float64
+	series := make([][]float64, len(losses))
+	for _, rtt := range rtts {
+		row := []string{rtt.String()}
+		xs = append(xs, rtt.Seconds()*1000)
+		for i, p := range losses {
+			r := analytic.EffectiveMathisRate(path, mss, rtt, p)
+			row = append(row, r.String())
+			series[i] = append(series[i], float64(r)/1e9)
+		}
+		tb.Add(row...)
+	}
+	fmt.Println(tb.String())
+
+	fmt.Println(stats.Chart(stats.ChartConfig{
+		Title:  "Figure 1 analytic curves",
+		XLabel: "RTT (ms)", YLabel: "Gbps", LogY: true,
+	},
+		stats.XY{Label: "loss-free (path cap)", X: xs, Y: series[0]},
+		stats.XY{Label: "1/22000 (failing line card)", X: xs, Y: series[1]},
+		stats.XY{Label: "0.1%", X: xs, Y: series[2]},
+	))
+
+	tb2 := stats.NewTable("Design quantities", "quantity", "value")
+	tb2.Add("required window, 1G x 10ms (Eq 2)",
+		analytic.RequiredWindow(units.Gbps, 10*time.Millisecond).String())
+	tb2.Add("64 KiB window cap at 10ms",
+		analytic.WindowLimitedRate(64*units.KiB, 10*time.Millisecond).String())
+	tb2.Add("loss budget for 10G at 50ms (jumbo)",
+		fmt.Sprintf("%.2e", analytic.LossBudget(10*units.Gbps, mss, 50*time.Millisecond)))
+	tb2.Add("Reno recovery after one loss, 10G x 50ms",
+		analytic.RecoveryTime(10*units.Gbps, 50*time.Millisecond, mss).String())
+	fmt.Println(tb2.String())
+}

@@ -1,0 +1,21 @@
+// Command psdash reproduces Figure 2: it simulates a perfSONAR
+// measurement mesh across several sites with one soft-failing path, runs
+// scheduled throughput tests, and renders the dashboard grid and alert
+// log.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	flag.Parse()
+	r := experiments.Fig2()
+	fmt.Println(r.Render())
+	for _, a := range r.Alerts {
+		fmt.Println(" ", a)
+	}
+}

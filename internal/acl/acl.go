@@ -1,0 +1,262 @@
+// Package acl implements router/switch access control lists.
+//
+// The Science DMZ security pattern (§3.4, §5) replaces the perimeter
+// firewall with ACLs applied on the DMZ switch or router: because a
+// modern router filters on IP address and TCP port in the forwarding
+// hardware, ACLs impose no serialization bottleneck and no extra
+// buffering — they are line-rate and loss-free, unlike firewall
+// appliances. The List type is a netsim.Filter that behaves exactly that
+// way: matching adds zero delay and never drops conforming traffic.
+package acl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/netsim"
+)
+
+// Action is the disposition of a matched packet.
+type Action uint8
+
+// Rule actions.
+const (
+	Permit Action = iota
+	Deny
+)
+
+func (a Action) String() string {
+	if a == Permit {
+		return "permit"
+	}
+	return "deny"
+}
+
+// PortRange matches transport ports in [Lo, Hi]. The zero value matches
+// any port.
+type PortRange struct {
+	Lo, Hi uint16
+}
+
+// Any reports whether the range matches all ports.
+func (r PortRange) Any() bool { return r.Lo == 0 && r.Hi == 0 }
+
+// Contains reports whether p is within the range.
+func (r PortRange) Contains(p uint16) bool {
+	return r.Any() || (p >= r.Lo && p <= r.Hi)
+}
+
+// SinglePort returns a range matching exactly p.
+func SinglePort(p uint16) PortRange { return PortRange{p, p} }
+
+// Rule is one ACL entry. Empty host fields and zero port ranges are
+// wildcards; Proto < 0 matches any protocol.
+type Rule struct {
+	Action   Action
+	Proto    int // -1 any; otherwise a netsim.Proto value
+	Src, Dst string
+	SrcPort  PortRange
+	DstPort  PortRange
+	Desc     string
+}
+
+// Matches reports whether the packet matches this rule.
+func (r Rule) Matches(p *netsim.Packet) bool {
+	if r.Proto >= 0 && netsim.Proto(r.Proto) != p.Flow.Proto {
+		return false
+	}
+	if r.Src != "" && r.Src != p.Flow.Src {
+		return false
+	}
+	if r.Dst != "" && r.Dst != p.Flow.Dst {
+		return false
+	}
+	return r.SrcPort.Contains(p.Flow.SrcPort) && r.DstPort.Contains(p.Flow.DstPort)
+}
+
+func (r Rule) String() string {
+	proto := "any"
+	if r.Proto >= 0 {
+		proto = netsim.Proto(r.Proto).String()
+	}
+	f := func(h string) string {
+		if h == "" {
+			return "any"
+		}
+		return h
+	}
+	pr := func(p PortRange) string {
+		switch {
+		case p.Any():
+			return ""
+		case p.Lo == p.Hi:
+			return fmt.Sprintf(" port %d", p.Lo)
+		default:
+			return fmt.Sprintf(" port %d-%d", p.Lo, p.Hi)
+		}
+	}
+	return fmt.Sprintf("%s %s %s%s %s%s", r.Action, proto, f(r.Src), pr(r.SrcPort), f(r.Dst), pr(r.DstPort))
+}
+
+// List is an ordered ACL: the first matching rule decides, and the
+// Default action applies when nothing matches. It implements
+// netsim.Filter with zero added latency — the point of the pattern.
+type List struct {
+	Name    string
+	Rules   []Rule
+	Default Action
+
+	// Hits counts matches per rule index; DefaultHits counts packets
+	// that fell through to the default action.
+	Hits        []uint64
+	DefaultHits uint64
+}
+
+// NewList returns an empty ACL with the given default action.
+func NewList(name string, def Action) *List {
+	return &List{Name: name, Default: def}
+}
+
+// Add appends a rule.
+func (l *List) Add(r Rule) *List {
+	l.Rules = append(l.Rules, r)
+	l.Hits = append(l.Hits, 0)
+	return l
+}
+
+// PermitFlow appends permit rules for both directions of a host pair on
+// a destination port — the paper's "IP addresses and TCP ports" firewall
+// conversation (§5), expressed as ACL entries.
+func (l *List) PermitFlow(a, b string, dstPort uint16) *List {
+	l.Add(Rule{Action: Permit, Proto: int(netsim.ProtoTCP), Src: a, Dst: b, DstPort: SinglePort(dstPort),
+		Desc: fmt.Sprintf("data channel %s->%s", a, b)})
+	l.Add(Rule{Action: Permit, Proto: int(netsim.ProtoTCP), Src: b, Dst: a, SrcPort: SinglePort(dstPort),
+		Desc: fmt.Sprintf("return path %s->%s", b, a)})
+	return l
+}
+
+// PermitHost appends a permit-anything rule to and from the host —
+// appropriate for a measurement host that must test with arbitrary
+// collaborators.
+func (l *List) PermitHost(h string) *List {
+	l.Add(Rule{Action: Permit, Proto: -1, Src: h, Desc: "from " + h})
+	l.Add(Rule{Action: Permit, Proto: -1, Dst: h, Desc: "to " + h})
+	return l
+}
+
+// FilterName implements netsim.Filter.
+func (l *List) FilterName() string { return "acl:" + l.Name }
+
+// Check implements netsim.Filter: first match wins.
+func (l *List) Check(p *netsim.Packet, _ *netsim.Port) bool {
+	for i, r := range l.Rules {
+		if r.Matches(p) {
+			l.Hits[i]++
+			return r.Action == Permit
+		}
+	}
+	l.DefaultHits++
+	return l.Default == Permit
+}
+
+// Parse reads one rule per line in the form:
+//
+//	permit tcp dtn1 any port 2811
+//	deny any any dmz-sw
+//
+// i.e. "<action> <proto> <src>[ port <n|lo-hi>] <dst>[ port <n|lo-hi>]",
+// with "any" as the wildcard. Lines starting with '#' and blank lines
+// are ignored.
+func Parse(name string, def Action, text string) (*List, error) {
+	l := NewList(name, def)
+	for lineNo, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		r, err := parseRule(line)
+		if err != nil {
+			return nil, fmt.Errorf("acl %s line %d: %w", name, lineNo+1, err)
+		}
+		l.Add(r)
+	}
+	return l, nil
+}
+
+func parseRule(line string) (Rule, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Rule{}, fmt.Errorf("need at least action, proto, src, dst: %q", line)
+	}
+	var r Rule
+	switch fields[0] {
+	case "permit":
+		r.Action = Permit
+	case "deny":
+		r.Action = Deny
+	default:
+		return Rule{}, fmt.Errorf("unknown action %q", fields[0])
+	}
+	switch fields[1] {
+	case "tcp":
+		r.Proto = int(netsim.ProtoTCP)
+	case "udp":
+		r.Proto = int(netsim.ProtoUDP)
+	case "any":
+		r.Proto = -1
+	default:
+		return Rule{}, fmt.Errorf("unknown proto %q", fields[1])
+	}
+
+	rest := fields[2:]
+	host, pr, rest, err := parseEndpoint(rest)
+	if err != nil {
+		return Rule{}, err
+	}
+	r.Src, r.SrcPort = host, pr
+	host, pr, rest, err = parseEndpoint(rest)
+	if err != nil {
+		return Rule{}, err
+	}
+	r.Dst, r.DstPort = host, pr
+	if len(rest) != 0 {
+		return Rule{}, fmt.Errorf("trailing tokens %v", rest)
+	}
+	return r, nil
+}
+
+func parseEndpoint(tok []string) (host string, pr PortRange, rest []string, err error) {
+	if len(tok) == 0 {
+		return "", PortRange{}, nil, fmt.Errorf("missing endpoint")
+	}
+	host = tok[0]
+	if host == "any" {
+		host = ""
+	}
+	rest = tok[1:]
+	if len(rest) >= 2 && rest[0] == "port" {
+		pr, err = parsePortRange(rest[1])
+		if err != nil {
+			return "", PortRange{}, nil, err
+		}
+		rest = rest[2:]
+	}
+	return host, pr, rest, nil
+}
+
+func parsePortRange(s string) (PortRange, error) {
+	if lo, hi, ok := strings.Cut(s, "-"); ok {
+		l, err1 := strconv.ParseUint(lo, 10, 16)
+		h, err2 := strconv.ParseUint(hi, 10, 16)
+		if err1 != nil || err2 != nil || l > h {
+			return PortRange{}, fmt.Errorf("bad port range %q", s)
+		}
+		return PortRange{uint16(l), uint16(h)}, nil
+	}
+	p, err := strconv.ParseUint(s, 10, 16)
+	if err != nil {
+		return PortRange{}, fmt.Errorf("bad port %q", s)
+	}
+	return SinglePort(uint16(p)), nil
+}

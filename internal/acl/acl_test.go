@@ -1,0 +1,207 @@
+package acl
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netsim"
+)
+
+func tcpPkt(src, dst string, sp, dp uint16) *netsim.Packet {
+	return &netsim.Packet{Flow: netsim.FlowKey{
+		Src: src, Dst: dst, SrcPort: sp, DstPort: dp, Proto: netsim.ProtoTCP,
+	}}
+}
+
+func TestPortRange(t *testing.T) {
+	var any PortRange
+	if !any.Any() || !any.Contains(0) || !any.Contains(65535) {
+		t.Error("zero range should match everything")
+	}
+	r := PortRange{100, 200}
+	if r.Contains(99) || !r.Contains(100) || !r.Contains(200) || r.Contains(201) {
+		t.Error("range bounds wrong")
+	}
+	if !SinglePort(2811).Contains(2811) || SinglePort(2811).Contains(2812) {
+		t.Error("single port wrong")
+	}
+}
+
+func TestFirstMatchWins(t *testing.T) {
+	l := NewList("test", Deny)
+	l.Add(Rule{Action: Deny, Proto: int(netsim.ProtoTCP), Src: "bad", Desc: "block bad"})
+	l.Add(Rule{Action: Permit, Proto: -1, Desc: "allow rest"})
+
+	if l.Check(tcpPkt("bad", "dtn", 1, 2811), nil) {
+		t.Error("bad host should be denied by first rule")
+	}
+	if !l.Check(tcpPkt("good", "dtn", 1, 2811), nil) {
+		t.Error("good host should fall to permit rule")
+	}
+	if l.Hits[0] != 1 || l.Hits[1] != 1 {
+		t.Errorf("hits = %v", l.Hits)
+	}
+}
+
+func TestDefaultAction(t *testing.T) {
+	l := NewList("empty", Deny)
+	if l.Check(tcpPkt("a", "b", 1, 2), nil) {
+		t.Error("default deny should drop")
+	}
+	if l.DefaultHits != 1 {
+		t.Errorf("default hits = %d", l.DefaultHits)
+	}
+	p := NewList("empty2", Permit)
+	if !p.Check(tcpPkt("a", "b", 1, 2), nil) {
+		t.Error("default permit should pass")
+	}
+}
+
+func TestPermitFlowBothDirections(t *testing.T) {
+	l := NewList("dtn", Deny).PermitFlow("remote", "dtn1", 2811)
+	// Forward direction: remote -> dtn1:2811.
+	if !l.Check(tcpPkt("remote", "dtn1", 55000, 2811), nil) {
+		t.Error("forward data channel should pass")
+	}
+	// Return direction: dtn1:2811 -> remote.
+	if !l.Check(tcpPkt("dtn1", "remote", 2811, 55000), nil) {
+		t.Error("return path should pass")
+	}
+	// Unrelated port blocked.
+	if l.Check(tcpPkt("remote", "dtn1", 55000, 22), nil) {
+		t.Error("ssh to DTN should be denied")
+	}
+	// Unrelated host blocked.
+	if l.Check(tcpPkt("attacker", "dtn1", 55000, 2811), nil) {
+		t.Error("unknown source should be denied")
+	}
+}
+
+func TestPermitHost(t *testing.T) {
+	l := NewList("ps", Deny).PermitHost("perfsonar")
+	if !l.Check(tcpPkt("perfsonar", "anywhere", 1, 2), nil) {
+		t.Error("from measurement host should pass")
+	}
+	if !l.Check(tcpPkt("anywhere", "perfsonar", 1, 2), nil) {
+		t.Error("to measurement host should pass")
+	}
+	if l.Check(tcpPkt("x", "y", 1, 2), nil) {
+		t.Error("unrelated traffic should be denied")
+	}
+}
+
+func TestRuleWildcards(t *testing.T) {
+	r := Rule{Action: Permit, Proto: -1}
+	if !r.Matches(tcpPkt("any", "thing", 9, 9)) {
+		t.Error("fully wildcarded rule should match")
+	}
+	udp := &netsim.Packet{Flow: netsim.FlowKey{Proto: netsim.ProtoUDP}}
+	rt := Rule{Action: Permit, Proto: int(netsim.ProtoTCP)}
+	if rt.Matches(udp) {
+		t.Error("tcp rule should not match udp")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	text := `
+# Science DMZ ACL
+permit tcp remote-dtn any port 2811
+permit tcp any port 2811 remote-dtn
+permit udp perfsonar any
+deny any any any
+`
+	l, err := Parse("dmz", Deny, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Rules) != 4 {
+		t.Fatalf("parsed %d rules, want 4", len(l.Rules))
+	}
+	if !l.Check(tcpPkt("remote-dtn", "dtn1", 50000, 2811), nil) {
+		t.Error("parsed rule 1 should permit")
+	}
+	if l.Check(tcpPkt("x", "y", 1, 2), nil) {
+		t.Error("parsed deny-all should block")
+	}
+	if got := l.Rules[0].String(); got != "permit tcp remote-dtn any port 2811" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestParsePortRanges(t *testing.T) {
+	l, err := Parse("r", Deny, "permit tcp any any port 50000-51000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Check(tcpPkt("a", "b", 1, 50500), nil) {
+		t.Error("in-range port should match")
+	}
+	if l.Check(tcpPkt("a", "b", 1, 49999), nil) {
+		t.Error("out-of-range port should not match")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"frobnicate tcp a b",
+		"permit icmp a b",
+		"permit tcp a",
+		"permit tcp a port x b",
+		"permit tcp a port 9-1 b",
+		"permit tcp a b extra tokens",
+		"permit tcp a port 99999 b",
+	}
+	for _, line := range bad {
+		if _, err := Parse("x", Deny, line); err == nil {
+			t.Errorf("Parse(%q) should fail", line)
+		}
+	}
+	// Error includes line number.
+	_, err := Parse("x", Deny, "permit tcp a b\nbogus line here")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error should cite line 2, got %v", err)
+	}
+}
+
+func TestRuleStringForms(t *testing.T) {
+	r := Rule{Action: Deny, Proto: -1}
+	if r.String() != "deny any any any" {
+		t.Errorf("String = %q", r.String())
+	}
+	r2 := Rule{Action: Permit, Proto: int(netsim.ProtoTCP), Src: "a", SrcPort: PortRange{10, 20}, Dst: "b"}
+	if r2.String() != "permit tcp a port 10-20 b" {
+		t.Errorf("String = %q", r2.String())
+	}
+}
+
+func TestParsePrintParseIdentity(t *testing.T) {
+	// Property: parsing a printed rule yields the same matching behavior.
+	f := func(deny bool, sp, dp uint16, srcAny bool) bool {
+		r := Rule{Proto: int(netsim.ProtoTCP), SrcPort: SinglePort(sp), DstPort: SinglePort(dp)}
+		if deny {
+			r.Action = Deny
+		}
+		if !srcAny {
+			r.Src = "host1"
+		}
+		l1 := NewList("a", Deny).Add(r)
+		l2, err := Parse("b", Deny, r.String())
+		if err != nil {
+			return false
+		}
+		for _, p := range []*netsim.Packet{
+			tcpPkt("host1", "host2", sp, dp),
+			tcpPkt("other", "host2", sp, dp),
+			tcpPkt("host1", "host2", sp+1, dp),
+		} {
+			if l1.Check(p, nil) != l2.Check(p, nil) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

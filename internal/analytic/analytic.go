@@ -1,0 +1,105 @@
+// Package analytic implements the closed-form TCP performance models the
+// paper uses to motivate the Science DMZ: the Mathis throughput bound
+// (§2.1, Figure 1), the bandwidth-delay product / required window
+// (Equation 2), window-limited throughput (the Penn State case, §6.2),
+// and the congestion-recovery time that makes loss so much more costly at
+// high round-trip times.
+package analytic
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/units"
+)
+
+// MathisConstant is the constant in the full Mathis et al. model,
+// sqrt(3/2), for a receiver acking every segment. The paper quotes the
+// simplified form (constant 1); both are available.
+var MathisConstant = math.Sqrt(3.0 / 2.0)
+
+// MathisThroughput returns the maximum TCP throughput predicted by the
+// Mathis equation as quoted in the paper (§2.1, Equation 1):
+//
+//	rate ≤ MSS/RTT × 1/√p
+//
+// mss is in bytes, p is the packet loss probability. It returns 0 for a
+// nonpositive RTT and +Inf for p = 0 (the loss-free regime, where
+// throughput is limited by the path, not by TCP).
+func MathisThroughput(mss units.ByteSize, rtt time.Duration, p float64) units.BitRate {
+	if rtt <= 0 {
+		return 0
+	}
+	if p <= 0 {
+		return units.BitRate(math.Inf(1))
+	}
+	bytesPerSec := float64(mss) / rtt.Seconds() / math.Sqrt(p)
+	return units.BitRate(bytesPerSec * 8)
+}
+
+// MathisThroughputFull is the same bound with the sqrt(3/2) constant from
+// Mathis et al. 1997.
+func MathisThroughputFull(mss units.ByteSize, rtt time.Duration, p float64) units.BitRate {
+	return units.BitRate(MathisConstant) * MathisThroughput(mss, rtt, p)
+}
+
+// LossBudget inverts the Mathis equation: the maximum packet loss
+// probability that still sustains the target rate at the given MSS and
+// RTT. It answers "how clean must a Science DMZ path be?".
+func LossBudget(target units.BitRate, mss units.ByteSize, rtt time.Duration) float64 {
+	if target <= 0 {
+		return 1
+	}
+	if rtt <= 0 || mss <= 0 {
+		return 0
+	}
+	r := float64(mss) * 8 / rtt.Seconds() / float64(target)
+	return r * r
+}
+
+// RequiredWindow returns the TCP window needed to fill a path of the
+// given rate and RTT — the paper's Equation 2 (1 Gb/s × 10 ms = 1.25 MB).
+func RequiredWindow(rate units.BitRate, rtt time.Duration) units.ByteSize {
+	return units.BandwidthDelayProduct(rate, rtt)
+}
+
+// WindowLimitedRate returns the throughput ceiling imposed by a fixed
+// window: window/RTT. With the classic 64 KB window at 10 ms this is
+// ~52 Mb/s — the §6.2 observation of "about 50 Mb/s on 1 Gb/s hosts".
+func WindowLimitedRate(window units.ByteSize, rtt time.Duration) units.BitRate {
+	if rtt <= 0 {
+		return 0
+	}
+	return units.BitRate(float64(window) * 8 / rtt.Seconds())
+}
+
+// RecoveryTime estimates how long a Reno-family sender takes to return to
+// full rate after a single loss halves its window: it must regain
+// W/2 segments at one segment per RTT, where W = BDP/MSS. This is the
+// mechanism behind the paper's claim that loss hurts more at higher RTT
+// (quadratically: the window deficit is proportional to RTT and the
+// regain rate inversely proportional to it).
+func RecoveryTime(rate units.BitRate, rtt time.Duration, mss units.ByteSize) time.Duration {
+	if mss <= 0 {
+		return 0
+	}
+	w := float64(units.BandwidthDelayProduct(rate, rtt)) / float64(mss)
+	return time.Duration(w / 2 * float64(rtt))
+}
+
+// TransferTime returns the ideal time to move n bytes at the given
+// steady-state rate, ignoring slow start — adequate for the multi-GB
+// transfers in the paper's use cases.
+func TransferTime(n units.ByteSize, rate units.BitRate) time.Duration {
+	return rate.Serialize(n)
+}
+
+// EffectiveMathisRate caps the Mathis bound by the bottleneck link rate:
+// real transfers can never exceed the path, no matter how clean it is.
+func EffectiveMathisRate(bottleneck units.BitRate, mss units.ByteSize, rtt time.Duration, p float64) units.BitRate {
+	m := MathisThroughput(mss, rtt, p)
+	if m > bottleneck {
+		return bottleneck
+	}
+	return m
+}

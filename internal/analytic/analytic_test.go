@@ -1,0 +1,160 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/units"
+)
+
+func TestMathisPaperScenario(t *testing.T) {
+	// The paper's Figure 1 setting: 9000-byte MTU (MSS ≈ 8960), loss
+	// 0.0046% (1/22000), across RTTs. Spot-check the shape: at 10 ms the
+	// bound must sit far below 10 Gb/s, and it must fall ~10× from 10 ms
+	// to 100 ms.
+	mss := units.ByteSize(8960)
+	p := 1.0 / 22000
+	at10 := MathisThroughput(mss, 10*time.Millisecond, p)
+	at100 := MathisThroughput(mss, 100*time.Millisecond, p)
+	if at10 >= 10*units.Gbps {
+		t.Errorf("at 10ms = %v, want below 10Gbps", at10)
+	}
+	ratio := float64(at10 / at100)
+	if math.Abs(ratio-10) > 0.01 {
+		t.Errorf("10ms/100ms ratio = %v, want 10 (inverse RTT)", ratio)
+	}
+	// And the known closed-form value: 8960B / 0.01s / sqrt(1/22000).
+	want := units.BitRate(8960.0 / 0.01 / math.Sqrt(p) * 8)
+	if math.Abs(float64(at10-want)/float64(want)) > 1e-12 {
+		t.Errorf("at10 = %v, want %v", at10, want)
+	}
+}
+
+func TestMathisEdgeCases(t *testing.T) {
+	if MathisThroughput(1460, 0, 0.01) != 0 {
+		t.Error("zero RTT should return 0")
+	}
+	if !math.IsInf(float64(MathisThroughput(1460, time.Millisecond, 0)), 1) {
+		t.Error("zero loss should be unbounded")
+	}
+}
+
+func TestMathisFullConstant(t *testing.T) {
+	base := MathisThroughput(1460, 10*time.Millisecond, 1e-4)
+	full := MathisThroughputFull(1460, 10*time.Millisecond, 1e-4)
+	if math.Abs(float64(full/base)-math.Sqrt(1.5)) > 1e-12 {
+		t.Error("full model should scale by sqrt(3/2)")
+	}
+}
+
+func TestLossBudgetInvertsMathis(t *testing.T) {
+	f := func(rttMs, mssRaw uint16) bool {
+		rtt := time.Duration(rttMs%200+1) * time.Millisecond
+		mss := units.ByteSize(mssRaw%8000 + 500)
+		p := 1e-5
+		rate := MathisThroughput(mss, rtt, p)
+		got := LossBudget(rate, mss, rtt)
+		return math.Abs(got-p)/p < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLossBudgetEdges(t *testing.T) {
+	if LossBudget(0, 1460, time.Millisecond) != 1 {
+		t.Error("zero target tolerates any loss")
+	}
+	if LossBudget(units.Gbps, 1460, 0) != 0 {
+		t.Error("zero RTT edge")
+	}
+}
+
+func TestRequiredWindowEquation2(t *testing.T) {
+	// Paper Equation 2: 1000 Mb/s × 10 ms / 8 = 1.25 MB.
+	got := RequiredWindow(units.Gbps, 10*time.Millisecond)
+	if got != units.ByteSize(1_250_000) {
+		t.Errorf("required window = %v, want 1.25MB", got)
+	}
+}
+
+func TestWindowLimitedRatePennState(t *testing.T) {
+	// §6.2: 64 KB default window at 10 ms RTT caps flows near 50 Mb/s.
+	got := WindowLimitedRate(64*units.KiB, 10*time.Millisecond)
+	mbps := float64(got / units.Mbps)
+	if mbps < 50 || mbps > 55 {
+		t.Errorf("window-limited rate = %.1f Mbps, want ~52", mbps)
+	}
+	// The paper: required window (1.25MB) is "20 times" the 64KB default.
+	ratio := float64(RequiredWindow(units.Gbps, 10*time.Millisecond)) / float64(64*units.KiB)
+	if ratio < 18 || ratio > 20 {
+		t.Errorf("window deficit ratio = %.1f, want ~19 ('20 times less')", ratio)
+	}
+}
+
+func TestWindowLimitedRateZeroRTT(t *testing.T) {
+	if WindowLimitedRate(units.MB, 0) != 0 {
+		t.Error("zero RTT should return 0")
+	}
+}
+
+func TestRecoveryTimeGrowsQuadraticallyWithRTT(t *testing.T) {
+	mss := units.ByteSize(1460)
+	r10 := RecoveryTime(10*units.Gbps, 10*time.Millisecond, mss)
+	r100 := RecoveryTime(10*units.Gbps, 100*time.Millisecond, mss)
+	ratio := float64(r100) / float64(r10)
+	if math.Abs(ratio-100) > 1 {
+		t.Errorf("recovery ratio = %v, want ~100 (quadratic in RTT)", ratio)
+	}
+	// Concrete: 10G at 100ms, W = 125MB/1460 ≈ 85616 segments; recovery
+	// ≈ 42808 RTTs ≈ 4281 s. TCP loss at continental RTT is catastrophic.
+	if r100 < time.Hour {
+		t.Errorf("recovery at 100ms = %v, want > 1 hour", r100)
+	}
+}
+
+func TestRecoveryTimeZeroMSS(t *testing.T) {
+	if RecoveryTime(units.Gbps, time.Millisecond, 0) != 0 {
+		t.Error("zero MSS edge")
+	}
+}
+
+func TestTransferTimeNOAA(t *testing.T) {
+	// §6.3: 239.5 GB at ~395 MB/s ≈ 10 minutes.
+	size := units.ByteSize(239.5 * 1e9)
+	rate := units.Rate(units.ByteSize(395*units.MB), time.Second)
+	d := TransferTime(size, rate)
+	if d < 9*time.Minute || d > 11*time.Minute {
+		t.Errorf("NOAA transfer time = %v, want ~10 min", d)
+	}
+}
+
+func TestEffectiveMathisRateCapped(t *testing.T) {
+	// Clean short path: Mathis bound far exceeds the link; cap applies.
+	got := EffectiveMathisRate(10*units.Gbps, 8960, time.Millisecond, 1e-9)
+	if got != 10*units.Gbps {
+		t.Errorf("capped rate = %v, want 10Gbps", got)
+	}
+	// Lossy long path: Mathis bound below the link.
+	got = EffectiveMathisRate(10*units.Gbps, 1460, 100*time.Millisecond, 0.001)
+	if got >= 10*units.Gbps {
+		t.Errorf("lossy rate = %v, want below link", got)
+	}
+}
+
+func TestMathisMonotonicity(t *testing.T) {
+	// Property: throughput decreases with RTT and with loss.
+	f := func(a, b uint8) bool {
+		rtt1 := time.Duration(a%100+1) * time.Millisecond
+		rtt2 := rtt1 + time.Duration(b%100+1)*time.Millisecond
+		p1, p2 := 1e-5, 1e-4
+		m := units.ByteSize(1460)
+		return MathisThroughput(m, rtt1, p1) > MathisThroughput(m, rtt2, p1) &&
+			MathisThroughput(m, rtt1, p1) > MathisThroughput(m, rtt1, p2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,203 @@
+package circuit
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/tcp"
+	"repro/internal/units"
+)
+
+// diamond builds dtn1 -- sw1 -- sw2 -- dtn2 with a cross-traffic host on
+// each switch, 10G everywhere.
+func diamond() (*netsim.Network, *netsim.Host, *netsim.Host, *netsim.Host, []*netsim.Link) {
+	n := netsim.New(1)
+	d1 := n.NewHost("dtn1")
+	d2 := n.NewHost("dtn2")
+	x := n.NewHost("cross")
+	sw1 := n.NewDevice("sw1", netsim.DeviceConfig{EgressBuffer: 8 * units.MB})
+	sw2 := n.NewDevice("sw2", netsim.DeviceConfig{EgressBuffer: 8 * units.MB})
+	l1 := n.Connect(d1, sw1, netsim.LinkConfig{Rate: 10 * units.Gbps, Delay: 10 * time.Microsecond})
+	l2 := n.Connect(sw1, sw2, netsim.LinkConfig{Rate: 10 * units.Gbps, Delay: 5 * time.Millisecond})
+	l3 := n.Connect(sw2, d2, netsim.LinkConfig{Rate: 10 * units.Gbps, Delay: 10 * time.Microsecond})
+	n.Connect(x, sw1, netsim.LinkConfig{Rate: 10 * units.Gbps, Delay: 10 * time.Microsecond})
+	n.ComputeRoutes()
+	return n, d1, d2, x, []*netsim.Link{l1, l2, l3}
+}
+
+func TestReserveAdmissionControl(t *testing.T) {
+	n, _, _, _, links := diamond()
+	svc := NewService(n, "campus")
+	// 10G links, 90% reservable = 9G.
+	c1, err := svc.Reserve("c1", "dtn1", "dtn2", 5*units.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c1.Path) != 4 {
+		t.Errorf("path = %v", c1.Path)
+	}
+	if _, err := svc.Reserve("c2", "dtn1", "dtn2", 5*units.Gbps); !errors.Is(err, ErrInsufficient) {
+		t.Errorf("over-reservation error = %v, want ErrInsufficient", err)
+	}
+	// 4G still fits.
+	c3, err := svc.Reserve("c3", "dtn1", "dtn2", 4*units.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Release frees capacity.
+	c1.Release()
+	c3.Release()
+	if avail := svc.Available(links[1]); avail != 9*units.Gbps {
+		t.Errorf("available after release = %v, want 9Gbps", avail)
+	}
+	c1.Release() // double release is a no-op
+	if !c1.Released() {
+		t.Error("Released() should be true")
+	}
+}
+
+func TestNoPathError(t *testing.T) {
+	n := netsim.New(1)
+	n.NewHost("isolated1")
+	n.NewHost("isolated2")
+	svc := NewService(n, "x")
+	if _, err := svc.Reserve("c", "isolated1", "isolated2", units.Gbps); !errors.Is(err, ErrNoPath) {
+		t.Errorf("err = %v, want ErrNoPath", err)
+	}
+}
+
+func TestCircuitProtectsFromCrossTraffic(t *testing.T) {
+	// Congest the sw1->sw2 link with best-effort cross traffic; a
+	// reserved flow must keep its bandwidth and see no queue loss, while
+	// without the circuit it gets squeezed.
+	run := func(reserve bool) units.BitRate {
+		n, d1, d2, x, _ := diamond()
+		if reserve {
+			svc := NewService(n, "campus")
+			if _, err := svc.Reserve("c1", "dtn1", "dtn2", 6*units.Gbps); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Cross traffic: 8 concurrent flows cross -> dtn2.
+		xs := tcp.NewServer(d2, 6000, tcp.Tuned())
+		for i := 0; i < 8; i++ {
+			tcp.Dial(x, xs, -1, tcp.Tuned(), nil)
+		}
+		srv := tcp.NewServer(d2, 5001, tcp.Tuned())
+		// The DTN is provisioned to its reservation: paced slightly
+		// below the reserved rate, as a real circuit deployment is.
+		opts := tcp.Tuned()
+		if reserve {
+			opts.PaceRate = 5500 * units.Mbps
+		}
+		conn := tcp.Dial(d1, srv, -1, opts, nil)
+		n.RunFor(5 * time.Second)
+		return conn.Stats().Throughput()
+	}
+	with := run(true)
+	without := run(false)
+	if float64(with) < 4e9 {
+		t.Errorf("reserved flow got %.2f Gbps, want > 4", float64(with)/1e9)
+	}
+	if float64(with) < float64(without)*1.3 {
+		t.Errorf("circuit %.2f Gbps vs best-effort %.2f Gbps: expected clear protection",
+			float64(with)/1e9, float64(without)/1e9)
+	}
+}
+
+func TestPolicerDemotesExcess(t *testing.T) {
+	// Reserve far below the sending rate: traffic beyond the reservation
+	// is demoted, not dropped (non-strict), so the flow still completes.
+	n, d1, d2, _, _ := diamond()
+	svc := NewService(n, "campus")
+	svc.DemoteExcess = true
+	c, err := svc.Reserve("small", "dtn1", "dtn2", 100*units.Mbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := tcp.NewServer(d2, 5001, tcp.Tuned())
+	var done *tcp.Stats
+	tcp.Dial(d1, srv, 50*units.MB, tcp.Tuned(), func(st *tcp.Stats) { done = st })
+	n.RunFor(30 * time.Second)
+	if done == nil {
+		t.Fatal("transfer did not finish")
+	}
+	if c.classifier.Marked == 0 || c.classifier.Demoted == 0 {
+		t.Errorf("marked=%d demoted=%d, want both nonzero", c.classifier.Marked, c.classifier.Demoted)
+	}
+}
+
+func TestReleaseStopsMarking(t *testing.T) {
+	n, d1, d2, _, _ := diamond()
+	svc := NewService(n, "campus")
+	c, err := svc.Reserve("c", "dtn1", "dtn2", 5*units.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Release()
+	srv := tcp.NewServer(d2, 5001, tcp.Tuned())
+	tcp.Dial(d1, srv, units.MB, tcp.Tuned(), nil)
+	n.RunFor(5 * time.Second)
+	if c.classifier.Marked != 0 {
+		t.Errorf("released circuit marked %d packets", c.classifier.Marked)
+	}
+}
+
+func TestMultiDomainIDC(t *testing.T) {
+	// Two domains: campus owns l1, wan owns l2+l3. IDC stitches both.
+	n, _, _, _, links := diamond()
+	campus := NewService(n, "campus", links[0])
+	wan := NewService(n, "wan", links[1], links[2])
+	idc := NewIDC(n, campus, wan)
+
+	c, err := idc.Reserve("e2e", "dtn1", "dtn2", 4*units.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if campus.Available(links[0]) != 5*units.Gbps {
+		t.Errorf("campus available = %v, want 5Gbps", campus.Available(links[0]))
+	}
+	if wan.Available(links[1]) != 5*units.Gbps {
+		t.Errorf("wan available = %v, want 5Gbps", wan.Available(links[1]))
+	}
+	c.Release()
+	if campus.Available(links[0]) != 9*units.Gbps || wan.Available(links[2]) != 9*units.Gbps {
+		t.Error("release did not restore both domains")
+	}
+}
+
+func TestMultiDomainRollbackOnRefusal(t *testing.T) {
+	n, _, _, _, links := diamond()
+	campus := NewService(n, "campus", links[0])
+	wan := NewService(n, "wan", links[1], links[2])
+	// Exhaust the wan domain first.
+	if _, err := wan.Reserve("hog", "dtn1", "dtn2", 9*units.Gbps); !errors.Is(err, ErrForeignLink) {
+		// wan doesn't own l1, so a path reservation via Service fails;
+		// reserve just its own links through the IDC instead.
+		_ = err
+	}
+	idc := NewIDC(n, campus, wan)
+	if _, err := idc.Reserve("hog", "dtn1", "dtn2", 9*units.Gbps); err != nil {
+		t.Fatal(err)
+	}
+	// Now an end-to-end reservation must fail and leave campus untouched.
+	if _, err := idc.Reserve("e2e", "dtn1", "dtn2", 4*units.Gbps); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("err = %v, want ErrInsufficient", err)
+	}
+	if campus.Available(links[0]) != 0 {
+		// campus committed 9G to "hog": available 0. The failed second
+		// reservation must not have leaked additional state.
+		t.Errorf("campus available = %v, want 0 after rollback", campus.Available(links[0]))
+	}
+}
+
+func TestForeignLinkError(t *testing.T) {
+	n, _, _, _, links := diamond()
+	// Domain owning only l2 cannot reserve the full path.
+	wanOnly := NewService(n, "wan", links[1])
+	if _, err := wanOnly.Reserve("c", "dtn1", "dtn2", units.Gbps); !errors.Is(err, ErrForeignLink) {
+		t.Errorf("err = %v, want ErrForeignLink", err)
+	}
+}

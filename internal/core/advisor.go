@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Remedy is one concrete action a site should take, derived from audit
+// findings — the pattern engine as a deployment advisor. Remedies are
+// ordered by the paper's own priorities: fix loss sources first (they
+// break TCP for everyone), then measurement (you cannot keep what you
+// cannot see), then tuning.
+type Remedy struct {
+	Priority int // lower runs first
+	Pattern  PatternID
+	Action   string
+	Because  []string // the finding summaries this remedy addresses
+}
+
+func (r Remedy) String() string {
+	return fmt.Sprintf("%d. [%s] %s (addresses: %s)",
+		r.Priority, r.Pattern, r.Action, strings.Join(r.Because, "; "))
+}
+
+// remedyRule maps a class of findings to an action.
+type remedyRule struct {
+	priority int
+	pattern  PatternID
+	match    func(Finding) bool
+	action   string
+}
+
+func contains(sub string) func(Finding) bool {
+	return func(f Finding) bool { return strings.Contains(f.Summary, sub) }
+}
+
+var remedyRules = []remedyRule{
+	{10, PatternSecurity, contains("firewall"),
+		"move science data service to a border-attached DMZ switch and replace the firewall with ACLs + IDS for that traffic (§3.4, §4.1)"},
+	{15, PatternSecurity, contains("egress buffer"),
+		"replace or reconfigure undersized-buffer devices on the science path; buffers must absorb line-rate TCP bursts (§5)"},
+	{20, PatternMonitoring, contains("no perfSONAR"),
+		"deploy a perfSONAR host on the DMZ switch and schedule continuous OWAMP + regular BWCTL testing with collaborators (§3.3)"},
+	{22, PatternMonitoring, contains("off the science path"),
+		"move (or add) a measurement host so tests traverse the same devices as DTN traffic (§3.3)"},
+	{30, PatternDedicated, contains("window scaling"),
+		"apply the DTN tuning guide: enable RFC 1323 window scaling and buffer auto-tuning on the transfer hosts (§3.2)"},
+	{32, PatternDedicated, contains("small fixed socket buffers"),
+		"raise socket buffer limits / enable auto-tuning per the DTN reference implementation (§3.2)"},
+	{35, PatternDedicated, contains("faster than its WAN path"),
+		"match the DTN NIC to the WAN capacity, or upgrade the WAN connection before the DTN overruns it (§3.2)"},
+	{37, PatternDedicated, contains("unexpected service"),
+		"remove general-purpose services from the DTN; keep the application set to data transfer + measurement tools (§3.2)"},
+	{40, PatternDedicated, contains("storage"),
+		"plan storage expansion so transfers are not disk-bound (§3.2)"},
+	{45, PatternSecurity, contains("no ACLs"),
+		"install default-deny ACLs on the DMZ switch permitting exactly the data service and measurement hosts (§3.4)"},
+	{47, PatternSecurity, contains("sequence checking"),
+		"disable TCP header rewriting on the firewall: it strips the window-scale option and caps throughput at 64KB/RTT (§6.2)"},
+	{50, PatternLocation, contains("devices from"),
+		"re-home the DTN at or near the border router to shorten and simplify the science path (§3.1)"},
+	{52, PatternLocation, contains("no dedicated science switch"),
+		"add a dedicated high-capability science switch at the border (§3.1)"},
+	{55, PatternDedicated, contains("no data transfer nodes"),
+		"deploy purpose-built DTNs per the ESnet reference implementation (§3.2)"},
+	{60, PatternLocation, contains("unreachable"),
+		"fix routing so the DTN is reachable from the declared WAN endpoints"},
+}
+
+// Advise turns an audit report into an ordered remediation plan. Each
+// distinct action appears once, accumulating every finding it addresses.
+func Advise(r *Report) []Remedy {
+	byAction := make(map[string]*Remedy)
+	for _, f := range r.Findings {
+		for _, rule := range remedyRules {
+			if rule.pattern != f.Pattern || !rule.match(f) {
+				continue
+			}
+			rem, ok := byAction[rule.action]
+			if !ok {
+				rem = &Remedy{Priority: rule.priority, Pattern: rule.pattern, Action: rule.action}
+				byAction[rule.action] = rem
+			}
+			rem.Because = append(rem.Because, f.Summary)
+			break
+		}
+	}
+	out := make([]Remedy, 0, len(byAction))
+	for _, rem := range byAction {
+		out = append(out, *rem)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Priority < out[j].Priority })
+	return out
+}
+
+// Plan renders the remediation plan as text.
+func Plan(r *Report) string {
+	remedies := Advise(r)
+	if len(remedies) == 0 {
+		return "remediation plan: nothing to do — deployment follows the pattern\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "remediation plan (%d steps):\n", len(remedies))
+	for _, rem := range remedies {
+		fmt.Fprintf(&b, "  %s\n", rem)
+	}
+	return b.String()
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dtn"
+	"repro/internal/topo"
+)
+
+func TestAdviseCampusPlan(t *testing.T) {
+	c := topo.NewCampus(1, topo.CampusConfig{})
+	r := Audit(Deployment{
+		Net: c.Net, Border: c.Border,
+		DTNs:     []*dtn.Node{c.ScienceHost},
+		WANHosts: []string{"remote-dtn"},
+	})
+	remedies := Advise(r)
+	if len(remedies) == 0 {
+		t.Fatal("campus audit should yield remedies")
+	}
+	// Ordered by priority.
+	for i := 1; i < len(remedies); i++ {
+		if remedies[i-1].Priority > remedies[i].Priority {
+			t.Fatalf("remedies out of order: %v", remedies)
+		}
+	}
+	// The firewall removal must come first — loss sources first.
+	if !strings.Contains(remedies[0].Action, "DMZ switch") {
+		t.Errorf("first remedy = %q, want the firewall/DMZ move", remedies[0].Action)
+	}
+	// Every remedy carries its evidence.
+	for _, rem := range remedies {
+		if len(rem.Because) == 0 {
+			t.Errorf("remedy %q has no findings attached", rem.Action)
+		}
+	}
+	// The plan covers monitoring and tuning too.
+	text := Plan(r)
+	for _, want := range []string{"perfSONAR", "window scaling", "remediation plan"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("plan missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestAdviseDeduplicatesActions(t *testing.T) {
+	// Two findings mapping to the same action produce one remedy with
+	// both pieces of evidence.
+	r := &Report{Findings: []Finding{
+		{Pattern: PatternSecurity, Severity: SeverityWarning, Summary: "sw1: egress buffer 100 KB below 1 MB on the science path"},
+		{Pattern: PatternSecurity, Severity: SeverityWarning, Summary: "sw2: egress buffer 200 KB below 1 MB on the science path"},
+	}}
+	remedies := Advise(r)
+	if len(remedies) != 1 {
+		t.Fatalf("remedies = %d, want 1 deduplicated", len(remedies))
+	}
+	if len(remedies[0].Because) != 2 {
+		t.Errorf("evidence = %v, want both findings", remedies[0].Because)
+	}
+}
+
+func TestAdviseCleanReport(t *testing.T) {
+	if got := Plan(&Report{}); !strings.Contains(got, "nothing to do") {
+		t.Errorf("clean plan = %q", got)
+	}
+}
+
+func TestAdviseRetrofittedCampusNearlyClean(t *testing.T) {
+	c := topo.NewCampus(1, topo.CampusConfig{})
+	dep := Retrofit(c.Net, c.Border, []string{"remote-dtn"}, RetrofitConfig{})
+	remedies := Advise(Audit(*dep))
+	for _, rem := range remedies {
+		if rem.Priority <= 20 {
+			t.Errorf("retrofit plan still has a high-priority remedy: %v", rem)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/acl"
+	"repro/internal/dtn"
+	"repro/internal/firewall"
+	"repro/internal/netsim"
+	"repro/internal/perfsonar"
+	"repro/internal/units"
+)
+
+// maxScienceHops is how many intermediate devices the location pattern
+// tolerates between a DTN and the WAN (§3.1: "as few network devices as
+// reasonably possible").
+const maxScienceHops = 3
+
+// minAdequateBuffer is the egress-buffer floor below which a device on
+// the science path is flagged for the §5 fan-in risk, as a fraction of
+// the path BDP.
+const minAdequateBufferFraction = 0.25
+
+// Audit checks a deployment against the four sub-patterns and returns a
+// report. The checks follow the paper:
+//
+//	location    — short, dedicated science paths anchored at the border
+//	dedicated   — tuned DTNs matched to the WAN, limited application set
+//	monitoring  — measurement hosts present and on the science path
+//	security    — no firewalls in the science path, ACLs at the DMZ
+//	              switch, adequate buffers, no option mangling
+func Audit(d Deployment) *Report {
+	r := &Report{}
+	add := func(p PatternID, s Severity, summary, detail string) {
+		r.Findings = append(r.Findings, Finding{Pattern: p, Severity: s, Summary: summary, Detail: detail})
+	}
+
+	if len(d.DTNs) == 0 {
+		add(PatternDedicated, SeverityCritical, "no data transfer nodes",
+			"the dedicated-systems pattern requires purpose-built DTNs (§3.2)")
+	}
+	if len(d.WANHosts) == 0 {
+		add(PatternLocation, SeverityInfo, "no WAN endpoints declared",
+			"path checks skipped; declare remote science endpoints for a full audit")
+	}
+
+	for _, node := range d.DTNs {
+		auditDTN(d, node, add)
+	}
+	auditMonitoring(d, add)
+	auditDMZSwitch(d, add)
+	auditFirewallInventory(d, add)
+	return r
+}
+
+type addFunc func(PatternID, Severity, string, string)
+
+func auditDTN(d Deployment, node *dtn.Node, add addFunc) {
+	name := node.Host.Name()
+
+	// Dedicated systems: host tuning per the DTN tuning guide.
+	if !node.Tuning.WindowScale {
+		add(PatternDedicated, SeverityCritical,
+			name+": window scaling disabled",
+			"64 KiB windows cap throughput at window/RTT (§6.2); enable RFC 1323 scaling")
+	}
+	if !node.Tuning.AutoTune && node.Tuning.RcvBuf < units.MB {
+		add(PatternDedicated, SeverityWarning,
+			name+": small fixed socket buffers",
+			fmt.Sprintf("receive buffer %v cannot cover a long-path BDP; enable auto-tuning", node.Tuning.RcvBuf))
+	}
+
+	// Dedicated systems: limited application set (§3.2 — no general-
+	// purpose services on the DTN).
+	allowed := map[uint16]bool{perfsonar.BwctlPort: true, perfsonar.OwampPort: true}
+	ports := d.ServicePorts
+	if len(ports) == 0 {
+		ports = []uint16{dtn.DefaultDataPort}
+	}
+	for _, p := range ports {
+		allowed[p] = true
+	}
+	for _, b := range node.Host.BoundPorts() {
+		if !allowed[b.Port] {
+			add(PatternDedicated, SeverityWarning,
+				fmt.Sprintf("%s: unexpected service on %s/%d", name, b.Proto, b.Port),
+				"DTNs run data-transfer applications only; extra services grow the attack surface and complicate security policy")
+		}
+	}
+
+	for _, wan := range d.WANHosts {
+		auditSciencePath(d, node, wan, add)
+	}
+}
+
+func auditSciencePath(d Deployment, node *dtn.Node, wan string, add addFunc) {
+	name := node.Host.Name()
+	path := d.Net.Path(wan, name)
+	if path == nil {
+		add(PatternLocation, SeverityCritical,
+			fmt.Sprintf("%s unreachable from %s", name, wan),
+			"no routed path exists")
+		return
+	}
+
+	// Location: few devices in the science path.
+	intermediates := len(path) - 2
+	if intermediates > maxScienceHops {
+		add(PatternLocation, SeverityWarning,
+			fmt.Sprintf("%s is %d devices from %s", name, intermediates, wan),
+			"the location pattern puts DTNs at/near the perimeter to keep the path short and debuggable (§3.1)")
+	}
+
+	// Security + location: firewalls in the science path.
+	for _, hop := range path {
+		if _, ok := d.Net.Node(hop).(*firewall.Firewall); ok {
+			add(PatternSecurity, SeverityCritical,
+				fmt.Sprintf("firewall %q in the science path to %s", hop, name),
+				"firewall appliances lose line-rate science bursts (§5); enforce policy with ACLs on the DMZ switch instead")
+		}
+	}
+
+	// Dedicated: NIC rate matched to the WAN path (§3.2).
+	bottleneck := d.Net.PathBottleneck(wan, name)
+	nic := node.Host.NICRate()
+	if bottleneck > 0 && nic > bottleneck {
+		add(PatternDedicated, SeverityWarning,
+			fmt.Sprintf("%s NIC (%v) is faster than its WAN path (%v)", name, nic, bottleneck),
+			"a fast DTN overwhelms a slower wide-area link and causes loss; match the DTN to the WAN (§3.2)")
+	}
+
+	// Security: adequate buffering on science-path devices (§5).
+	rtt := d.Net.PathRTT(wan, name)
+	bdp := units.BandwidthDelayProduct(bottleneck, rtt)
+	minBuf := units.ByteSize(float64(bdp) * minAdequateBufferFraction)
+	flagged := make(map[string]bool)
+	for _, l := range d.Net.PathInfo(wan, name) {
+		for _, port := range []*netsim.Port{l.A, l.B} {
+			dev, ok := port.Owner.(*netsim.Device)
+			if !ok || flagged[dev.Name()] {
+				continue
+			}
+			if port.QueueCap < minBuf {
+				flagged[dev.Name()] = true
+				add(PatternSecurity, SeverityWarning,
+					fmt.Sprintf("%s: egress buffer %v below %v on the science path", dev.Name(), port.QueueCap, minBuf),
+					"TCP bursts at line rate; inadequate buffers cause the §5 fan-in loss")
+			}
+		}
+	}
+
+	// Dedicated: storage keeping up with the network.
+	if node.Disk.ReadRate > 0 && node.Disk.ReadRate < bottleneck/2 {
+		add(PatternDedicated, SeverityInfo,
+			fmt.Sprintf("%s: storage (%v) well below the WAN path (%v)", name, node.Disk.ReadRate, bottleneck),
+			"transfers will be disk-bound; plan storage expansion (§3.2)")
+	}
+}
+
+func auditMonitoring(d Deployment, add addFunc) {
+	if len(d.Monitors) == 0 {
+		add(PatternMonitoring, SeverityCritical, "no perfSONAR measurement host",
+			"soft failures go undetected for months without continuous active measurement (§3.3)")
+		return
+	}
+	// A monitor should share its first-hop device with some DTN's
+	// science path, so tests exercise the same queues as data.
+	for _, m := range d.Monitors {
+		if onSciencePath(d, m.Host) {
+			return
+		}
+	}
+	add(PatternMonitoring, SeverityWarning, "measurement host off the science path",
+		"perfSONAR must test through the same devices the DTNs use, or its results exonerate the wrong path (§3.3)")
+}
+
+func onSciencePath(d Deployment, h *netsim.Host) bool {
+	if len(h.Ports()) == 0 {
+		return false
+	}
+	firstHop := h.Ports()[0].Peer().Owner.Name()
+	for _, node := range d.DTNs {
+		for _, wan := range d.WANHosts {
+			for _, hop := range d.Net.Path(wan, node.Host.Name()) {
+				if hop == firstHop {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func auditDMZSwitch(d Deployment, add addFunc) {
+	if d.DMZSwitch == nil {
+		if len(d.DTNs) > 0 {
+			add(PatternLocation, SeverityWarning, "no dedicated science switch",
+				"the location pattern separates science traffic onto dedicated high-capability equipment at the border (§3.1)")
+		}
+		return
+	}
+	for _, f := range d.DMZSwitch.Filters() {
+		if _, ok := f.(*acl.List); ok {
+			return
+		}
+	}
+	add(PatternSecurity, SeverityWarning,
+		d.DMZSwitch.Name()+": no ACLs on the science switch",
+		"the security pattern enforces per-service policy with line-rate ACLs at the DMZ switch (§3.4, §4.1)")
+}
+
+func auditFirewallInventory(d Deployment, add addFunc) {
+	for _, fw := range d.Firewalls {
+		if fw.Config.SequenceChecking {
+			add(PatternSecurity, SeverityWarning,
+				fw.Name()+": TCP sequence checking enabled",
+				"header sanitization strips the window-scale option and silently caps windows at 64 KB (§6.2)")
+		}
+	}
+}
+
+// PathReport describes the audited science path for human consumption.
+type PathReport struct {
+	WAN        string
+	DTN        string
+	Hops       []string
+	Bottleneck units.BitRate
+	RTT        time.Duration
+	BDP        units.ByteSize
+	Firewalled bool
+}
+
+// DescribePath summarizes the science path between a WAN endpoint and a
+// DTN for reports and tools.
+func DescribePath(d Deployment, wan string, node *dtn.Node) PathReport {
+	name := node.Host.Name()
+	pr := PathReport{
+		WAN:        wan,
+		DTN:        name,
+		Hops:       d.Net.Path(wan, name),
+		Bottleneck: d.Net.PathBottleneck(wan, name),
+		RTT:        d.Net.PathRTT(wan, name),
+	}
+	pr.BDP = units.BandwidthDelayProduct(pr.Bottleneck, pr.RTT)
+	for _, hop := range pr.Hops {
+		if _, ok := d.Net.Node(hop).(*firewall.Firewall); ok {
+			pr.Firewalled = true
+		}
+	}
+	return pr
+}

@@ -1,0 +1,160 @@
+// Package core is the Science DMZ design pattern itself, as an
+// executable artifact: the paper's four sub-patterns (§3) represented as
+// machine-checkable rules, an Audit engine that inspects a simulated
+// deployment and reports violations, and a Retrofit transformation that
+// applies the pattern to a general-purpose campus network — adding the
+// border-attached DMZ switch, the DTN, the perfSONAR host, and ACL
+// policy, exactly as the paper prescribes.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dtn"
+	"repro/internal/firewall"
+	"repro/internal/netsim"
+	"repro/internal/perfsonar"
+)
+
+// PatternID names one of the paper's four sub-patterns (§3.1-§3.4).
+type PatternID string
+
+// The four sub-patterns of the Science DMZ design pattern.
+const (
+	PatternLocation   PatternID = "proper-location"
+	PatternDedicated  PatternID = "dedicated-systems"
+	PatternMonitoring PatternID = "performance-monitoring"
+	PatternSecurity   PatternID = "appropriate-security"
+)
+
+// Patterns lists all four sub-patterns with their paper sections.
+func Patterns() []struct {
+	ID      PatternID
+	Section string
+	Purpose string
+} {
+	return []struct {
+		ID      PatternID
+		Section string
+		Purpose string
+	}{
+		{PatternLocation, "3.1", "deploy at/near the network perimeter; few devices in the science path; separate from general-purpose traffic"},
+		{PatternDedicated, "3.2", "purpose-built, tuned data transfer nodes with a limited application set, matched to the WAN"},
+		{PatternMonitoring, "3.3", "continuous active measurement (perfSONAR) so soft failures are detected and localized"},
+		{PatternSecurity, "3.4", "policy enforced with line-rate ACLs and IDS, not firewall appliances, sized to science data rates"},
+	}
+}
+
+// Severity ranks a finding.
+type Severity int
+
+// Finding severities.
+const (
+	SeverityInfo Severity = iota
+	SeverityWarning
+	SeverityCritical
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SeverityInfo:
+		return "INFO"
+	case SeverityWarning:
+		return "WARNING"
+	default:
+		return "CRITICAL"
+	}
+}
+
+// Finding is one audit result.
+type Finding struct {
+	Pattern  PatternID
+	Severity Severity
+	Summary  string
+	Detail   string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("[%s] %s: %s — %s", f.Severity, f.Pattern, f.Summary, f.Detail)
+}
+
+// Deployment is a site's science-infrastructure inventory, referencing
+// nodes in a simulated network. Audit checks it against the pattern.
+type Deployment struct {
+	Net *netsim.Network
+
+	// Border is the router connecting the site to the wide-area science
+	// network.
+	Border *netsim.Device
+
+	// DMZSwitch is the dedicated science switch, if any.
+	DMZSwitch *netsim.Device
+
+	// DTNs are the site's data transfer nodes.
+	DTNs []*dtn.Node
+
+	// Monitors are the site's perfSONAR toolkits.
+	Monitors []*perfsonar.Toolkit
+
+	// Firewalls are the site's firewall appliances (for inventory; the
+	// audit discovers on-path firewalls from routing).
+	Firewalls []*firewall.Firewall
+
+	// WANHosts are the names of remote science endpoints the site
+	// transfers to/from.
+	WANHosts []string
+
+	// ServicePorts are the TCP ports DTNs legitimately serve (data
+	// transfer tools); empty defaults to the GridFTP data port.
+	ServicePorts []uint16
+}
+
+// Report is the audit outcome.
+type Report struct {
+	Findings []Finding
+}
+
+// Compliant reports whether the deployment has no critical findings.
+func (r *Report) Compliant() bool {
+	for _, f := range r.Findings {
+		if f.Severity == SeverityCritical {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of findings at a severity.
+func (r *Report) Count(s Severity) int {
+	n := 0
+	for _, f := range r.Findings {
+		if f.Severity == s {
+			n++
+		}
+	}
+	return n
+}
+
+// ByPattern groups findings by sub-pattern.
+func (r *Report) ByPattern() map[PatternID][]Finding {
+	out := make(map[PatternID][]Finding)
+	for _, f := range r.Findings {
+		out[f.Pattern] = append(out[f.Pattern], f)
+	}
+	return out
+}
+
+func (r *Report) String() string {
+	if len(r.Findings) == 0 {
+		return "science DMZ audit: clean — all four patterns satisfied\n"
+	}
+	fs := append([]Finding(nil), r.Findings...)
+	sort.SliceStable(fs, func(i, j int) bool { return fs[i].Severity > fs[j].Severity })
+	out := fmt.Sprintf("science DMZ audit: %d critical, %d warning, %d info\n",
+		r.Count(SeverityCritical), r.Count(SeverityWarning), r.Count(SeverityInfo))
+	for _, f := range fs {
+		out += "  " + f.String() + "\n"
+	}
+	return out
+}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dtn"
+	"repro/internal/perfsonar"
+	"repro/internal/tcp"
+	"repro/internal/topo"
+	"repro/internal/units"
+)
+
+// dmzDeployment wraps the Figure 3 topology as a Deployment.
+func dmzDeployment(d *topo.SimpleDMZ) Deployment {
+	archive := perfsonar.NewArchive()
+	return Deployment{
+		Net:       d.Net,
+		Border:    d.Border,
+		DMZSwitch: d.DMZSwitch,
+		DTNs:      []*dtn.Node{d.DTN},
+		Monitors:  []*perfsonar.Toolkit{perfsonar.NewToolkit(d.PerfSONAR, archive)},
+		Firewalls: nil,
+		WANHosts:  []string{"remote-dtn"},
+	}
+}
+
+func TestAuditCleanSimpleDMZ(t *testing.T) {
+	d := topo.NewSimpleDMZ(1, topo.SimpleDMZConfig{})
+	dep := dmzDeployment(d)
+	r := Audit(dep)
+	if !r.Compliant() {
+		t.Fatalf("Figure 3 deployment should be compliant:\n%s", r)
+	}
+	// It may carry warnings (no ACL installed in raw topo), but no
+	// criticals.
+	if r.Count(SeverityCritical) != 0 {
+		t.Errorf("criticals: %d", r.Count(SeverityCritical))
+	}
+}
+
+func TestAuditFlagsCampusAsNonCompliant(t *testing.T) {
+	// The general-purpose campus: untuned science host behind a
+	// firewall, no DMZ, no monitoring.
+	c := topo.NewCampus(1, topo.CampusConfig{})
+	dep := Deployment{
+		Net:      c.Net,
+		Border:   c.Border,
+		DTNs:     []*dtn.Node{c.ScienceHost},
+		WANHosts: []string{"remote-dtn"},
+	}
+	r := Audit(dep)
+	if r.Compliant() {
+		t.Fatalf("campus network should fail the audit:\n%s", r)
+	}
+	by := r.ByPattern()
+	if len(by[PatternSecurity]) == 0 {
+		t.Error("expected security findings (firewall in path)")
+	}
+	if len(by[PatternMonitoring]) == 0 {
+		t.Error("expected monitoring findings (no perfSONAR)")
+	}
+	if len(by[PatternDedicated]) == 0 {
+		t.Error("expected dedicated-systems findings (untuned host)")
+	}
+	// The firewall-in-path finding must be critical.
+	foundFW := false
+	for _, f := range by[PatternSecurity] {
+		if f.Severity == SeverityCritical && strings.Contains(f.Summary, "firewall") {
+			foundFW = true
+		}
+	}
+	if !foundFW {
+		t.Errorf("no critical firewall-in-path finding:\n%s", r)
+	}
+}
+
+func TestAuditNICMismatch(t *testing.T) {
+	// §3.2: a 10GE DTN on a 1G WAN is counterproductive.
+	d := topo.NewSimpleDMZ(1, topo.SimpleDMZConfig{
+		WAN: topo.WANConfig{Rate: units.Gbps},
+	})
+	dep := dmzDeployment(d)
+	r := Audit(dep)
+	found := false
+	for _, f := range r.Findings {
+		if f.Pattern == PatternDedicated && strings.Contains(f.Summary, "faster than its WAN path") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected NIC/WAN mismatch warning:\n%s", r)
+	}
+}
+
+func TestAuditExtraServicesOnDTN(t *testing.T) {
+	d := topo.NewSimpleDMZ(1, topo.SimpleDMZConfig{})
+	dep := dmzDeployment(d)
+	// Bind a web server on the DTN — a general-purpose app.
+	tcp.NewServer(d.DTN.Host, 80, tcp.Tuned())
+	tcp.NewServer(d.DTN.Host, dtn.DefaultDataPort, tcp.Tuned()) // allowed
+	r := Audit(dep)
+	found := 0
+	for _, f := range r.Findings {
+		if strings.Contains(f.Summary, "unexpected service") {
+			found++
+		}
+	}
+	if found != 1 {
+		t.Errorf("unexpected-service findings = %d, want 1 (port 80 only):\n%s", found, r)
+	}
+}
+
+func TestAuditNoMonitorsCritical(t *testing.T) {
+	d := topo.NewSimpleDMZ(1, topo.SimpleDMZConfig{})
+	dep := dmzDeployment(d)
+	dep.Monitors = nil
+	r := Audit(dep)
+	if r.Compliant() {
+		t.Error("missing monitoring should be critical")
+	}
+}
+
+func TestAuditMonitorOffPath(t *testing.T) {
+	d := topo.NewSimpleDMZ(1, topo.SimpleDMZConfig{})
+	dep := dmzDeployment(d)
+	// Replace the monitor with one on the campus side.
+	archive := perfsonar.NewArchive()
+	dep.Monitors = []*perfsonar.Toolkit{perfsonar.NewToolkit(d.CampusPC, archive)}
+	r := Audit(dep)
+	found := false
+	for _, f := range r.Findings {
+		if f.Pattern == PatternMonitoring && f.Severity == SeverityWarning {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected off-path monitoring warning:\n%s", r)
+	}
+}
+
+func TestAuditNoDTNs(t *testing.T) {
+	d := topo.NewSimpleDMZ(1, topo.SimpleDMZConfig{})
+	dep := dmzDeployment(d)
+	dep.DTNs = nil
+	r := Audit(dep)
+	if r.Compliant() {
+		t.Error("no DTNs should be critical")
+	}
+}
+
+func TestAuditSmallBufferWarning(t *testing.T) {
+	// DMZ switch with a tiny buffer on a long fat path.
+	d := topo.NewSimpleDMZ(1, topo.SimpleDMZConfig{DMZBuffer: 100 * units.KB})
+	dep := dmzDeployment(d)
+	r := Audit(dep)
+	found := false
+	for _, f := range r.Findings {
+		if strings.Contains(f.Summary, "egress buffer") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected small-buffer warning:\n%s", r)
+	}
+}
+
+func TestRetrofitCampusBecomesCompliant(t *testing.T) {
+	c := topo.NewCampus(1, topo.CampusConfig{})
+	dep := Retrofit(c.Net, c.Border, []string{"remote-dtn"}, RetrofitConfig{})
+	r := Audit(*dep)
+	if !r.Compliant() {
+		t.Fatalf("retrofitted campus should be compliant:\n%s", r)
+	}
+	// The science path now bypasses the firewall.
+	pr := DescribePath(*dep, "remote-dtn", dep.DTNs[0])
+	if pr.Firewalled {
+		t.Errorf("retrofitted path still firewalled: %v", pr.Hops)
+	}
+	if len(pr.Hops) != 4 {
+		t.Errorf("path = %v, want remote-border-sw-dtn", pr.Hops)
+	}
+	// And the campus path is untouched.
+	path := c.Net.Path("remote-dtn", "science")
+	crossesFW := false
+	for _, hop := range path {
+		if hop == "fw" {
+			crossesFW = true
+		}
+	}
+	if !crossesFW {
+		t.Error("campus path should still cross the firewall")
+	}
+}
+
+func TestRetrofitTransferPerformance(t *testing.T) {
+	// The headline effect: before vs after retrofit on the same campus.
+	c := topo.NewCampus(1, topo.CampusConfig{})
+	before := measure(t, c, c.ScienceHost)
+
+	c2 := topo.NewCampus(1, topo.CampusConfig{})
+	dep := Retrofit(c2.Net, c2.Border, []string{"remote-dtn"}, RetrofitConfig{})
+	after := measure(t, c2, dep.DTNs[0])
+
+	ratio := float64(after) / float64(before)
+	if ratio < 10 {
+		t.Errorf("retrofit improved only %.1fx (%.0f -> %.0f Mbps); the paper reports order(s) of magnitude",
+			ratio, float64(before)/1e6, float64(after)/1e6)
+	}
+}
+
+func measure(t *testing.T, c *topo.Campus, node *dtn.Node) units.BitRate {
+	t.Helper()
+	var res *tcp.Stats
+	srv := tcp.NewServer(node.Host, dtn.DefaultDataPort, node.Tuning)
+	tcp.Dial(c.RemoteDTN.Host, srv, 50*units.MB, c.RemoteDTN.Tuning, func(st *tcp.Stats) { res = st })
+	c.Net.RunFor(2 * time.Minute)
+	if res == nil {
+		t.Fatal("transfer did not finish")
+	}
+	return res.Throughput()
+}
+
+func TestRetrofitACLBlocksStrangers(t *testing.T) {
+	c := topo.NewCampus(1, topo.CampusConfig{})
+	dep := Retrofit(c.Net, c.Border, []string{"remote-dtn"}, RetrofitConfig{})
+	srv := tcp.NewServer(dep.DTNs[0].Host, 22, tcp.Tuned())
+	done := false
+	// SSH from a campus office host to the DTN: not in policy.
+	tcp.Dial(c.OfficeHosts[0], srv, 10*units.KB, tcp.Legacy(), func(*tcp.Stats) { done = true })
+	c.Net.RunFor(90 * time.Second)
+	if done {
+		t.Error("ACL should have blocked the unauthorized flow")
+	}
+}
+
+func TestPatternsInventory(t *testing.T) {
+	ps := Patterns()
+	if len(ps) != 4 {
+		t.Fatalf("patterns = %d, want 4", len(ps))
+	}
+	seen := map[PatternID]bool{}
+	for _, p := range ps {
+		seen[p.ID] = true
+		if p.Section == "" || p.Purpose == "" {
+			t.Error("pattern missing metadata")
+		}
+	}
+	for _, id := range []PatternID{PatternLocation, PatternDedicated, PatternMonitoring, PatternSecurity} {
+		if !seen[id] {
+			t.Errorf("missing pattern %s", id)
+		}
+	}
+}
+
+func TestReportHelpers(t *testing.T) {
+	r := &Report{Findings: []Finding{
+		{Pattern: PatternSecurity, Severity: SeverityCritical, Summary: "s", Detail: "d"},
+		{Pattern: PatternSecurity, Severity: SeverityInfo, Summary: "i", Detail: "d"},
+	}}
+	if r.Compliant() {
+		t.Error("critical finding should fail compliance")
+	}
+	if r.Count(SeverityCritical) != 1 || r.Count(SeverityInfo) != 1 || r.Count(SeverityWarning) != 0 {
+		t.Error("counts wrong")
+	}
+	out := r.String()
+	if !strings.Contains(out, "CRITICAL") || !strings.Contains(out, "1 critical") {
+		t.Errorf("report rendering:\n%s", out)
+	}
+	clean := &Report{}
+	if !strings.Contains(clean.String(), "clean") {
+		t.Error("clean report rendering")
+	}
+	if SeverityInfo.String() != "INFO" || SeverityWarning.String() != "WARNING" || SeverityCritical.String() != "CRITICAL" {
+		t.Error("severity strings")
+	}
+}

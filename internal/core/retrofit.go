@@ -1,0 +1,99 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/acl"
+	"repro/internal/dtn"
+	"repro/internal/netsim"
+	"repro/internal/perfsonar"
+	"repro/internal/tcp"
+	"repro/internal/units"
+)
+
+// RetrofitConfig adjusts the pattern application.
+type RetrofitConfig struct {
+	// SwitchRate is the DMZ switch uplink/downlink rate; zero matches
+	// the border's WAN-facing capability at 10 Gb/s.
+	SwitchRate units.BitRate
+
+	// SwitchBuffer is the DMZ switch egress buffer; zero means 64 MB —
+	// the deep-buffered device the pattern calls for.
+	SwitchBuffer units.ByteSize
+
+	// DTNDisk describes the DTN's storage subsystem.
+	DTNDisk dtn.Disk
+
+	// DataPort is the DTN's transfer service port; zero means the
+	// GridFTP data port.
+	DataPort uint16
+
+	// NoACL skips installing the default ACL policy (for experiments
+	// that install their own).
+	NoACL bool
+
+	// NamePrefix prefixes created node names to avoid collisions; the
+	// default is "dmz".
+	NamePrefix string
+}
+
+// Retrofit applies the Science DMZ pattern to an existing network: it
+// attaches a dedicated deep-buffered switch to the border router, hangs
+// a tuned DTN and a perfSONAR host off it, installs default-deny ACL
+// policy permitting exactly the data service and measurement, and
+// recomputes routing. It returns the resulting Deployment (sharing the
+// archive for the new toolkit), ready for Audit and for traffic.
+//
+// This is the executable form of the paper's §4.1 "simple Science DMZ":
+// the general-purpose network (and its firewall) is left untouched, and
+// the science path now bypasses it entirely.
+func Retrofit(net *netsim.Network, border *netsim.Device, wanHosts []string, cfg RetrofitConfig) *Deployment {
+	if cfg.SwitchRate == 0 {
+		cfg.SwitchRate = 10 * units.Gbps
+	}
+	if cfg.SwitchBuffer == 0 {
+		cfg.SwitchBuffer = 64 * units.MB
+	}
+	if cfg.DataPort == 0 {
+		cfg.DataPort = dtn.DefaultDataPort
+	}
+	if cfg.NamePrefix == "" {
+		cfg.NamePrefix = "dmz"
+	}
+
+	sw := net.NewDevice(cfg.NamePrefix+"-sw", netsim.DeviceConfig{EgressBuffer: cfg.SwitchBuffer})
+	dtnHost := net.NewHost(cfg.NamePrefix + "-dtn")
+	psHost := net.NewHost(cfg.NamePrefix + "-ps")
+
+	fast := netsim.LinkConfig{Rate: cfg.SwitchRate, Delay: 10 * time.Microsecond, MTU: 9000}
+	net.Connect(border, sw, fast)
+	net.Connect(sw, dtnHost, fast)
+	net.Connect(sw, psHost, fast)
+	net.ComputeRoutes()
+
+	node := dtn.New(dtnHost, cfg.DTNDisk, tcp.Tuned())
+
+	archive := perfsonar.NewArchive()
+	toolkit := perfsonar.NewToolkit(psHost, archive)
+
+	dep := &Deployment{
+		Net:          net,
+		Border:       border,
+		DMZSwitch:    sw,
+		DTNs:         []*dtn.Node{node},
+		Monitors:     []*perfsonar.Toolkit{toolkit},
+		WANHosts:     wanHosts,
+		ServicePorts: []uint16{cfg.DataPort},
+	}
+
+	if !cfg.NoACL {
+		policy := acl.NewList(cfg.NamePrefix+"-policy", acl.Deny)
+		for _, wan := range wanHosts {
+			policy.PermitFlow(wan, dtnHost.Name(), cfg.DataPort)
+			policy.PermitFlow(dtnHost.Name(), wan, cfg.DataPort)
+		}
+		policy.PermitHost(psHost.Name())
+		sw.AddFilter(policy)
+	}
+	return dep
+}

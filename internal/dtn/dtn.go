@@ -1,0 +1,451 @@
+// Package dtn models Data Transfer Nodes — the dedicated-systems pattern
+// of the Science DMZ (§3.2) — and the transfer tools that run on them.
+//
+// A Node couples a simulated host with a storage subsystem and a TCP
+// tuning profile (the ESnet DTN tuning guide distilled to its effective
+// parameters). Transfer tools capture the application layer:
+//
+//   - GridFTP: parallel TCP streams, tuned endpoints — the purpose-built
+//     tool of a properly deployed DTN.
+//   - FDT: stream-oriented parallel mover, equivalent at this fidelity.
+//   - LegacyFTP: single stream with stock 64 KB buffers and no window
+//     scaling — the "FTP server behind the firewall" whose transfers
+//     trickled in at 1-2 MB/s in the NOAA case (§6.3).
+//   - SCP: single stream whose throughput is capped by the SSH
+//     application-layer window and cipher speed; the HPN patches the
+//     paper cites remove the window cap.
+//
+// Plan gives the closed-form expectation for a transfer (bottleneck,
+// window limit, disk limit) so experiments can compare simulation
+// against the analytic model.
+package dtn
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/analytic"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/units"
+)
+
+// DefaultDataPort is the GridFTP data channel port.
+const DefaultDataPort uint16 = 2811
+
+// Disk describes a node's storage subsystem. Zero rates mean "not the
+// bottleneck" (e.g., a parallel filesystem faster than the NIC).
+type Disk struct {
+	ReadRate  units.BitRate
+	WriteRate units.BitRate
+}
+
+// Node is a data transfer node: host + storage + TCP tuning profile.
+type Node struct {
+	Host   *netsim.Host
+	Disk   Disk
+	Tuning tcp.Options
+
+	servers map[uint16]*tcp.Server
+}
+
+// New creates a DTN on the host. Tuning applies to both the sending and
+// receiving sides of transfers this node participates in.
+func New(h *netsim.Host, disk Disk, tuning tcp.Options) *Node {
+	return &Node{Host: h, Disk: disk, Tuning: tuning, servers: make(map[uint16]*tcp.Server)}
+}
+
+// server lazily starts the node's receiving server on a port. A port's
+// server keeps the options of the first transfer that used it — a host
+// runs one daemon per port.
+func (n *Node) server(port uint16, opts tcp.Options) *tcp.Server {
+	if s, ok := n.servers[port]; ok {
+		return s
+	}
+	s := tcp.NewServer(n.Host, port, opts)
+	n.servers[port] = s
+	return s
+}
+
+// Result summarizes one transfer.
+type Result struct {
+	Tool       string
+	Size       units.ByteSize
+	Streams    int
+	Start, End sim.Time
+	Done       bool
+	PerStream  []*tcp.Stats
+}
+
+// Duration returns wall time from start to the last stream finishing.
+func (r *Result) Duration() time.Duration { return r.End.Sub(r.Start) }
+
+// Throughput returns aggregate goodput.
+func (r *Result) Throughput() units.BitRate {
+	d := r.Duration()
+	if d <= 0 {
+		return 0
+	}
+	return units.Rate(r.Size, d)
+}
+
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: %v in %v = %v (%d streams)",
+		r.Tool, r.Size, r.Duration(), r.Throughput(), r.Streams)
+}
+
+// Tool is a transfer application running on DTNs.
+type Tool interface {
+	// ToolName identifies the tool in results.
+	ToolName() string
+	// Start begins moving size bytes from src to dst, invoking onDone
+	// (which may be nil) when the last byte is acknowledged.
+	Start(src, dst *Node, size units.ByteSize, onDone func(*Result)) *Transfer
+}
+
+// Transfer is an in-progress transfer.
+type Transfer struct {
+	res       Result
+	remaining int
+	net       *netsim.Network
+	onDone    func(*Result)
+}
+
+// Result returns a snapshot (End = now while in progress).
+func (t *Transfer) Result() *Result {
+	r := t.res
+	if !r.Done {
+		r.End = t.net.Sched.Now()
+	}
+	return &r
+}
+
+// diskCap returns the storage-imposed rate ceiling for a transfer
+// between two nodes, or 0 for unlimited.
+func diskCap(src, dst *Node) units.BitRate {
+	cap := src.Disk.ReadRate
+	if w := dst.Disk.WriteRate; w > 0 && (cap == 0 || w < cap) {
+		cap = w
+	}
+	return cap
+}
+
+// startStreams launches n parallel TCP streams moving size bytes total,
+// with the given endpoint options (pacing already applied).
+func startStreams(tool string, src, dst *Node, port uint16, size units.ByteSize,
+	n int, sndOpts, rcvOpts tcp.Options, onDone func(*Result)) *Transfer {
+
+	if n < 1 {
+		n = 1
+	}
+	srv := dst.server(port, rcvOpts)
+	tr := &Transfer{
+		res: Result{
+			Tool:    tool,
+			Size:    size,
+			Streams: n,
+			Start:   src.Host.Network().Sched.Now(),
+		},
+		remaining: n,
+		net:       src.Host.Network(),
+		onDone:    onDone,
+	}
+	per := size / units.ByteSize(n)
+	for i := 0; i < n; i++ {
+		chunk := per
+		if i == n-1 {
+			chunk = size - per*units.ByteSize(n-1)
+		}
+		tcp.Dial(src.Host, srv, chunk, sndOpts, func(st *tcp.Stats) {
+			tr.res.PerStream = append(tr.res.PerStream, st)
+			tr.remaining--
+			if tr.remaining == 0 {
+				tr.res.Done = true
+				tr.res.End = tr.net.Sched.Now()
+				if tr.onDone != nil {
+					r := tr.res
+					tr.onDone(&r)
+				}
+			}
+		})
+	}
+	return tr
+}
+
+// GridFTP is the parallel-stream mover of a properly built DTN.
+type GridFTP struct {
+	// Streams is the parallelism (-p); zero defaults to 4.
+	Streams int
+	// Port overrides the data port; zero uses DefaultDataPort.
+	Port uint16
+}
+
+// ToolName implements Tool.
+func (g GridFTP) ToolName() string { return "gridftp" }
+
+// Start implements Tool.
+func (g GridFTP) Start(src, dst *Node, size units.ByteSize, onDone func(*Result)) *Transfer {
+	streams := g.Streams
+	if streams == 0 {
+		streams = 4
+	}
+	port := g.Port
+	if port == 0 {
+		port = DefaultDataPort
+	}
+	snd := src.Tuning
+	if cap := diskCap(src, dst); cap > 0 {
+		snd.PaceRate = cap / units.BitRate(streams)
+	}
+	return startStreams(g.ToolName(), src, dst, port, size, streams, snd, dst.Tuning, onDone)
+}
+
+// FDT is the Fast Data Transfer tool; at this fidelity it behaves like
+// GridFTP with its own default parallelism.
+type FDT struct {
+	Streams int
+	Port    uint16
+}
+
+// ToolName implements Tool.
+func (f FDT) ToolName() string { return "fdt" }
+
+// Start implements Tool.
+func (f FDT) Start(src, dst *Node, size units.ByteSize, onDone func(*Result)) *Transfer {
+	streams := f.Streams
+	if streams == 0 {
+		streams = 8
+	}
+	port := f.Port
+	if port == 0 {
+		port = 54321
+	}
+	snd := src.Tuning
+	if cap := diskCap(src, dst); cap > 0 {
+		snd.PaceRate = cap / units.BitRate(streams)
+	}
+	return startStreams(f.ToolName(), src, dst, port, size, streams, snd, dst.Tuning, onDone)
+}
+
+// LegacyFTP is a stock single-stream FTP server: 64 KB buffers, no
+// window scaling, regardless of how well the hosts beneath are tuned.
+type LegacyFTP struct{}
+
+// ToolName implements Tool.
+func (LegacyFTP) ToolName() string { return "ftp" }
+
+// Start implements Tool.
+func (LegacyFTP) Start(src, dst *Node, size units.ByteSize, onDone func(*Result)) *Transfer {
+	opts := tcp.Legacy()
+	if cap := diskCap(src, dst); cap > 0 {
+		opts.PaceRate = cap
+	}
+	return startStreams(LegacyFTP{}.ToolName(), src, dst, 21, size, 1, opts, tcp.Legacy(), onDone)
+}
+
+// SCP is single-stream SSH copy. The stock SSH application window caps
+// effective throughput like an unscaled TCP window; the HPN-SSH patches
+// the paper cites (§3.2) remove that cap, leaving the cipher as the
+// remaining application limit.
+type SCP struct {
+	// HPN applies the high-performance patches.
+	HPN bool
+	// CipherRate caps throughput by encryption speed; zero defaults to
+	// 1.6 Gb/s (AES on one core of the era).
+	CipherRate units.BitRate
+}
+
+// ToolName implements Tool.
+func (s SCP) ToolName() string {
+	if s.HPN {
+		return "hpn-scp"
+	}
+	return "scp"
+}
+
+// Start implements Tool.
+func (s SCP) Start(src, dst *Node, size units.ByteSize, onDone func(*Result)) *Transfer {
+	cipher := s.CipherRate
+	if cipher == 0 {
+		cipher = 1600 * units.Mbps
+	}
+	var snd, rcv tcp.Options
+	if s.HPN {
+		snd, rcv = src.Tuning, dst.Tuning
+	} else {
+		snd, rcv = tcp.Legacy(), tcp.Legacy()
+	}
+	snd.PaceRate = cipher
+	if cap := diskCap(src, dst); cap > 0 && cap < snd.PaceRate {
+		snd.PaceRate = cap
+	}
+	return startStreams(s.ToolName(), src, dst, 22, size, 1, snd, rcv, onDone)
+}
+
+// Plan is the analytic expectation for a transfer: which limit binds and
+// the resulting rate and duration.
+type Plan struct {
+	Size       units.ByteSize
+	Bottleneck units.BitRate // path bottleneck link
+	WindowCap  units.BitRate // window/RTT ceiling (0 = unlimited)
+	DiskCap    units.BitRate // storage ceiling (0 = unlimited)
+	Rate       units.BitRate // min of the above
+	Duration   time.Duration
+	Limit      string // "path", "window", or "disk"
+}
+
+// PlanTransfer computes the closed-form expectation for moving size
+// bytes from src to dst with the given tool.
+func PlanTransfer(src, dst *Node, size units.ByteSize, tool Tool) Plan {
+	net := src.Host.Network()
+	p := Plan{
+		Size:       size,
+		Bottleneck: net.PathBottleneck(src.Host.Name(), dst.Host.Name()),
+		DiskCap:    diskCap(src, dst),
+	}
+	rtt := net.PathRTT(src.Host.Name(), dst.Host.Name())
+
+	// Window ceiling: per-stream window times stream count over RTT.
+	streams := 1
+	window := units.ByteSize(0)
+	switch tl := tool.(type) {
+	case GridFTP:
+		streams = tl.Streams
+		if streams == 0 {
+			streams = 4
+		}
+	case FDT:
+		streams = tl.Streams
+		if streams == 0 {
+			streams = 8
+		}
+	case LegacyFTP:
+		window = 64 * units.KiB
+	case SCP:
+		if !tl.HPN {
+			window = 64 * units.KiB
+		}
+		cipher := tl.CipherRate
+		if cipher == 0 {
+			cipher = 1600 * units.Mbps
+		}
+		if p.DiskCap == 0 || cipher < p.DiskCap {
+			p.DiskCap = cipher
+		}
+	}
+	if window > 0 && rtt > 0 {
+		p.WindowCap = units.BitRate(streams) * analytic.WindowLimitedRate(window, rtt)
+	}
+
+	p.Rate, p.Limit = p.Bottleneck, "path"
+	if p.WindowCap > 0 && p.WindowCap < p.Rate {
+		p.Rate, p.Limit = p.WindowCap, "window"
+	}
+	if p.DiskCap > 0 && p.DiskCap < p.Rate {
+		p.Rate, p.Limit = p.DiskCap, "disk"
+	}
+	if p.Rate > 0 {
+		p.Duration = p.Rate.Serialize(size)
+	}
+	return p
+}
+
+// Dataset is a collection of file sizes to move as one job (e.g., the
+// NOAA reforecast: 273 files totalling 239.5 GB).
+type Dataset struct {
+	Name  string
+	Files []units.ByteSize
+}
+
+// Total returns the dataset size.
+func (d Dataset) Total() units.ByteSize {
+	var sum units.ByteSize
+	for _, f := range d.Files {
+		sum += f
+	}
+	return sum
+}
+
+// UniformDataset builds n equal files of the given size.
+func UniformDataset(name string, n int, each units.ByteSize) Dataset {
+	d := Dataset{Name: name}
+	for i := 0; i < n; i++ {
+		d.Files = append(d.Files, each)
+	}
+	return d
+}
+
+// SetResult aggregates a dataset job.
+type SetResult struct {
+	Dataset    string
+	Files      int
+	Size       units.ByteSize
+	Start, End sim.Time
+	Done       bool
+	PerFile    []*Result
+}
+
+// Duration returns the job wall time.
+func (r *SetResult) Duration() time.Duration { return r.End.Sub(r.Start) }
+
+// Throughput returns the job-level rate.
+func (r *SetResult) Throughput() units.BitRate {
+	d := r.Duration()
+	if d <= 0 {
+		return 0
+	}
+	return units.Rate(r.Size, d)
+}
+
+// TransferSet moves a dataset with up to concurrency files in flight,
+// like a Globus Online job (§6.3). onDone fires when the last file
+// completes.
+func TransferSet(src, dst *Node, d Dataset, tool Tool, concurrency int, onDone func(*SetResult)) *SetResult {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	net := src.Host.Network()
+	res := &SetResult{
+		Dataset: d.Name,
+		Files:   len(d.Files),
+		Size:    d.Total(),
+		Start:   net.Sched.Now(),
+	}
+	next := 0
+	inFlight := 0
+	var launch func()
+	var fileDone func(*Result)
+	fileDone = func(r *Result) {
+		res.PerFile = append(res.PerFile, r)
+		inFlight--
+		if next < len(d.Files) {
+			launch()
+			return
+		}
+		if inFlight == 0 {
+			res.Done = true
+			res.End = net.Sched.Now()
+			if onDone != nil {
+				onDone(res)
+			}
+		}
+	}
+	launch = func() {
+		size := d.Files[next]
+		next++
+		inFlight++
+		tool.Start(src, dst, size, fileDone)
+	}
+	for next < len(d.Files) && inFlight < concurrency {
+		launch()
+	}
+	if len(d.Files) == 0 {
+		res.Done = true
+		res.End = net.Sched.Now()
+		if onDone != nil {
+			onDone(res)
+		}
+	}
+	return res
+}

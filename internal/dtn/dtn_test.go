@@ -1,0 +1,220 @@
+package dtn
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/tcp"
+	"repro/internal/units"
+)
+
+// wanPair builds dtn1 -- border1 -- border2 -- dtn2 with the WAN delay
+// between borders.
+func wanPair(rate units.BitRate, oneWay time.Duration, mtu int) (*netsim.Network, *netsim.Host, *netsim.Host) {
+	n := netsim.New(1)
+	d1 := n.NewHost("dtn1")
+	d2 := n.NewHost("dtn2")
+	b1 := n.NewDevice("border1", netsim.DeviceConfig{EgressBuffer: 32 * units.MB})
+	b2 := n.NewDevice("border2", netsim.DeviceConfig{EgressBuffer: 32 * units.MB})
+	n.Connect(d1, b1, netsim.LinkConfig{Rate: rate, Delay: 10 * time.Microsecond, MTU: mtu})
+	n.Connect(b1, b2, netsim.LinkConfig{Rate: rate, Delay: oneWay, MTU: mtu})
+	n.Connect(b2, d2, netsim.LinkConfig{Rate: rate, Delay: 10 * time.Microsecond, MTU: mtu})
+	n.ComputeRoutes()
+	return n, d1, d2
+}
+
+func TestGridFTPParallelStreams(t *testing.T) {
+	n, h1, h2 := wanPair(10*units.Gbps, 10*time.Millisecond, 9000)
+	src := New(h1, Disk{}, tcp.Tuned())
+	dst := New(h2, Disk{}, tcp.Tuned())
+	var res *Result
+	GridFTP{Streams: 4}.Start(src, dst, 500*units.MB, func(r *Result) { res = r })
+	n.RunFor(30 * time.Second)
+	if res == nil || !res.Done {
+		t.Fatal("transfer did not finish")
+	}
+	if res.Streams != 4 || len(res.PerStream) != 4 {
+		t.Errorf("streams = %d/%d, want 4", res.Streams, len(res.PerStream))
+	}
+	var total units.ByteSize
+	for _, st := range res.PerStream {
+		total += st.BytesAcked
+	}
+	if total != 500*units.MB {
+		t.Errorf("streams moved %v, want 500MB", total)
+	}
+	gbps := float64(res.Throughput()) / 1e9
+	if gbps < 4 {
+		t.Errorf("gridftp = %.2f Gbps on clean 10G, want > 4", gbps)
+	}
+}
+
+func TestLegacyFTPTricklesAtWindowCap(t *testing.T) {
+	// NOAA §6.3: FTP with stock buffers across a long path trickles at
+	// single-digit MB/s regardless of link speed. NERSC<->Boulder is
+	// ~25ms RTT: 64KiB/25ms ≈ 21 Mb/s ≈ 2.6 MB/s.
+	n, h1, h2 := wanPair(10*units.Gbps, 12500*time.Microsecond, 1500)
+	src := New(h1, Disk{}, tcp.Tuned())
+	dst := New(h2, Disk{}, tcp.Tuned())
+	var res *Result
+	LegacyFTP{}.Start(src, dst, 20*units.MB, func(r *Result) { res = r })
+	n.RunFor(2 * time.Minute)
+	if res == nil {
+		t.Fatal("transfer did not finish")
+	}
+	mbPerSec := float64(res.Throughput()) / 8 / 1e6
+	if mbPerSec > 3 {
+		t.Errorf("legacy ftp = %.1f MB/s, want trickle (1-3 MB/s)", mbPerSec)
+	}
+	if mbPerSec < 0.5 {
+		t.Errorf("legacy ftp = %.2f MB/s, implausibly low", mbPerSec)
+	}
+}
+
+func TestDiskCapThrottles(t *testing.T) {
+	n, h1, h2 := wanPair(10*units.Gbps, time.Millisecond, 9000)
+	// Disk can only read at 2 Gb/s.
+	src := New(h1, Disk{ReadRate: 2 * units.Gbps}, tcp.Tuned())
+	dst := New(h2, Disk{}, tcp.Tuned())
+	var res *Result
+	GridFTP{Streams: 4}.Start(src, dst, 250*units.MB, func(r *Result) { res = r })
+	n.RunFor(30 * time.Second)
+	if res == nil {
+		t.Fatal("transfer did not finish")
+	}
+	gbps := float64(res.Throughput()) / 1e9
+	if gbps > 2.2 {
+		t.Errorf("disk-capped transfer = %.2f Gbps, want <= 2", gbps)
+	}
+	if gbps < 1.5 {
+		t.Errorf("disk-capped transfer = %.2f Gbps, want near 2", gbps)
+	}
+}
+
+func TestSCPCipherCapAndHPN(t *testing.T) {
+	// Separate networks: a host runs either stock sshd or hpn-sshd on
+	// port 22, never both.
+	run := func(tool SCP) *Result {
+		n, h1, h2 := wanPair(10*units.Gbps, 5*time.Millisecond, 1500)
+		src := New(h1, Disk{}, tcp.Tuned())
+		dst := New(h2, Disk{}, tcp.Tuned())
+		var res *Result
+		tool.Start(src, dst, 20*units.MB, func(r *Result) { res = r })
+		n.RunFor(2 * time.Minute)
+		return res
+	}
+	plain := run(SCP{})
+	hpn := run(SCP{HPN: true})
+	if plain == nil || hpn == nil {
+		t.Fatal("transfers did not finish")
+	}
+	// Stock scp is window-capped (~52 Mb/s at 10ms); HPN unlocks it up
+	// to the cipher rate.
+	if float64(hpn.Throughput()) < 3*float64(plain.Throughput()) {
+		t.Errorf("hpn-scp %.0f Mbps vs scp %.0f Mbps: want >= 3x",
+			float64(hpn.Throughput())/1e6, float64(plain.Throughput())/1e6)
+	}
+	if float64(hpn.Throughput()) > 1.7e9 {
+		t.Errorf("hpn-scp = %.2f Gbps, want cipher-capped ~1.6", float64(hpn.Throughput())/1e9)
+	}
+}
+
+func TestPlanMatchesSimulationRegimes(t *testing.T) {
+	n, h1, h2 := wanPair(10*units.Gbps, 12500*time.Microsecond, 1500)
+	src := New(h1, Disk{}, tcp.Tuned())
+	dst := New(h2, Disk{}, tcp.Tuned())
+
+	// Window-limited: legacy FTP.
+	p := PlanTransfer(src, dst, 100*units.MB, LegacyFTP{})
+	if p.Limit != "window" {
+		t.Errorf("ftp plan limit = %q, want window", p.Limit)
+	}
+	if mb := float64(p.Rate) / 8 / 1e6; mb < 2 || mb > 3.5 {
+		t.Errorf("ftp plan rate = %.1f MB/s, want ~2.6", mb)
+	}
+
+	// Path-limited: gridftp on clean path.
+	p2 := PlanTransfer(src, dst, 100*units.MB, GridFTP{Streams: 4})
+	if p2.Limit != "path" || p2.Rate != 10*units.Gbps {
+		t.Errorf("gridftp plan = %+v, want path-limited at 10G", p2)
+	}
+
+	// Disk-limited.
+	src.Disk.ReadRate = units.Gbps
+	p3 := PlanTransfer(src, dst, 100*units.MB, GridFTP{})
+	if p3.Limit != "disk" || p3.Rate != units.Gbps {
+		t.Errorf("disk plan = %+v", p3)
+	}
+	if p3.Duration != 800*time.Millisecond {
+		t.Errorf("plan duration = %v, want 800ms", p3.Duration)
+	}
+	_ = n
+}
+
+func TestTransferSetConcurrency(t *testing.T) {
+	n, h1, h2 := wanPair(10*units.Gbps, time.Millisecond, 9000)
+	src := New(h1, Disk{}, tcp.Tuned())
+	dst := New(h2, Disk{}, tcp.Tuned())
+	ds := UniformDataset("test", 10, 10*units.MB)
+	if ds.Total() != 100*units.MB {
+		t.Fatalf("dataset total = %v", ds.Total())
+	}
+	var res *SetResult
+	TransferSet(src, dst, ds, GridFTP{Streams: 2}, 3, func(r *SetResult) { res = r })
+	n.RunFor(60 * time.Second)
+	if res == nil || !res.Done {
+		t.Fatal("set did not finish")
+	}
+	if res.Files != 10 || len(res.PerFile) != 10 {
+		t.Errorf("files = %d/%d, want 10", res.Files, len(res.PerFile))
+	}
+	if res.Size != 100*units.MB {
+		t.Errorf("size = %v", res.Size)
+	}
+	if res.Throughput() <= 0 || res.Duration() <= 0 {
+		t.Error("aggregate stats missing")
+	}
+}
+
+func TestTransferSetEmpty(t *testing.T) {
+	n, h1, h2 := wanPair(units.Gbps, time.Millisecond, 1500)
+	src := New(h1, Disk{}, tcp.Tuned())
+	dst := New(h2, Disk{}, tcp.Tuned())
+	done := false
+	TransferSet(src, dst, Dataset{Name: "empty"}, GridFTP{}, 4, func(*SetResult) { done = true })
+	n.Run()
+	if !done {
+		t.Error("empty set should complete immediately")
+	}
+}
+
+func TestResultSnapshotInProgress(t *testing.T) {
+	n, h1, h2 := wanPair(units.Gbps, time.Millisecond, 1500)
+	src := New(h1, Disk{}, tcp.Tuned())
+	dst := New(h2, Disk{}, tcp.Tuned())
+	tr := GridFTP{}.Start(src, dst, 100*units.MB, nil)
+	n.RunFor(50 * time.Millisecond)
+	r := tr.Result()
+	if r.Done {
+		t.Error("should be in progress")
+	}
+	if r.Duration() != 50*time.Millisecond {
+		t.Errorf("duration = %v", r.Duration())
+	}
+	if r.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestFDTDefaults(t *testing.T) {
+	n, h1, h2 := wanPair(10*units.Gbps, time.Millisecond, 9000)
+	src := New(h1, Disk{}, tcp.Tuned())
+	dst := New(h2, Disk{}, tcp.Tuned())
+	var res *Result
+	FDT{}.Start(src, dst, 80*units.MB, func(r *Result) { res = r })
+	n.RunFor(30 * time.Second)
+	if res == nil || res.Streams != 8 || res.Tool != "fdt" {
+		t.Fatalf("fdt result = %+v", res)
+	}
+}

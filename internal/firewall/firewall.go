@@ -1,0 +1,225 @@
+// Package firewall models the enterprise firewall appliance whose
+// pathologies motivate the Science DMZ (§2, §5, §6.2, §6.3).
+//
+// Two structural properties of real firewalls are reproduced, not
+// approximated by a throughput fudge factor:
+//
+//  1. Internal fan-in of slow inspection processors. A firewall markets
+//     "10G aggregate" by ganging N processors that each inspect at a
+//     fraction of line rate, hashing flows across them. Business traffic
+//     (thousands of slow flows) spreads nicely; a single fast science
+//     flow lands on ONE processor, whose small input buffer overflows
+//     whenever the sending host bursts at line rate — the paper's §5
+//     explanation of why firewalls break TCP at high speed.
+//
+//  2. TCP option sanitization. "Sequence checking" style deep inspection
+//     rewrites TCP headers; the Penn State case (§6.2) hinged on a
+//     firewall clearing the RFC 1323 window-scale option from SYNs,
+//     silently capping every connection's window at 64 KB.
+//
+// A Firewall is a netsim.Node and netsim.Router, so it drops into any
+// topology exactly like a switch would.
+package firewall
+
+import (
+	"hash/fnv"
+	"time"
+
+	"repro/internal/acl"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Config describes a firewall appliance.
+type Config struct {
+	// Processors is the number of parallel inspection engines. Zero
+	// defaults to 8.
+	Processors int
+
+	// ProcRate is each engine's inspection rate. Zero defaults to
+	// 1.25 Gb/s (8 engines x 1.25G = "10G aggregate" marketing).
+	ProcRate units.BitRate
+
+	// InputBuffer is each engine's input queue in bytes. Zero defaults
+	// to 256 KB — adequate for business flows, fatal for line-rate
+	// bursts.
+	InputBuffer units.ByteSize
+
+	// SequenceChecking enables TCP header sanitization, which strips the
+	// window-scale option from SYN/SYN-ACK segments (the §6.2 bug).
+	SequenceChecking bool
+
+	// SessionSetup is extra latency charged to the first packet of each
+	// new session (policy lookup, session-table insert).
+	SessionSetup time.Duration
+
+	// Rules is the firewall policy; nil permits everything. Unlike ACLs,
+	// rule evaluation happens after the inspection-engine queue, so even
+	// permitted traffic pays the processing cost.
+	Rules *acl.List
+}
+
+func (c Config) withDefaults() Config {
+	if c.Processors == 0 {
+		c.Processors = 8
+	}
+	if c.ProcRate == 0 {
+		c.ProcRate = 1250 * units.Mbps
+	}
+	if c.InputBuffer == 0 {
+		c.InputBuffer = 256 * units.KB
+	}
+	return c
+}
+
+// Counters is the statistics view an administrator would see.
+type Counters struct {
+	Inspected    uint64 // packets fully processed
+	BufferDrops  uint64 // packets dropped at engine input buffers
+	PolicyDrops  uint64 // packets denied by rules
+	Sessions     int    // sessions created
+	OptionsFixed uint64 // SYN options rewritten by sequence checking
+}
+
+type processor struct {
+	fw        *Firewall
+	queue     []*netsim.Packet
+	queueSize units.ByteSize
+	busy      bool
+}
+
+// Firewall is a stateful inspection appliance between two or more ports.
+type Firewall struct {
+	netsim.NodeBase
+
+	Config Config
+	Stats  Counters
+
+	net      *netsim.Network
+	fib      map[string]*netsim.Port
+	procs    []*processor
+	sessions map[netsim.FlowKey]sim.Time // canonical flow -> created
+
+	// Bypass, when set, skips inspection entirely for matching packets —
+	// installed by the SDN controller for verified large flows (§7.3).
+	Bypass func(*netsim.Packet) bool
+}
+
+// New creates a firewall node in the network.
+func New(net *netsim.Network, name string, cfg Config) *Firewall {
+	cfg = cfg.withDefaults()
+	fw := &Firewall{
+		Config:   cfg,
+		net:      net,
+		fib:      make(map[string]*netsim.Port),
+		sessions: make(map[netsim.FlowKey]sim.Time),
+	}
+	fw.Init(name)
+	for i := 0; i < cfg.Processors; i++ {
+		fw.procs = append(fw.procs, &processor{fw: fw})
+	}
+	net.Register(name, fw)
+	return fw
+}
+
+// SetRoute implements netsim.Router.
+func (f *Firewall) SetRoute(dst string, out *netsim.Port) { f.fib[dst] = out }
+
+// RouteTo implements netsim.Router.
+func (f *Firewall) RouteTo(dst string) *netsim.Port { return f.fib[dst] }
+
+// canonical returns a direction-independent session key so both
+// directions of a flow share one session and one processor.
+func canonical(k netsim.FlowKey) netsim.FlowKey {
+	r := k.Reverse()
+	if r.Src < k.Src || (r.Src == k.Src && r.SrcPort < k.SrcPort) {
+		return r
+	}
+	return k
+}
+
+// Receive implements netsim.Node: hash the flow to an inspection engine
+// and queue the packet there.
+func (f *Firewall) Receive(pkt *netsim.Packet, in *netsim.Port) {
+	pkt.Hops++
+	if f.Bypass != nil && f.Bypass(pkt) {
+		f.forward(pkt)
+		return
+	}
+	key := canonical(pkt.Flow)
+	h := fnv.New32a()
+	h.Write([]byte(key.Src))
+	h.Write([]byte(key.Dst))
+	h.Write([]byte{byte(key.SrcPort >> 8), byte(key.SrcPort), byte(key.DstPort >> 8), byte(key.DstPort)})
+	p := f.procs[h.Sum32()%uint32(len(f.procs))]
+
+	if p.queueSize+pkt.Size > f.Config.InputBuffer {
+		f.Stats.BufferDrops++
+		f.net.CountDrop(pkt, "firewall buffer overflow at "+f.Name())
+		return
+	}
+	p.queue = append(p.queue, pkt)
+	p.queueSize += pkt.Size
+	if !p.busy {
+		p.serveNext()
+	}
+}
+
+func (p *processor) serveNext() {
+	if len(p.queue) == 0 {
+		p.busy = false
+		return
+	}
+	p.busy = true
+	pkt := p.queue[0]
+	p.queue = p.queue[1:]
+	p.queueSize -= pkt.Size
+	d := p.fw.Config.ProcRate.Serialize(pkt.Size)
+	if extra := p.fw.sessionDelay(pkt); extra > 0 {
+		d += extra
+	}
+	p.fw.net.Sched.After(d, func() {
+		p.fw.finish(pkt)
+		p.serveNext()
+	})
+}
+
+// sessionDelay charges session setup for the first packet of a new flow
+// and registers the session.
+func (f *Firewall) sessionDelay(pkt *netsim.Packet) time.Duration {
+	key := canonical(pkt.Flow)
+	if _, ok := f.sessions[key]; ok {
+		return 0
+	}
+	f.sessions[key] = f.net.Sched.Now()
+	f.Stats.Sessions++
+	return f.Config.SessionSetup
+}
+
+// finish applies policy and sanitization after inspection, then forwards.
+func (f *Firewall) finish(pkt *netsim.Packet) {
+	f.Stats.Inspected++
+	if f.Config.Rules != nil && !f.Config.Rules.Check(pkt, nil) {
+		f.Stats.PolicyDrops++
+		f.net.CountDrop(pkt, "firewall policy at "+f.Name())
+		return
+	}
+	if f.Config.SequenceChecking && pkt.Flags.Has(netsim.FlagSYN) && pkt.WScale != netsim.NoWScale {
+		pkt.WScale = netsim.NoWScale
+		f.Stats.OptionsFixed++
+	}
+	f.forward(pkt)
+}
+
+func (f *Firewall) forward(pkt *netsim.Packet) {
+	out, ok := f.fib[pkt.Flow.Dst]
+	if !ok {
+		f.net.CountDrop(pkt, "no route at "+f.Name()+" to "+pkt.Flow.Dst)
+		return
+	}
+	out.Send(pkt)
+}
+
+// SessionCount returns the number of active sessions in the state table.
+func (f *Firewall) SessionCount() int { return len(f.sessions) }

@@ -1,0 +1,246 @@
+package netsim
+
+import (
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Filter inspects (and may rewrite) packets traversing a device, deciding
+// whether each is forwarded. Router ACLs (internal/acl), SDN flow tables
+// (internal/sdn) and option-sanitizing middleboxes implement it.
+type Filter interface {
+	// FilterName identifies the filter in drop accounting.
+	FilterName() string
+	// Check returns false to drop the packet. It may mutate the packet
+	// (e.g., strip TCP options) before forwarding.
+	Check(pkt *Packet, in *Port) bool
+}
+
+// Forwarder overrides destination-based routing for matching packets.
+// The SDN package installs one to steer flows (firewall bypass, IDS
+// redirection). Returning ok=false falls through to the routing table.
+type Forwarder interface {
+	Route(pkt *Packet, in *Port) (out *Port, ok bool)
+}
+
+// DeviceConfig describes a router or switch.
+type DeviceConfig struct {
+	// FwdLatency is per-packet forwarding latency (lookup + fabric).
+	FwdLatency time.Duration
+
+	// EgressBuffer is the per-port output queue capacity in bytes. The
+	// paper's "inadequate buffering" devices have this set small. The
+	// zero value defaults to 1 MB.
+	EgressBuffer units.ByteSize
+
+	// CutThrough selects cut-through switching: forwarding begins after
+	// the header arrives. Under sustained load such a device may degrade
+	// to a store-and-forward fallback path — the §6.1 University of
+	// Colorado pathology — where packets are fully received and
+	// forwarded by a slow shared engine with a small packet pool.
+	CutThrough bool
+
+	// SFRate is the degraded-mode forwarding rate of the shared
+	// store-and-forward engine. Zero defaults to 4 Gb/s: far below the
+	// fabric, the §3.3 "forwarding with the management CPU" class of
+	// soft failure.
+	SFRate units.BitRate
+
+	// SFBuffer is the degraded-mode shared packet pool; arrivals beyond
+	// it are dropped. Zero defaults to 256 KB.
+	SFBuffer units.ByteSize
+
+	// ModeSwitchUtilization is the fraction of any egress port's
+	// utilization (over 100 ms windows) at which a cut-through device
+	// degrades. The zero value defaults to 0.5. Degradation is sticky —
+	// the §6.1 fault needed a vendor fix, not an idle period.
+	ModeSwitchUtilization float64
+}
+
+// Device is a router or switch: it forwards packets between ports using a
+// destination-based routing table, subject to filters and an optional
+// forwarder override.
+type Device struct {
+	NodeBase
+
+	Config DeviceConfig
+
+	net       *Network
+	fib       map[string]*Port
+	filters   []Filter
+	forwarder Forwarder
+
+	// Degraded reports whether a cut-through device has fallen back to
+	// store-and-forward mode (sticky until ResetMode).
+	Degraded bool
+
+	// SFDrops counts packets dropped at the degraded-mode shared pool.
+	SFDrops uint64
+
+	// FilterDrops counts packets dropped by each filter, keyed by
+	// FilterName.
+	FilterDrops map[string]uint64
+
+	// Forwarded counts packets successfully forwarded.
+	Forwarded uint64
+
+	// Degraded-mode shared store-and-forward engine state.
+	sfQueue   []*Packet
+	sfBytes   units.ByteSize
+	sfBusy    bool
+	utilCheck sim.Time               // start of current utilization window
+	utilBytes map[int]units.ByteSize // per-port rx+tx bytes at window start
+}
+
+// AddFilter appends a filter to the device's chain. Filters run in order;
+// the first to reject wins.
+func (d *Device) AddFilter(f Filter) { d.filters = append(d.filters, f) }
+
+// Filters returns the installed filter chain.
+func (d *Device) Filters() []Filter { return d.filters }
+
+// SetForwarder installs a routing override (e.g., an SDN flow table).
+func (d *Device) SetForwarder(f Forwarder) { d.forwarder = f }
+
+// SetRoute implements Router: it pins the egress port for a destination
+// host, overriding computed routes.
+func (d *Device) SetRoute(dst string, out *Port) { d.fib[dst] = out }
+
+// RouteTo implements Router.
+func (d *Device) RouteTo(dst string) *Port { return d.fib[dst] }
+
+// ResetMode returns a degraded cut-through device to cut-through mode —
+// modelling the vendor fix in §6.1. Packets already in the degraded
+// engine drain normally.
+func (d *Device) ResetMode() {
+	d.Degraded = false
+	d.utilCheck = 0
+	d.utilBytes = nil
+}
+
+// Receive implements Node: filter, route, and forward the packet.
+func (d *Device) Receive(pkt *Packet, in *Port) {
+	pkt.Hops++
+	for _, f := range d.filters {
+		if !f.Check(pkt, in) {
+			d.FilterDrops[f.FilterName()]++
+			d.net.countDrop(pkt, "filtered by "+f.FilterName()+" at "+d.Name())
+			return
+		}
+	}
+
+	if d.Config.CutThrough {
+		d.checkModeSwitch()
+		if d.Degraded {
+			d.sfEnqueue(pkt)
+			return
+		}
+	}
+	d.forward(pkt)
+}
+
+func (d *Device) forward(pkt *Packet) {
+	var out *Port
+	if d.forwarder != nil {
+		if p, ok := d.forwarder.Route(pkt, nil); ok {
+			out = p
+		}
+	}
+	if out == nil {
+		p, ok := d.fib[pkt.Flow.Dst]
+		if !ok {
+			d.net.countDrop(pkt, "no route at "+d.Name()+" to "+pkt.Flow.Dst)
+			return
+		}
+		out = p
+	}
+	d.Forwarded++
+	if delay := d.Config.FwdLatency; delay > 0 {
+		d.net.Sched.After(delay, func() { out.Send(pkt) })
+		return
+	}
+	out.Send(pkt)
+}
+
+// sfEnqueue runs the degraded store-and-forward path: one shared slow
+// engine with a small packet pool.
+func (d *Device) sfEnqueue(pkt *Packet) {
+	buf := d.Config.SFBuffer
+	if buf == 0 {
+		buf = 256 * units.KB
+	}
+	if d.sfBytes+pkt.Size > buf {
+		d.SFDrops++
+		d.net.countDrop(pkt, "store-and-forward pool overflow at "+d.Name())
+		return
+	}
+	d.sfQueue = append(d.sfQueue, pkt)
+	d.sfBytes += pkt.Size
+	if !d.sfBusy {
+		d.sfServe()
+	}
+}
+
+func (d *Device) sfServe() {
+	if len(d.sfQueue) == 0 {
+		d.sfBusy = false
+		return
+	}
+	d.sfBusy = true
+	pkt := d.sfQueue[0]
+	d.sfQueue = d.sfQueue[1:]
+	d.sfBytes -= pkt.Size
+	rate := d.Config.SFRate
+	if rate == 0 {
+		rate = 4 * units.Gbps
+	}
+	d.net.Sched.After(rate.Serialize(pkt.Size), func() {
+		d.forward(pkt)
+		d.sfServe()
+	})
+}
+
+// checkModeSwitch degrades a cut-through device once any egress port's
+// utilization over a 100 ms window exceeds the threshold — "under high
+// load, the switch changed from cut-through mode to store-and-forward
+// mode" (§6.1). The degradation is sticky: only a vendor fix (ResetMode
+// with a sane configuration) restores loss-free service.
+func (d *Device) checkModeSwitch() {
+	if d.Degraded {
+		return
+	}
+	const window = 100 * time.Millisecond
+	now := d.net.Sched.Now()
+	snapshot := func() {
+		d.utilCheck = now
+		if d.utilBytes == nil {
+			d.utilBytes = make(map[int]units.ByteSize, len(d.Ports()))
+		}
+		for _, p := range d.Ports() {
+			d.utilBytes[p.Index] = p.Counters.RxBytes + p.Counters.TxBytes
+		}
+	}
+	if d.utilBytes == nil {
+		snapshot()
+		return
+	}
+	elapsed := now.Sub(d.utilCheck)
+	if elapsed < window {
+		return
+	}
+	threshold := d.Config.ModeSwitchUtilization
+	if threshold <= 0 {
+		threshold = 0.5
+	}
+	for _, p := range d.Ports() {
+		moved := p.Counters.RxBytes + p.Counters.TxBytes - d.utilBytes[p.Index]
+		util := float64(moved) * 8 / float64(p.Rate()) / elapsed.Seconds()
+		if util > threshold {
+			d.Degraded = true
+			return
+		}
+	}
+	snapshot()
+}

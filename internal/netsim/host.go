@@ -1,0 +1,133 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/units"
+)
+
+// Handler consumes packets delivered to a host transport port. The tcp
+// package and measurement tools implement it.
+type Handler interface {
+	Deliver(pkt *Packet)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(pkt *Packet)
+
+// Deliver implements Handler.
+func (f HandlerFunc) Deliver(pkt *Packet) { f(pkt) }
+
+// Host is an end system: it originates and terminates flows and
+// demultiplexes arriving packets to registered transport handlers by
+// destination port, per protocol.
+type Host struct {
+	NodeBase
+
+	net      *Network
+	handlers map[protoPort]Handler
+	fib      map[string]*Port // destination host -> egress port
+	nextPort uint16
+
+	// Dropped counts packets that arrived for a port with no handler.
+	Dropped uint64
+}
+
+type protoPort struct {
+	proto Proto
+	port  uint16
+}
+
+// Network returns the network the host belongs to.
+func (h *Host) Network() *Network { return h.net }
+
+// Bind registers a handler for a transport port. It panics if the port is
+// taken — two services binding the same port is a configuration bug.
+func (h *Host) Bind(proto Proto, port uint16, fn Handler) {
+	key := protoPort{proto, port}
+	if _, ok := h.handlers[key]; ok {
+		panic(fmt.Sprintf("netsim: %s port %s/%d already bound", h.Name(), proto, port))
+	}
+	h.handlers[key] = fn
+}
+
+// Unbind removes a handler, freeing the port.
+func (h *Host) Unbind(proto Proto, port uint16) {
+	delete(h.handlers, protoPort{proto, port})
+}
+
+// EphemeralPort returns a fresh local port number for outgoing flows.
+func (h *Host) EphemeralPort() uint16 {
+	for {
+		h.nextPort++
+		if h.nextPort < 49152 {
+			h.nextPort = 49152
+		}
+		if _, ok := h.handlers[protoPort{ProtoTCP, h.nextPort}]; !ok {
+			return h.nextPort
+		}
+	}
+}
+
+// Receive implements Node: demultiplex to the bound handler.
+func (h *Host) Receive(pkt *Packet, _ *Port) {
+	key := protoPort{pkt.Flow.Proto, pkt.Flow.DstPort}
+	if fn, ok := h.handlers[key]; ok {
+		fn.Deliver(pkt)
+		return
+	}
+	h.Dropped++
+	h.net.countDrop(pkt, "no handler on "+h.Name())
+}
+
+// Send stamps and transmits a packet toward its destination via the
+// host's routing table. Packets to unknown destinations are dropped and
+// counted.
+func (h *Host) Send(pkt *Packet) {
+	pkt.ID = h.net.nextPacketID()
+	pkt.SentAt = h.net.Sched.Now()
+	out, ok := h.fib[pkt.Flow.Dst]
+	if !ok {
+		h.net.countDrop(pkt, "no route from "+h.Name()+" to "+pkt.Flow.Dst)
+		return
+	}
+	out.Send(pkt)
+}
+
+// PortBinding names a bound transport service on a host.
+type PortBinding struct {
+	Proto Proto
+	Port  uint16
+}
+
+// BoundPorts returns the host's bound services, sorted — the "application
+// set" a Science DMZ security audit inspects.
+func (h *Host) BoundPorts() []PortBinding {
+	out := make([]PortBinding, 0, len(h.handlers))
+	for k := range h.handlers {
+		out = append(out, PortBinding{Proto: k.proto, Port: k.port})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Proto != out[j].Proto {
+			return out[i].Proto < out[j].Proto
+		}
+		return out[i].Port < out[j].Port
+	})
+	return out
+}
+
+// SetRoute implements Router.
+func (h *Host) SetRoute(dst string, out *Port) { h.fib[dst] = out }
+
+// RouteTo implements Router.
+func (h *Host) RouteTo(dst string) *Port { return h.fib[dst] }
+
+// NICRate returns the line rate of the host's first interface, or zero if
+// the host is unconnected.
+func (h *Host) NICRate() units.BitRate {
+	if len(h.Ports()) == 0 {
+		return 0
+	}
+	return h.Ports()[0].Rate()
+}

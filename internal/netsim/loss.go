@@ -1,0 +1,79 @@
+package netsim
+
+import "math/rand"
+
+// LossModel decides whether the wire corrupts (drops) a packet in transit.
+// Wire loss models the paper's "soft failures" — failing line cards, dirty
+// optics — which, crucially, do not appear in device error counters and
+// are only observable end-to-end (§2.1, §3.3).
+type LossModel interface {
+	// Drop reports whether this packet is lost in transit.
+	Drop(r *rand.Rand, p *Packet) bool
+}
+
+// NoLoss is a clean wire.
+type NoLoss struct{}
+
+// Drop always reports false.
+func (NoLoss) Drop(*rand.Rand, *Packet) bool { return false }
+
+// RandomLoss drops each packet independently with probability P.
+type RandomLoss struct {
+	P float64
+}
+
+// Drop implements LossModel.
+func (l RandomLoss) Drop(r *rand.Rand, _ *Packet) bool {
+	return l.P > 0 && r.Float64() < l.P
+}
+
+// PeriodicLoss drops exactly one packet out of every N, reproducing the
+// failing ESnet line card of §2.1 that dropped 1 of every 22,000 packets.
+// The phase advances per packet, so loss is deterministic given arrival
+// order.
+type PeriodicLoss struct {
+	N     int
+	count int
+}
+
+// Drop implements LossModel.
+func (l *PeriodicLoss) Drop(*rand.Rand, *Packet) bool {
+	if l.N <= 0 {
+		return false
+	}
+	l.count++
+	if l.count >= l.N {
+		l.count = 0
+		return true
+	}
+	return false
+}
+
+// GilbertElliott is a two-state bursty loss model: a Good state with loss
+// probability PGood and a Bad state with loss probability PBad, with
+// per-packet transition probabilities between the states. It models
+// intermittent component faults whose loss arrives in clumps.
+type GilbertElliott struct {
+	PGood, PBad          float64 // loss probability in each state
+	GoodToBad, BadToGood float64 // per-packet transition probabilities
+
+	bad bool
+}
+
+// Drop implements LossModel.
+func (g *GilbertElliott) Drop(r *rand.Rand, _ *Packet) bool {
+	if g.bad {
+		if r.Float64() < g.BadToGood {
+			g.bad = false
+		}
+	} else {
+		if r.Float64() < g.GoodToBad {
+			g.bad = true
+		}
+	}
+	p := g.PGood
+	if g.bad {
+		p = g.PBad
+	}
+	return p > 0 && r.Float64() < p
+}

@@ -1,0 +1,120 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestNoLoss(t *testing.T) {
+	r := sim.NewRand(1)
+	var m NoLoss
+	for i := 0; i < 1000; i++ {
+		if m.Drop(r, nil) {
+			t.Fatal("NoLoss dropped a packet")
+		}
+	}
+}
+
+func TestRandomLossRate(t *testing.T) {
+	r := sim.NewRand(2)
+	m := RandomLoss{P: 0.01}
+	drops := 0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		if m.Drop(r, nil) {
+			drops++
+		}
+	}
+	got := float64(drops) / n
+	if math.Abs(got-0.01) > 0.002 {
+		t.Errorf("loss rate = %v, want ~0.01", got)
+	}
+}
+
+func TestRandomLossZero(t *testing.T) {
+	r := sim.NewRand(3)
+	m := RandomLoss{P: 0}
+	for i := 0; i < 1000; i++ {
+		if m.Drop(r, nil) {
+			t.Fatal("P=0 dropped a packet")
+		}
+	}
+}
+
+func TestPeriodicLossExact(t *testing.T) {
+	// The §2.1 line card: exactly 1 in 22,000.
+	m := &PeriodicLoss{N: 22000}
+	drops := 0
+	const n = 220000
+	for i := 0; i < n; i++ {
+		if m.Drop(nil, nil) {
+			drops++
+		}
+	}
+	if drops != 10 {
+		t.Errorf("drops = %d, want exactly 10", drops)
+	}
+}
+
+func TestPeriodicLossPosition(t *testing.T) {
+	m := &PeriodicLoss{N: 5}
+	var pattern []bool
+	for i := 0; i < 10; i++ {
+		pattern = append(pattern, m.Drop(nil, nil))
+	}
+	for i, dropped := range pattern {
+		want := (i+1)%5 == 0
+		if dropped != want {
+			t.Errorf("packet %d dropped=%v, want %v", i, dropped, want)
+		}
+	}
+}
+
+func TestPeriodicLossDisabled(t *testing.T) {
+	m := &PeriodicLoss{N: 0}
+	for i := 0; i < 100; i++ {
+		if m.Drop(nil, nil) {
+			t.Fatal("N=0 should never drop")
+		}
+	}
+}
+
+func TestGilbertElliottBurstiness(t *testing.T) {
+	r := sim.NewRand(4)
+	m := &GilbertElliott{
+		PGood: 0, PBad: 0.5,
+		GoodToBad: 0.001, BadToGood: 0.1,
+	}
+	const n = 500000
+	drops := 0
+	runs := 0
+	inRun := false
+	for i := 0; i < n; i++ {
+		if m.Drop(r, nil) {
+			drops++
+			if !inRun {
+				runs++
+				inRun = true
+			}
+		} else {
+			inRun = false
+		}
+	}
+	if drops == 0 {
+		t.Fatal("GE model never dropped")
+	}
+	// Bursty: mean drops per loss episode must exceed a Bernoulli
+	// process's (~1.0 at the same rate).
+	meanRun := float64(drops) / float64(runs)
+	if meanRun < 1.2 {
+		t.Errorf("mean run length = %v, want bursty (>1.2)", meanRun)
+	}
+	// Loss rate sanity: stationary bad fraction ~ 0.001/(0.001+0.1) ≈ 1%,
+	// so loss ≈ 0.5%.
+	rate := float64(drops) / n
+	if rate < 0.002 || rate > 0.012 {
+		t.Errorf("GE loss rate = %v, want ~0.005", rate)
+	}
+}

@@ -1,0 +1,379 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Defaults applied when configurations leave fields zero.
+//
+// DefaultHostQueue is effectively unbounded: a real host's transmit path
+// backpressures the application (socket buffers + qdisc) rather than
+// dropping its own packets, so excess in-flight data waits at the NIC.
+// Loss in the simulator therefore happens where it happens in the paper:
+// at mid-path devices with finite buffers, firewalls, and failing links —
+// never silently inside the sending host. Override QueueA/QueueB to model
+// a deliberately lossy host queue.
+const (
+	DefaultMTU          = 1500
+	DefaultHostQueue    = units.ByteSize(1) << 56
+	DefaultDeviceBuffer = 1 * units.MB
+)
+
+// LinkConfig describes a link created by Network.Connect.
+type LinkConfig struct {
+	Rate  units.BitRate
+	Delay time.Duration
+	Loss  LossModel
+	MTU   int // zero defaults to 1500; set 9000 for jumbo-frame paths
+
+	// QueueA / QueueB override the egress buffer at the respective end.
+	// Zero uses the owner's default (DeviceConfig.EgressBuffer for
+	// devices, DefaultHostQueue for hosts).
+	QueueA, QueueB units.ByteSize
+}
+
+// Network owns a simulated topology: the scheduler, nodes, and links.
+type Network struct {
+	Sched *sim.Scheduler
+
+	rng     *rand.Rand
+	nodes   map[string]Node
+	hostSet map[string]*Host
+	links   []*Link
+	nextID  uint64
+
+	// Drops tallies every packet the network destroyed, by reason. It is
+	// experiment bookkeeping, not something devices can see.
+	Drops map[string]uint64
+
+	// DropHook, when set, observes every dropped packet. Tests use it to
+	// assert on loss behaviour.
+	DropHook func(pkt *Packet, reason string)
+}
+
+// New creates an empty network with a deterministic random stream.
+func New(seed int64) *Network {
+	return &Network{
+		Sched:   sim.New(),
+		rng:     sim.NewRand(seed),
+		nodes:   make(map[string]Node),
+		hostSet: make(map[string]*Host),
+		Drops:   make(map[string]uint64),
+	}
+}
+
+// Rand returns the network's random stream, for components that need
+// shared randomness.
+func (n *Network) Rand() *rand.Rand { return n.rng }
+
+func (n *Network) register(name string, node Node) {
+	if _, ok := n.nodes[name]; ok {
+		panic(fmt.Sprintf("netsim: duplicate node name %q", name))
+	}
+	n.nodes[name] = node
+}
+
+// Register adds a custom node (one embedding NodeBase, with Init already
+// called) to the network. Host and Device constructors register
+// automatically; only external node types need this.
+func (n *Network) Register(name string, node Node) { n.register(name, node) }
+
+// CountDrop records a packet destroyed by a custom node, with a
+// human-readable reason. It feeds the Drops map and DropHook.
+func (n *Network) CountDrop(pkt *Packet, reason string) { n.countDrop(pkt, reason) }
+
+// NewHost adds a host to the network.
+func (n *Network) NewHost(name string) *Host {
+	h := &Host{
+		NodeBase: NodeBase{name: name},
+		net:      n,
+		handlers: make(map[protoPort]Handler),
+		fib:      make(map[string]*Port),
+	}
+	n.register(name, h)
+	n.hostSet[name] = h
+	return h
+}
+
+// NewDevice adds a router or switch to the network.
+func (n *Network) NewDevice(name string, cfg DeviceConfig) *Device {
+	if cfg.EgressBuffer == 0 {
+		cfg.EgressBuffer = DefaultDeviceBuffer
+	}
+	d := &Device{
+		NodeBase:    NodeBase{name: name},
+		Config:      cfg,
+		net:         n,
+		fib:         make(map[string]*Port),
+		FilterDrops: make(map[string]uint64),
+	}
+	n.register(name, d)
+	return d
+}
+
+// Node returns a registered node by name, or nil.
+func (n *Network) Node(name string) Node { return n.nodes[name] }
+
+// Host returns a registered host by name, or nil.
+func (n *Network) Host(name string) *Host { return n.hostSet[name] }
+
+// Hosts returns all hosts, sorted by name.
+func (n *Network) Hosts() []*Host {
+	names := make([]string, 0, len(n.hostSet))
+	for name := range n.hostSet {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	hosts := make([]*Host, len(names))
+	for i, name := range names {
+		hosts[i] = n.hostSet[name]
+	}
+	return hosts
+}
+
+// Links returns all links in creation order.
+func (n *Network) Links() []*Link { return n.links }
+
+// Connect joins two nodes with a full-duplex link and returns it.
+func (n *Network) Connect(a, b Node, cfg LinkConfig) *Link {
+	if cfg.MTU == 0 {
+		cfg.MTU = DefaultMTU
+	}
+	if cfg.Rate <= 0 {
+		panic("netsim: Connect requires a positive rate")
+	}
+	l := &Link{Rate: cfg.Rate, Delay: cfg.Delay, Loss: cfg.Loss, MTU: cfg.MTU, net: n}
+	pa := &Port{Owner: a, Link: l, QueueCap: n.defaultQueue(a, cfg.Rate, cfg.QueueA), net: n}
+	pb := &Port{Owner: b, Link: l, QueueCap: n.defaultQueue(b, cfg.Rate, cfg.QueueB), net: n}
+	pa.peer, pb.peer = pb, pa
+	l.A, l.B = pa, pb
+	a.attach(pa)
+	b.attach(pb)
+	n.links = append(n.links, l)
+	return l
+}
+
+func (n *Network) defaultQueue(node Node, rate units.BitRate, override units.ByteSize) units.ByteSize {
+	if override > 0 {
+		return override
+	}
+	d, ok := node.(*Device)
+	if !ok {
+		return DefaultHostQueue
+	}
+	// A port's buffer allocation scales with its rate: a 1G access port
+	// on a deep-buffered chassis does not get the whole 64 MB pool. A
+	// 50 ms-at-line-rate cap keeps low-rate ports from turning into
+	// quarter-second bufferbloat queues while leaving fast science
+	// ports their full depth. Explicit QueueA/QueueB overrides bypass
+	// the cap.
+	buf := d.Config.EgressBuffer
+	if cap := rate.BytesIn(50 * time.Millisecond); cap > 0 && cap < buf {
+		buf = cap
+	}
+	return buf
+}
+
+func (n *Network) nextPacketID() uint64 {
+	n.nextID++
+	return n.nextID
+}
+
+func (n *Network) countDrop(pkt *Packet, reason string) {
+	n.Drops[reason]++
+	if n.DropHook != nil {
+		n.DropHook(pkt, reason)
+	}
+}
+
+// TotalDrops sums all recorded packet drops.
+func (n *Network) TotalDrops() uint64 {
+	var total uint64
+	for _, c := range n.Drops {
+		total += c
+	}
+	return total
+}
+
+// ComputeRoutes fills every node's routing table with shortest-path
+// (hop-count) next hops toward every host, breaking ties by node name so
+// runs are deterministic. Call it after the topology is fully built; it
+// may be called again after topology changes.
+func (n *Network) ComputeRoutes() {
+	type edge struct {
+		neighbor Node
+		local    *Port // port on the near node
+		remote   *Port // port on the neighbor
+	}
+	adj := make(map[string][]edge, len(n.nodes))
+	for _, l := range n.links {
+		an, bn := l.A.Owner, l.B.Owner
+		adj[an.Name()] = append(adj[an.Name()], edge{bn, l.A, l.B})
+		adj[bn.Name()] = append(adj[bn.Name()], edge{an, l.B, l.A})
+	}
+	for name := range adj {
+		es := adj[name]
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].neighbor.Name() != es[j].neighbor.Name() {
+				return es[i].neighbor.Name() < es[j].neighbor.Name()
+			}
+			return es[i].local.Index < es[j].local.Index
+		})
+		adj[name] = es
+	}
+
+	// BFS from each destination host; record, at every reached node, the
+	// port leading one hop closer to the destination.
+	for dstName, dst := range n.hostSet {
+		visited := map[string]bool{dstName: true}
+		queue := []Node{dst}
+		towards := make(map[string]*Port) // node -> egress port toward dst
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, e := range adj[cur.Name()] {
+				if visited[e.neighbor.Name()] {
+					continue
+				}
+				visited[e.neighbor.Name()] = true
+				// From the neighbor, the path to dst goes out e.remote.
+				towards[e.neighbor.Name()] = e.remote
+				queue = append(queue, e.neighbor)
+			}
+		}
+		for nodeName, port := range towards {
+			if r, ok := n.nodes[nodeName].(Router); ok {
+				r.SetRoute(dstName, port)
+			}
+		}
+	}
+}
+
+// Router is implemented by nodes that keep a destination routing table.
+// Host and Device implement it; custom middleboxes (e.g., firewalls)
+// implement it to participate in ComputeRoutes and Path.
+type Router interface {
+	SetRoute(dst string, out *Port)
+	RouteTo(dst string) *Port
+}
+
+// Path returns the node names a packet from src to dst traverses,
+// inclusive of both endpoints, following the installed routing tables.
+// It returns nil if no route exists or a loop is detected.
+func (n *Network) Path(src, dst string) []string {
+	cur := n.nodes[src]
+	if cur == nil || n.nodes[dst] == nil {
+		return nil
+	}
+	path := []string{src}
+	for cur.Name() != dst {
+		if len(path) > MaxHops {
+			return nil
+		}
+		r, ok := cur.(Router)
+		if !ok {
+			return nil
+		}
+		out := r.RouteTo(dst)
+		if out == nil {
+			return nil
+		}
+		cur = out.Peer().Owner
+		path = append(path, cur.Name())
+	}
+	return path
+}
+
+// PathInfo returns the links along the routed path from src to dst, in
+// order, or nil when no path exists.
+func (n *Network) PathInfo(src, dst string) []*Link {
+	if n.nodes[src] == nil || n.nodes[dst] == nil {
+		return nil
+	}
+	var links []*Link
+	cur := n.nodes[src]
+	for cur.Name() != dst {
+		if len(links) > MaxHops {
+			return nil
+		}
+		r, ok := cur.(Router)
+		if !ok {
+			return nil
+		}
+		out := r.RouteTo(dst)
+		if out == nil {
+			return nil
+		}
+		links = append(links, out.Link)
+		cur = out.Peer().Owner
+	}
+	return links
+}
+
+// PathBottleneck returns the lowest link rate on the routed path, or 0
+// when no path exists.
+func (n *Network) PathBottleneck(src, dst string) units.BitRate {
+	links := n.PathInfo(src, dst)
+	if links == nil {
+		return 0
+	}
+	var min units.BitRate
+	for _, l := range links {
+		if min == 0 || l.Rate < min {
+			min = l.Rate
+		}
+	}
+	return min
+}
+
+// PathRTT returns twice the summed propagation delay of the routed path —
+// the base round-trip time, excluding serialization and queueing.
+func (n *Network) PathRTT(src, dst string) time.Duration {
+	links := n.PathInfo(src, dst)
+	var sum time.Duration
+	for _, l := range links {
+		sum += l.Delay
+	}
+	return 2 * sum
+}
+
+// PathMTU returns the smallest MTU along the routed path between two
+// hosts, or zero when no path exists.
+func (n *Network) PathMTU(src, dst string) int {
+	names := n.Path(src, dst)
+	if names == nil {
+		return 0
+	}
+	mtu := 0
+	cur := n.nodes[src]
+	for cur.Name() != dst {
+		r, ok := cur.(Router)
+		if !ok {
+			return 0
+		}
+		out := r.RouteTo(dst)
+		if out == nil {
+			return 0
+		}
+		if mtu == 0 || out.Link.MTU < mtu {
+			mtu = out.Link.MTU
+		}
+		cur = out.Peer().Owner
+	}
+	return mtu
+}
+
+// Run executes the simulation until no events remain.
+func (n *Network) Run() { n.Sched.Run() }
+
+// RunFor advances the simulation by d.
+func (n *Network) RunFor(d time.Duration) { n.Sched.RunFor(d) }
+
+// Now returns the current simulation time.
+func (n *Network) Now() sim.Time { return n.Sched.Now() }

@@ -1,0 +1,37 @@
+package netsim
+
+// Node is anything that terminates links: hosts, routers, switches,
+// firewalls. Concrete nodes embed NodeBase for bookkeeping and implement
+// Receive.
+type Node interface {
+	// Name returns the unique node name within its Network.
+	Name() string
+	// Ports returns the node's attached ports in attachment order.
+	Ports() []*Port
+	// Receive handles a packet arriving on one of the node's ports.
+	Receive(pkt *Packet, in *Port)
+
+	attach(p *Port)
+}
+
+// NodeBase provides the name/port bookkeeping shared by all node types.
+// Custom nodes outside this package (e.g., internal/firewall) embed it,
+// call Init, and register themselves with Network.Register.
+type NodeBase struct {
+	name  string
+	ports []*Port
+}
+
+// Init sets the node name; custom nodes call it before Network.Register.
+func (n *NodeBase) Init(name string) { n.name = name }
+
+// Name implements Node.
+func (n *NodeBase) Name() string { return n.name }
+
+// Ports implements Node.
+func (n *NodeBase) Ports() []*Port { return n.ports }
+
+func (n *NodeBase) attach(p *Port) {
+	p.Index = len(n.ports)
+	n.ports = append(n.ports, p)
+}

@@ -1,0 +1,208 @@
+package netsim
+
+import (
+	"time"
+
+	"repro/internal/units"
+)
+
+// Dir distinguishes the direction of a packet seen by a tap.
+type Dir uint8
+
+// Tap directions.
+const (
+	DirTx Dir = iota
+	DirRx
+)
+
+// TapFunc observes packets passively at a port. Taps never modify or drop
+// packets; they model optical taps / SPAN ports feeding IDS and passive
+// measurement (§3.4, §7.3).
+type TapFunc func(p *Packet, d Dir)
+
+// PortCounters are the SNMP-style statistics a device exposes for a port.
+// WireDrops caused by LossModels deliberately do NOT appear here: the
+// paper's point is that such soft failures are invisible to device error
+// monitoring and only detectable by end-to-end active measurement.
+type PortCounters struct {
+	TxPackets, RxPackets uint64
+	TxBytes, RxBytes     units.ByteSize
+
+	// QueueDrops counts packets dropped on egress because the output
+	// queue was full. These are visible to device monitoring.
+	QueueDrops     uint64
+	QueueDropBytes units.ByteSize
+}
+
+// Port is one end of a Link, owned by a Node. Egress is modelled as a
+// byte-limited drop-tail queue drained at link rate.
+type Port struct {
+	Owner Node
+	Link  *Link
+	Index int // port number on the owning node
+
+	// QueueCap is the egress buffer size in bytes. Devices with
+	// "inadequate buffering" (§5) simply have a small value here.
+	QueueCap units.ByteSize
+
+	Counters PortCounters
+
+	peer         *Port
+	queue        []*Packet
+	prioQueue    []*Packet // strict-priority lane for circuit traffic
+	queueBytes   units.ByteSize
+	prioBytes    units.ByteSize
+	transmitting bool
+	busy         time.Duration // cumulative serialization time
+	taps         []TapFunc
+
+	net *Network
+}
+
+// Peer returns the port at the other end of the link.
+func (p *Port) Peer() *Port { return p.peer }
+
+// Rate returns the link rate seen by this port.
+func (p *Port) Rate() units.BitRate { return p.Link.Rate }
+
+// AddTap attaches a passive observer to this port.
+func (p *Port) AddTap(t TapFunc) { p.taps = append(p.taps, t) }
+
+// QueueLen returns the number of packets waiting in the egress queues,
+// excluding the one being transmitted.
+func (p *Port) QueueLen() int { return len(p.queue) + len(p.prioQueue) }
+
+// QueueBytes returns the bytes waiting in both egress lanes.
+func (p *Port) QueueBytes() units.ByteSize { return p.queueBytes + p.prioBytes }
+
+// BusyTime returns cumulative transmission time, from which utilization
+// over an interval can be derived.
+func (p *Port) BusyTime() time.Duration { return p.busy }
+
+// Send transmits the packet out this port, queueing it if the port is
+// busy and dropping it if the egress buffer is full.
+func (p *Port) Send(pkt *Packet) {
+	if pkt.Hops >= MaxHops {
+		p.net.countDrop(pkt, "max hops exceeded at "+p.Owner.Name())
+		return
+	}
+	if p.transmitting {
+		// Each lane has its own buffer budget, as hardware priority
+		// queues do: bulk best-effort backlog must not starve the
+		// priority lane of buffer space.
+		if pkt.Priority {
+			if p.prioBytes+pkt.Size > p.QueueCap {
+				p.dropForQueue(pkt)
+				return
+			}
+			p.prioQueue = append(p.prioQueue, pkt)
+			p.prioBytes += pkt.Size
+		} else {
+			if p.queueBytes+pkt.Size > p.QueueCap {
+				p.dropForQueue(pkt)
+				return
+			}
+			p.queue = append(p.queue, pkt)
+			p.queueBytes += pkt.Size
+		}
+		return
+	}
+	p.startTx(pkt)
+}
+
+func (p *Port) dropForQueue(pkt *Packet) {
+	p.Counters.QueueDrops++
+	p.Counters.QueueDropBytes += pkt.Size
+	p.net.countDrop(pkt, "queue overflow at "+p.Owner.Name())
+}
+
+func (p *Port) startTx(pkt *Packet) {
+	p.transmitting = true
+	d := p.Link.Rate.Serialize(pkt.Size)
+	p.busy += d
+	p.net.Sched.After(d, func() { p.finishTx(pkt) })
+}
+
+func (p *Port) finishTx(pkt *Packet) {
+	p.Counters.TxPackets++
+	p.Counters.TxBytes += pkt.Size
+	for _, t := range p.taps {
+		t(pkt, DirTx)
+	}
+	p.Link.carry(p, pkt)
+
+	switch {
+	case len(p.prioQueue) > 0:
+		next := p.prioQueue[0]
+		p.prioQueue = p.prioQueue[1:]
+		p.prioBytes -= next.Size
+		p.startTx(next)
+	case len(p.queue) > 0:
+		next := p.queue[0]
+		p.queue = p.queue[1:]
+		p.queueBytes -= next.Size
+		p.startTx(next)
+	default:
+		p.transmitting = false
+	}
+}
+
+func (p *Port) deliver(pkt *Packet) {
+	p.Counters.RxPackets++
+	p.Counters.RxBytes += pkt.Size
+	for _, t := range p.taps {
+		t(pkt, DirRx)
+	}
+	p.Owner.Receive(pkt, p)
+}
+
+// Link is a full-duplex wire between two ports, with a propagation delay
+// and an optional loss model representing failing hardware in the path.
+type Link struct {
+	A, B  *Port
+	Rate  units.BitRate
+	Delay time.Duration
+	Loss  LossModel
+	MTU   int
+
+	// WireDrops counts packets corrupted in transit by the loss model.
+	// This counter exists for experiment bookkeeping only — it is the
+	// ground truth that device SNMP counters (PortCounters) do not see.
+	WireDrops uint64
+
+	// down marks a hard failure (fiber cut, pulled optic). Unlike soft
+	// failures, hard failures ARE visible to device monitoring: both
+	// ends report loss of link via Down().
+	down bool
+
+	net *Network
+}
+
+// SetDown cuts or restores the link. A down link destroys everything in
+// transit on it; this is the "hard failure" of §3.3 that network
+// management systems catch easily — in contrast to the soft failures
+// only active measurement finds.
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// Down reports link status — the signal an SNMP poller sees immediately.
+func (l *Link) Down() bool { return l.down }
+
+// carry moves a fully serialized packet across the wire from one port to
+// its peer, applying corruption loss and propagation delay.
+func (l *Link) carry(from *Port, pkt *Packet) {
+	if l.down {
+		l.net.countDrop(pkt, "link down: "+l.describe())
+		return
+	}
+	if l.Loss != nil && l.Loss.Drop(l.net.rng, pkt) {
+		l.WireDrops++
+		l.net.countDrop(pkt, "wire loss on "+l.describe())
+		return
+	}
+	to := from.peer
+	l.net.Sched.After(l.Delay, func() { to.deliver(pkt) })
+}
+
+func (l *Link) describe() string {
+	return l.A.Owner.Name() + "<->" + l.B.Owner.Name()
+}

@@ -1,0 +1,223 @@
+package perfsonar
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// PathKey identifies a measured direction between two hosts.
+type PathKey struct {
+	Src, Dst string
+}
+
+func (k PathKey) String() string { return k.Src + ">" + k.Dst }
+
+// Kind distinguishes measurement types in the archive.
+type Kind uint8
+
+// Measurement kinds.
+const (
+	KindLoss       Kind = iota // OWAMP: loss fraction + mean one-way delay
+	KindThroughput             // BWCTL: achieved TCP throughput
+)
+
+func (k Kind) String() string {
+	if k == KindLoss {
+		return "loss"
+	}
+	return "throughput"
+}
+
+// Measurement is one archived result.
+type Measurement struct {
+	At   sim.Time
+	Path PathKey
+	Kind Kind
+
+	Loss       float64
+	Delay      time.Duration
+	Throughput units.BitRate
+}
+
+func (m Measurement) String() string {
+	switch m.Kind {
+	case KindLoss:
+		return fmt.Sprintf("%v %s loss=%.4f%% delay=%v", m.At, m.Path, m.Loss*100, m.Delay)
+	default:
+		return fmt.Sprintf("%v %s throughput=%v", m.At, m.Path, m.Throughput)
+	}
+}
+
+// Archive is the measurement store (the "measurement archive" of a
+// perfSONAR deployment). Subscribers receive every measurement as it is
+// published — the hook the Alerter uses.
+type Archive struct {
+	byPath      map[PathKey][]Measurement
+	subscribers []func(Measurement)
+}
+
+// NewArchive creates an empty archive.
+func NewArchive() *Archive {
+	return &Archive{byPath: make(map[PathKey][]Measurement)}
+}
+
+// Add publishes a measurement.
+func (a *Archive) Add(m Measurement) {
+	a.byPath[m.Path] = append(a.byPath[m.Path], m)
+	for _, fn := range a.subscribers {
+		fn(m)
+	}
+}
+
+// Subscribe registers a callback invoked for every new measurement.
+func (a *Archive) Subscribe(fn func(Measurement)) {
+	a.subscribers = append(a.subscribers, fn)
+}
+
+// Query returns measurements for a path and kind at or after since, in
+// time order.
+func (a *Archive) Query(path PathKey, kind Kind, since sim.Time) []Measurement {
+	var out []Measurement
+	for _, m := range a.byPath[path] {
+		if m.Kind == kind && m.At >= since {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Latest returns the most recent measurement of the kind for the path.
+func (a *Archive) Latest(path PathKey, kind Kind) (Measurement, bool) {
+	ms := a.byPath[path]
+	for i := len(ms) - 1; i >= 0; i-- {
+		if ms[i].Kind == kind {
+			return ms[i], true
+		}
+	}
+	return Measurement{}, false
+}
+
+// Paths returns every path with data, sorted.
+func (a *Archive) Paths() []PathKey {
+	out := make([]PathKey, 0, len(a.byPath))
+	for k := range a.byPath {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	return out
+}
+
+// MeanLoss returns the average measured loss on a path since the given
+// time, and whether any loss data existed.
+func (a *Archive) MeanLoss(path PathKey, since sim.Time) (float64, bool) {
+	ms := a.Query(path, KindLoss, since)
+	if len(ms) == 0 {
+		return 0, false
+	}
+	sum := 0.0
+	for _, m := range ms {
+		sum += m.Loss
+	}
+	return sum / float64(len(ms)), true
+}
+
+// AlertKind classifies alerts.
+type AlertKind uint8
+
+// Alert kinds.
+const (
+	AlertLoss AlertKind = iota
+	AlertThroughput
+)
+
+func (k AlertKind) String() string {
+	if k == AlertLoss {
+		return "loss"
+	}
+	return "throughput"
+}
+
+// Alert is a threshold violation raised by the Alerter.
+type Alert struct {
+	At    sim.Time
+	Path  PathKey
+	Kind  AlertKind
+	Value float64 // loss fraction, or throughput in bits/s
+}
+
+func (a Alert) String() string {
+	if a.Kind == AlertLoss {
+		return fmt.Sprintf("%v ALERT %s: loss %.4f%%", a.At, a.Path, a.Value*100)
+	}
+	return fmt.Sprintf("%v ALERT %s: throughput %v", a.At, a.Path, units.BitRate(a.Value))
+}
+
+// Alerter raises alerts when measurements cross thresholds — the
+// "timely alerts" of §3.3 that turn soft failures from months-long
+// mysteries into same-day tickets.
+type Alerter struct {
+	// LossThreshold raises AlertLoss when a loss measurement exceeds it.
+	// The default (when zero) is 0.001 — TCP suffers far below 1%.
+	LossThreshold float64
+
+	// ThroughputFloor raises AlertThroughput when a BWCTL result falls
+	// below it. Zero disables throughput alerting.
+	ThroughputFloor units.BitRate
+
+	// Alerts collects raised alerts in time order.
+	Alerts []Alert
+
+	// OnAlert, when set, is called for each alert as it fires.
+	OnAlert func(Alert)
+}
+
+// Watch subscribes the alerter to an archive.
+func (al *Alerter) Watch(a *Archive) {
+	a.Subscribe(func(m Measurement) {
+		switch m.Kind {
+		case KindLoss:
+			threshold := al.LossThreshold
+			if threshold == 0 {
+				threshold = 0.001
+			}
+			if m.Loss > threshold {
+				al.raise(Alert{At: m.At, Path: m.Path, Kind: AlertLoss, Value: m.Loss})
+			}
+		case KindThroughput:
+			if al.ThroughputFloor > 0 && m.Throughput < al.ThroughputFloor {
+				al.raise(Alert{At: m.At, Path: m.Path, Kind: AlertThroughput, Value: float64(m.Throughput)})
+			}
+		}
+	})
+}
+
+func (al *Alerter) raise(a Alert) {
+	al.Alerts = append(al.Alerts, a)
+	if al.OnAlert != nil {
+		al.OnAlert(a)
+	}
+}
+
+// AlertedPaths returns the distinct paths with at least one alert,
+// sorted — the troubleshooting starting point.
+func (al *Alerter) AlertedPaths() []PathKey {
+	seen := make(map[PathKey]bool)
+	var out []PathKey
+	for _, a := range al.Alerts {
+		if !seen[a.Path] {
+			seen[a.Path] = true
+			out = append(out, a.Path)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}

@@ -1,0 +1,95 @@
+package perfsonar
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// DashboardConfig sets the color scale of the Figure 2 grid: throughput
+// at or above Good renders as full blocks, between Warn and Good as
+// medium shade, below Warn as light shade.
+type DashboardConfig struct {
+	Good units.BitRate
+	Warn units.BitRate
+}
+
+// Cell classifications.
+const (
+	cellGood   = "OK "
+	cellWarn   = "WRN"
+	cellBad    = "BAD"
+	cellNoData = " - "
+	cellSelf   = "   "
+)
+
+func classify(cfg DashboardConfig, rate units.BitRate) string {
+	switch {
+	case rate >= cfg.Good:
+		return cellGood
+	case rate >= cfg.Warn:
+		return cellWarn
+	default:
+		return cellBad
+	}
+}
+
+// Dashboard renders the measurement mesh as the paper's Figure 2 grid:
+// one row per source site, one column per destination, each cell showing
+// the latest BWCTL throughput classification for that direction. (The
+// paper's GUI halves each square to show both directions; in a full
+// matrix both directions appear as mirrored cells.)
+func Dashboard(a *Archive, cfg DashboardConfig, sites []string) string {
+	var b strings.Builder
+	width := 0
+	for _, s := range sites {
+		if len(s) > width {
+			width = len(s)
+		}
+	}
+	fmt.Fprintf(&b, "%*s ", width, "")
+	for i := range sites {
+		fmt.Fprintf(&b, "%3d ", i+1)
+	}
+	b.WriteByte('\n')
+	for i, src := range sites {
+		fmt.Fprintf(&b, "%*s ", width, fmt.Sprintf("%d:%s", i+1, src))
+		for _, dst := range sites {
+			if src == dst {
+				b.WriteString(cellSelf + " ")
+				continue
+			}
+			m, ok := a.Latest(PathKey{Src: src, Dst: dst}, KindThroughput)
+			if !ok {
+				b.WriteString(cellNoData + " ")
+				continue
+			}
+			b.WriteString(classify(cfg, m.Throughput) + " ")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WorstPaths returns up to n paths with the lowest latest throughput,
+// worst first — what an operator clicks on first.
+func WorstPaths(a *Archive, n int) []Measurement {
+	var all []Measurement
+	for _, p := range a.Paths() {
+		if m, ok := a.Latest(p, KindThroughput); ok {
+			all = append(all, m)
+		}
+	}
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if all[j].Throughput < all[i].Throughput {
+				all[i], all[j] = all[j], all[i]
+			}
+		}
+	}
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}

@@ -1,0 +1,95 @@
+package perfsonar
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Suspect is a link implicated by loss localization, with the evidence.
+type Suspect struct {
+	// A and B name the link's endpoints.
+	A, B string
+	// LossyPaths / CleanPaths count measured paths crossing this link
+	// that did / did not show loss.
+	LossyPaths, CleanPaths int
+	// Score ranks suspects: the fraction of crossing paths that were
+	// lossy, weighted by how many lossy paths the link explains.
+	Score float64
+}
+
+func (s Suspect) String() string {
+	return fmt.Sprintf("%s<->%s score=%.2f (lossy=%d clean=%d)", s.A, s.B, s.Score, s.LossyPaths, s.CleanPaths)
+}
+
+// LocalizeLoss performs the §3.3 troubleshooting step: given a mesh of
+// OWAMP loss measurements and the routed topology, it intersects the
+// lossy paths and subtracts the clean ones, ranking the links that best
+// explain the observations. This is the divide-and-conquer an operator
+// runs mentally with a perfSONAR dashboard — here as an algorithm.
+//
+// Only links crossed by at least one lossy path are returned, highest
+// score first. lossThreshold is the mean-loss fraction above which a
+// path counts as lossy (e.g. 0.001).
+func LocalizeLoss(net *netsim.Network, a *Archive, since sim.Time, lossThreshold float64) []Suspect {
+	type key struct{ a, b string }
+	linkOf := func(l *netsim.Link) key {
+		x, y := l.A.Owner.Name(), l.B.Owner.Name()
+		if x > y {
+			x, y = y, x
+		}
+		return key{x, y}
+	}
+	lossy := make(map[key]int)
+	clean := make(map[key]int)
+
+	for _, p := range a.Paths() {
+		mean, ok := a.MeanLoss(p, since)
+		if !ok {
+			continue
+		}
+		links := net.PathInfo(p.Src, p.Dst)
+		if links == nil {
+			continue
+		}
+		for _, l := range links {
+			if mean > lossThreshold {
+				lossy[linkOf(l)]++
+			} else {
+				clean[linkOf(l)]++
+			}
+		}
+	}
+
+	var out []Suspect
+	for k, n := range lossy {
+		c := clean[k]
+		frac := float64(n) / float64(n+c)
+		out = append(out, Suspect{
+			A: k.a, B: k.b,
+			LossyPaths: n, CleanPaths: c,
+			Score: frac * float64(n),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].A+out[i].B < out[j].A+out[j].B
+	})
+	return out
+}
+
+// HardFailures scans the topology for links reporting loss-of-link — the
+// §3.3 "hard failures" that ordinary monitoring catches directly.
+func HardFailures(net *netsim.Network) []*netsim.Link {
+	var out []*netsim.Link
+	for _, l := range net.Links() {
+		if l.Down() {
+			out = append(out, l)
+		}
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package perfsonar
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// meshedBackbone builds 4 sites on two backbone routers:
+//
+//	psa, psb -- bb1 ---- bb2 -- psc, psd
+//
+// with failing optics on the bb1--bb2 trunk when trunkLoss is set.
+func meshedBackbone(trunkLoss netsim.LossModel) (*netsim.Network, []*netsim.Host, *netsim.Link) {
+	n := netsim.New(1)
+	bb1 := n.NewDevice("bb1", netsim.DeviceConfig{EgressBuffer: 16 * units.MB})
+	bb2 := n.NewDevice("bb2", netsim.DeviceConfig{EgressBuffer: 16 * units.MB})
+	trunk := n.Connect(bb1, bb2, netsim.LinkConfig{
+		Rate: 10 * units.Gbps, Delay: 5 * time.Millisecond, Loss: trunkLoss,
+	})
+	var hosts []*netsim.Host
+	for i, at := range []*netsim.Device{bb1, bb1, bb2, bb2} {
+		h := n.NewHost("ps" + string(rune('a'+i)))
+		n.Connect(h, at, netsim.LinkConfig{Rate: 10 * units.Gbps, Delay: time.Millisecond})
+		hosts = append(hosts, h)
+	}
+	n.ComputeRoutes()
+	return n, hosts, trunk
+}
+
+func TestLocalizeLossFindsTrunk(t *testing.T) {
+	n, hosts, _ := meshedBackbone(netsim.RandomLoss{P: 0.01})
+	m := NewMesh(hosts...)
+	m.StartOWAMP(5 * time.Millisecond)
+	n.RunFor(30 * time.Second)
+
+	suspects := LocalizeLoss(n, m.Archive, 0, 0.001)
+	if len(suspects) == 0 {
+		t.Fatal("no suspects found")
+	}
+	top := suspects[0]
+	if !(top.A == "bb1" && top.B == "bb2") {
+		t.Errorf("top suspect = %v, want the bb1<->bb2 trunk (all: %v)", top, suspects)
+	}
+	// Cross-trunk paths (2 hosts each side -> 8 ordered pairs) are
+	// lossy; same-side paths are clean, so access links score lower.
+	if top.LossyPaths != 8 {
+		t.Errorf("trunk lossy paths = %d, want 8", top.LossyPaths)
+	}
+	for _, s := range suspects[1:] {
+		if s.Score >= top.Score {
+			t.Errorf("suspect %v scores >= trunk", s)
+		}
+	}
+}
+
+func TestLocalizeLossCleanNetwork(t *testing.T) {
+	n, hosts, _ := meshedBackbone(nil)
+	m := NewMesh(hosts...)
+	m.StartOWAMP(10 * time.Millisecond)
+	n.RunFor(20 * time.Second)
+	if suspects := LocalizeLoss(n, m.Archive, 0, 0.001); len(suspects) != 0 {
+		t.Errorf("clean network produced suspects: %v", suspects)
+	}
+}
+
+func TestHardFailureVisibleAndCutsTraffic(t *testing.T) {
+	n, hosts, trunk := meshedBackbone(nil)
+	m := NewMesh(hosts...)
+	m.StartOWAMP(10 * time.Millisecond)
+	n.RunFor(5 * time.Second)
+
+	if len(HardFailures(n)) != 0 {
+		t.Fatal("no hard failures yet")
+	}
+	trunk.SetDown(true)
+	n.RunFor(10 * time.Second)
+
+	// Management view: the link reports down immediately.
+	down := HardFailures(n)
+	if len(down) != 1 || down[0] != trunk {
+		t.Fatalf("hard failures = %v", down)
+	}
+	// Measurement view: cross-trunk loss goes to 100%.
+	loss, ok := m.Archive.MeanLoss(PathKey{Src: "psa", Dst: "psc"}, sim.Time(6*time.Second))
+	if !ok || loss < 0.99 {
+		t.Errorf("cross-trunk loss after cut = %v (ok=%v), want ~1.0", loss, ok)
+	}
+	// Same-side paths unaffected.
+	loss, ok = m.Archive.MeanLoss(PathKey{Src: "psa", Dst: "psb"}, sim.Time(6*time.Second))
+	if !ok || loss != 0 {
+		t.Errorf("same-side loss = %v, want 0", loss)
+	}
+
+	trunk.SetDown(false)
+	n.RunFor(10 * time.Second)
+	loss, _ = m.Archive.MeanLoss(PathKey{Src: "psa", Dst: "psc"}, sim.Time(16*time.Second))
+	if loss > 0.01 {
+		t.Errorf("loss after restore = %v, want ~0", loss)
+	}
+}

@@ -1,0 +1,174 @@
+package rdma
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/netsim"
+	"repro/internal/units"
+)
+
+// wan40 builds dtn1 -- sw1 -- sw2 -- dtn2 at 40GE with jumbo frames and
+// a cross-traffic host at sw1.
+func wan40() (*netsim.Network, *netsim.Host, *netsim.Host, *netsim.Host) {
+	n := netsim.New(1)
+	d1 := n.NewHost("dtn1")
+	d2 := n.NewHost("dtn2")
+	x := n.NewHost("cross")
+	sw1 := n.NewDevice("sw1", netsim.DeviceConfig{EgressBuffer: 2 * units.MB})
+	sw2 := n.NewDevice("sw2", netsim.DeviceConfig{EgressBuffer: 2 * units.MB})
+	cfg := netsim.LinkConfig{Rate: 40 * units.Gbps, Delay: 10 * time.Microsecond, MTU: 9000}
+	wan := cfg
+	wan.Delay = 10 * time.Millisecond
+	n.Connect(d1, sw1, cfg)
+	n.Connect(sw1, sw2, wan)
+	n.Connect(sw2, d2, cfg)
+	n.Connect(x, sw1, cfg)
+	n.ComputeRoutes()
+	return n, d1, d2, x
+}
+
+func TestCleanCircuitNearLineRate(t *testing.T) {
+	// §7.1: 39.5 Gb/s for a single flow on a 40GE host over a circuit.
+	n, d1, d2, _ := wan40()
+	var res *Result
+	Transfer(d1, d2, 4791, 2*units.GB, Options{Rate: units.BitRate(39.5) * units.Gbps}, func(r *Result) { res = r })
+	n.Run()
+	if res == nil || !res.Done {
+		t.Fatal("transfer did not complete")
+	}
+	gbps := float64(res.Throughput()) / 1e9
+	// Lifetime average includes the final-ACK round trip; ~37+ of 39.5
+	// provisioned is line-rate behaviour.
+	if gbps < 37 {
+		t.Errorf("clean-path RoCE = %.2f Gbps, want ~39.5", gbps)
+	}
+	if res.Rewinds != 0 {
+		t.Errorf("rewinds = %d, want 0 on a clean path", res.Rewinds)
+	}
+}
+
+func TestCPUFiftyTimesLessThanTCP(t *testing.T) {
+	n, d1, d2, _ := wan40()
+	var res *Result
+	Transfer(d1, d2, 4791, 100*units.MB, Options{Rate: 39.5 * units.Gbps}, func(r *Result) { res = r })
+	n.Run()
+	ratio := res.TCPCPUSeconds / res.CPUSeconds
+	if math.Abs(ratio-50) > 1e-9 {
+		t.Errorf("TCP/RoCE CPU ratio = %.1f, want 50", ratio)
+	}
+	// Utilization helper: TCP at 39.5G vs RoCE at 39.5G.
+	ut := TCPCPUCost.Utilization(39.5 * units.Gbps)
+	ur := RoCECPUCost.Utilization(39.5 * units.Gbps)
+	if ut/ur < 49.9 || ut/ur > 50.1 {
+		t.Errorf("utilization ratio = %.1f", ut/ur)
+	}
+	if ur > 0.1 {
+		t.Errorf("RoCE utilization = %.3f cores, want well under a core", ur)
+	}
+}
+
+func TestLossCollapsesGoBackN(t *testing.T) {
+	// Even mild random loss devastates go-back-N at high BDP.
+	n := netsim.New(1)
+	d1 := n.NewHost("dtn1")
+	d2 := n.NewHost("dtn2")
+	n.Connect(d1, d2, netsim.LinkConfig{
+		Rate: 10 * units.Gbps, Delay: 10 * time.Millisecond, MTU: 9000,
+		Loss: netsim.RandomLoss{P: 1e-3},
+	})
+	n.ComputeRoutes()
+	var res *Result
+	Transfer(d1, d2, 4791, 200*units.MB, Options{Rate: 9.5 * units.Gbps}, func(r *Result) { res = r })
+	n.RunFor(10 * time.Minute)
+	if res == nil {
+		t.Fatal("transfer did not finish within 10 minutes")
+	}
+	gbps := float64(res.Throughput()) / 1e9
+	if gbps > 4 {
+		t.Errorf("lossy RoCE = %.2f Gbps, expected collapse well below line rate", gbps)
+	}
+	if res.Rewinds == 0 {
+		t.Error("expected go-back-N rewinds under loss")
+	}
+	if res.WastedWire == 0 {
+		t.Error("expected wasted wire bytes from rewinds")
+	}
+}
+
+func TestCompetingTrafficWithoutCircuitHurtsRoCE(t *testing.T) {
+	// The §7.1 caveat: RoCE works well over the WAN "but only on a
+	// guaranteed bandwidth virtual circuit with minimal competing
+	// traffic". An unresponsive competing stream that oversubscribes the
+	// shared link collapses go-back-N; a reserved circuit's priority
+	// lane protects it completely.
+	run := func(useCircuit bool) float64 {
+		n, d1, d2, x := wan40()
+		if useCircuit {
+			svc := circuit.NewService(n, "wan")
+			if _, err := svc.Reserve("roce", "dtn1", "dtn2", 20*units.Gbps); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Cross traffic: a constant 25 Gb/s unresponsive stream, so the
+		// shared 40G link is oversubscribed by the 19G RoCE flow.
+		d2.Bind(netsim.ProtoUDP, 9, netsim.HandlerFunc(func(*netsim.Packet) {}))
+		blast := netsim.FlowKey{Src: "cross", Dst: "dtn2", SrcPort: 50000, DstPort: 9, Proto: netsim.ProtoUDP}
+		interval := (25 * units.Gbps).Serialize(9000)
+		n.Sched.Every(interval, func() {
+			x.Send(&netsim.Packet{Flow: blast, Size: 9000})
+		})
+
+		var res *Result
+		f := Transfer(d1, d2, 4791, units.GB, Options{Rate: 19 * units.Gbps}, func(r *Result) { res = r })
+		n.RunFor(10 * time.Second)
+		if res == nil {
+			res = f.Result()
+		}
+		return float64(res.Throughput()) / 1e9
+	}
+	with := run(true)
+	without := run(false)
+	if with < 15 {
+		t.Errorf("RoCE on circuit = %.2f Gbps, want near 19", with)
+	}
+	if without > with*0.5 {
+		t.Errorf("RoCE without circuit = %.2f vs with = %.2f: expected collapse", without, with)
+	}
+}
+
+func TestRequiresRate(t *testing.T) {
+	n := netsim.New(1)
+	d1 := n.NewHost("a")
+	d2 := n.NewHost("b")
+	n.Connect(d1, d2, netsim.LinkConfig{Rate: units.Gbps})
+	n.ComputeRoutes()
+	defer func() {
+		if recover() == nil {
+			t.Error("missing rate should panic")
+		}
+	}()
+	Transfer(d1, d2, 1, units.MB, Options{}, nil)
+}
+
+func TestResultSnapshotInProgress(t *testing.T) {
+	n := netsim.New(1)
+	d1 := n.NewHost("a")
+	d2 := n.NewHost("b")
+	n.Connect(d1, d2, netsim.LinkConfig{Rate: units.Gbps, Delay: time.Millisecond})
+	n.ComputeRoutes()
+	f := Transfer(d1, d2, 1, 100*units.MB, Options{Rate: 900 * units.Mbps}, nil)
+	n.RunFor(100 * time.Millisecond)
+	r := f.Result()
+	if r.Done {
+		t.Error("should still be in progress")
+	}
+	if r.Duration() != 100*time.Millisecond {
+		t.Errorf("duration = %v", r.Duration())
+	}
+	if r.CPUSeconds <= 0 || r.TCPCPUSeconds <= 0 {
+		t.Error("CPU accounting missing")
+	}
+}

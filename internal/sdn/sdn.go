@@ -1,0 +1,231 @@
+// Package sdn models OpenFlow-style software-defined networking on the
+// Science DMZ (§7.3): match/action flow tables installed on switches by
+// a central controller, and the two controller applications the paper
+// describes — dynamically bypassing the firewall for large trusted
+// flows, and sending connection setup through an IDS before installing
+// the bypass.
+package sdn
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ids"
+	"repro/internal/netsim"
+)
+
+// Match is an OpenFlow-style match. Empty strings and zero ports are
+// wildcards; Proto < 0 matches any protocol.
+type Match struct {
+	Src, Dst         string
+	SrcPort, DstPort uint16
+	Proto            int
+}
+
+// MatchFlow returns an exact five-tuple match for one direction of a
+// flow.
+func MatchFlow(k netsim.FlowKey) Match {
+	return Match{Src: k.Src, Dst: k.Dst, SrcPort: k.SrcPort, DstPort: k.DstPort, Proto: int(k.Proto)}
+}
+
+// MatchHostPair matches all traffic from src to dst.
+func MatchHostPair(src, dst string) Match {
+	return Match{Src: src, Dst: dst, Proto: -1}
+}
+
+// Matches reports whether a packet matches.
+func (m Match) Matches(p *netsim.Packet) bool {
+	if m.Proto >= 0 && netsim.Proto(m.Proto) != p.Flow.Proto {
+		return false
+	}
+	if m.Src != "" && m.Src != p.Flow.Src {
+		return false
+	}
+	if m.Dst != "" && m.Dst != p.Flow.Dst {
+		return false
+	}
+	if m.SrcPort != 0 && m.SrcPort != p.Flow.SrcPort {
+		return false
+	}
+	if m.DstPort != 0 && m.DstPort != p.Flow.DstPort {
+		return false
+	}
+	return true
+}
+
+// Action is what a matching entry does with a packet.
+type Action uint8
+
+// Flow entry actions.
+const (
+	// ActionNormal falls through to destination-based routing.
+	ActionNormal Action = iota
+	// ActionOutput forwards out the entry's Out port.
+	ActionOutput
+	// ActionDrop discards the packet.
+	ActionDrop
+)
+
+// Entry is one flow-table rule.
+type Entry struct {
+	Name     string
+	Priority int // higher wins
+	Match    Match
+	Action   Action
+	Out      *netsim.Port // for ActionOutput
+
+	// Packets and Bytes count matches.
+	Packets uint64
+	Bytes   uint64
+}
+
+// FlowTable is the per-switch rule set. It implements both
+// netsim.Forwarder (output overrides) and netsim.Filter (drops), and is
+// installed on a Device by Controller.Manage.
+type FlowTable struct {
+	Switch  *netsim.Device
+	entries []*Entry
+
+	// OnMiss, when set, is invoked for packets matching no entry — the
+	// packet-in path a reactive controller uses. The packet still
+	// follows normal routing this hop.
+	OnMiss func(p *netsim.Packet, in *netsim.Port)
+}
+
+// Add installs an entry, keeping entries sorted by descending priority
+// (stable for equal priorities: earlier installs win).
+func (t *FlowTable) Add(e *Entry) *Entry {
+	t.entries = append(t.entries, e)
+	sort.SliceStable(t.entries, func(i, j int) bool {
+		return t.entries[i].Priority > t.entries[j].Priority
+	})
+	return e
+}
+
+// Remove deletes an entry.
+func (t *FlowTable) Remove(e *Entry) {
+	for i, x := range t.entries {
+		if x == e {
+			t.entries = append(t.entries[:i], t.entries[i+1:]...)
+			return
+		}
+	}
+}
+
+// Entries returns the installed entries, highest priority first.
+func (t *FlowTable) Entries() []*Entry { return t.entries }
+
+func (t *FlowTable) lookup(p *netsim.Packet) *Entry {
+	for _, e := range t.entries {
+		if e.Match.Matches(p) {
+			return e
+		}
+	}
+	return nil
+}
+
+// FilterName implements netsim.Filter.
+func (t *FlowTable) FilterName() string { return "openflow:" + t.Switch.Name() }
+
+// Check implements netsim.Filter: ActionDrop entries discard here.
+func (t *FlowTable) Check(p *netsim.Packet, in *netsim.Port) bool {
+	e := t.lookup(p)
+	if e == nil {
+		if t.OnMiss != nil {
+			t.OnMiss(p, in)
+		}
+		return true
+	}
+	e.Packets++
+	e.Bytes += uint64(p.Size)
+	return e.Action != ActionDrop
+}
+
+// Route implements netsim.Forwarder: ActionOutput entries steer.
+func (t *FlowTable) Route(p *netsim.Packet, _ *netsim.Port) (*netsim.Port, bool) {
+	e := t.lookup(p)
+	if e != nil && e.Action == ActionOutput && e.Out != nil {
+		return e.Out, true
+	}
+	return nil, false
+}
+
+// Controller manages flow tables across switches.
+type Controller struct {
+	Name   string
+	tables map[string]*FlowTable
+}
+
+// NewController creates an SDN controller.
+func NewController(name string) *Controller {
+	return &Controller{Name: name, tables: make(map[string]*FlowTable)}
+}
+
+// Manage attaches a flow table to a switch and returns it.
+func (c *Controller) Manage(d *netsim.Device) *FlowTable {
+	if t, ok := c.tables[d.Name()]; ok {
+		return t
+	}
+	t := &FlowTable{Switch: d}
+	d.SetForwarder(t)
+	d.AddFilter(t)
+	c.tables[d.Name()] = t
+	return t
+}
+
+// Table returns the flow table for a managed switch, or nil.
+func (c *Controller) Table(name string) *FlowTable { return c.tables[name] }
+
+// Bypass is the §7.3 firewall-bypass application: verified flows are
+// steered around the firewall via a direct port; everything else takes
+// the normal (firewalled) path. A Bypass instance manages one switch;
+// deploy one per switch adjacent to the firewall.
+type Bypass struct {
+	Table *FlowTable
+	// FirewallPort is the managed switch's port toward the firewall:
+	// only flow directions the switch would normally route there get
+	// bypass entries, which keeps the application loop-free.
+	FirewallPort *netsim.Port
+	// Direct is the egress port that avoids the firewall.
+	Direct *netsim.Port
+	// Installed lists bypass entries per flow.
+	Installed []*Entry
+}
+
+// NewBypass creates the application on a managed switch.
+func NewBypass(table *FlowTable, firewallPort, direct *netsim.Port) *Bypass {
+	return &Bypass{Table: table, FirewallPort: firewallPort, Direct: direct}
+}
+
+// AllowFlow installs a bypass entry for each direction of the flow that
+// the switch currently routes into the firewall. Directions the switch
+// routes elsewhere are untouched, so installing the same flow on every
+// adjacent switch is safe.
+func (b *Bypass) AllowFlow(k netsim.FlowKey) {
+	for _, dir := range []netsim.FlowKey{k, k.Reverse()} {
+		if b.Table.Switch.RouteTo(dir.Dst) != b.FirewallPort {
+			continue
+		}
+		e := b.Table.Add(&Entry{
+			Name: fmt.Sprintf("bypass-%s", dir), Priority: 100,
+			Match: MatchFlow(dir), Action: ActionOutput, Out: b.Direct,
+		})
+		b.Installed = append(b.Installed, e)
+	}
+}
+
+// GateWithIDS arms the application to install a bypass automatically
+// once the IDS verifies a flow (connection setup was inspected, nothing
+// alerted). This is the paper's "send the connection setup traffic to
+// the IDS for analysis, then allow the flow to bypass the firewall and
+// the IDS". Multiple Bypass instances may gate on the same IDS; the
+// hooks chain.
+func (b *Bypass) GateWithIDS(s *ids.IDS) {
+	prev := s.OnVerified
+	s.OnVerified = func(rec *ids.FlowRecord) {
+		if prev != nil {
+			prev(rec)
+		}
+		b.AllowFlow(rec.Key)
+	}
+}

@@ -1,0 +1,240 @@
+// Package sim is a deterministic discrete-event simulation kernel.
+//
+// Every component of the network simulator schedules work on a shared
+// Scheduler. Events fire in strictly nondecreasing time order; ties are
+// broken by scheduling order, which — together with explicitly seeded
+// random number generators — makes entire simulation runs reproducible
+// bit-for-bit.
+//
+// Time is modelled as nanoseconds since the start of the run (type Time).
+// Durations are ordinary time.Duration values.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is an absolute simulation timestamp in nanoseconds since the start
+// of the run.
+type Time int64
+
+// Seconds returns the timestamp as fractional seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+// Duration returns the timestamp as an offset from time zero.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Add returns the timestamp shifted by d.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between two timestamps.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// String formats the timestamp as a duration, e.g. "1.5s".
+func (t Time) String() string { return time.Duration(t).String() }
+
+type event struct {
+	at  Time
+	seq uint64 // scheduling order; breaks ties deterministically
+	fn  func()
+
+	index int // heap index; -1 once popped or cancelled
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler owns the simulation clock and the pending event queue.
+// The zero value is not usable; call New.
+type Scheduler struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+
+	// Processed counts events executed so far; useful for run statistics
+	// and for guarding against runaway simulations in tests.
+	Processed uint64
+}
+
+// New returns an empty scheduler with the clock at zero.
+func New() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current simulation time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Timer is a handle to a scheduled event that can be cancelled or
+// rescheduled. Timers are single-shot.
+type Timer struct {
+	s *Scheduler
+	e *event
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past (t
+// before Now) panics: it is always a logic error in a simulation model.
+func (s *Scheduler) At(t Time, fn func()) *Timer {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	s.seq++
+	e := &event{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.events, e)
+	return &Timer{s: s, e: e}
+}
+
+// After schedules fn to run d from now. Negative d is treated as zero.
+func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Stop cancels the timer if it has not fired. It reports whether the
+// timer was still pending. Stopping an already-fired or already-stopped
+// timer is a no-op.
+func (t *Timer) Stop() bool {
+	if t == nil || t.e == nil || t.e.index < 0 {
+		return false
+	}
+	heap.Remove(&t.s.events, t.e.index)
+	t.e.fn = nil
+	t.e = nil
+	return true
+}
+
+// Pending reports whether the timer is still scheduled to fire.
+func (t *Timer) Pending() bool {
+	return t != nil && t.e != nil && t.e.index >= 0
+}
+
+// When returns the time at which the timer will fire. It is only
+// meaningful while Pending.
+func (t *Timer) When() Time {
+	if !t.Pending() {
+		return -1
+	}
+	return t.e.at
+}
+
+// step executes the earliest pending event. It reports false when no
+// events remain.
+func (s *Scheduler) step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(*event)
+	s.now = e.at
+	s.Processed++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (s *Scheduler) Run() {
+	s.stopped = false
+	for !s.stopped && s.step() {
+	}
+}
+
+// RunUntil executes events with timestamps at or before t, then advances
+// the clock to exactly t. Events scheduled beyond t remain pending.
+func (s *Scheduler) RunUntil(t Time) {
+	s.stopped = false
+	for !s.stopped && len(s.events) > 0 && s.events[0].at <= t {
+		s.step()
+	}
+	if !s.stopped && s.now < t {
+		s.now = t
+	}
+}
+
+// RunFor advances the simulation by d. See RunUntil.
+func (s *Scheduler) RunFor(d time.Duration) {
+	s.RunUntil(s.now.Add(d))
+}
+
+// Stop makes the currently executing Run/RunUntil return after the
+// current event completes. Pending events stay queued.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Pending returns the number of queued events.
+func (s *Scheduler) Pending() int { return len(s.events) }
+
+// Ticker invokes a function periodically until stopped.
+type Ticker struct {
+	s        *Scheduler
+	interval time.Duration
+	fn       func()
+	timer    *Timer
+	stopped  bool
+}
+
+// Every schedules fn to run every interval, with the first invocation one
+// interval from now. It panics on a nonpositive interval.
+func (s *Scheduler) Every(interval time.Duration, fn func()) *Ticker {
+	if interval <= 0 {
+		panic("sim: Every requires a positive interval")
+	}
+	t := &Ticker{s: s, interval: interval, fn: fn}
+	t.schedule()
+	return t
+}
+
+func (t *Ticker) schedule() {
+	t.timer = t.s.After(t.interval, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.schedule()
+		}
+	})
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+}
+
+// NewRand returns a deterministic random number generator for a simulation
+// component. Each component should own its generator so that adding a
+// component does not perturb the random streams of the others.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

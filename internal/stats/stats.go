@@ -1,0 +1,239 @@
+// Package stats provides the aggregation and rendering helpers the
+// benchmark harness uses to regenerate the paper's tables and figures:
+// summary statistics, aligned text tables, and ASCII line charts.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0-100) by nearest-rank on a
+// copy of the input. Empty input returns 0.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(cp)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return cp[rank]
+}
+
+// Table renders aligned columns for experiment output.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row; missing cells render empty, extras are kept.
+func (t *Table) Add(cells ...string) *Table {
+	t.rows = append(t.rows, cells)
+	return t
+}
+
+// Addf appends a row of formatted cells: each argument is rendered with
+// %v.
+func (t *Table) Addf(cells ...any) *Table {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	return t.Add(row...)
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	cols := len(t.Headers)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.rows {
+		measure(r)
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(r []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			if i != cols-1 {
+				b.WriteString("  ")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(cols-1)))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// XY is one chart series.
+type XY struct {
+	Label string
+	X, Y  []float64
+}
+
+// ChartConfig controls ASCII chart rendering.
+type ChartConfig struct {
+	Title         string
+	XLabel        string
+	YLabel        string
+	Width, Height int // plot area; zero defaults to 72x20
+	LogY          bool
+}
+
+// markers label series points in draw order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Chart renders series as an ASCII scatter/line chart — good enough to
+// eyeball the shape of Figure 1 in a terminal.
+func Chart(cfg ChartConfig, series ...XY) string {
+	w, h := cfg.Width, cfg.Height
+	if w == 0 {
+		w = 72
+	}
+	if h == 0 {
+		h = 20
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	yval := func(y float64) float64 {
+		if cfg.LogY {
+			if y <= 0 {
+				return math.NaN()
+			}
+			return math.Log10(y)
+		}
+		return y
+	}
+	for _, s := range series {
+		for i := range s.X {
+			y := yval(s.Y[i])
+			if math.IsNaN(y) {
+				continue
+			}
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return cfg.Title + "\n(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range series {
+		mk := markers[si%len(markers)]
+		for i := range s.X {
+			y := yval(s.Y[i])
+			if math.IsNaN(y) {
+				continue
+			}
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(w-1))
+			row := h - 1 - int((y-minY)/(maxY-minY)*float64(h-1))
+			grid[row][col] = mk
+		}
+	}
+
+	var b strings.Builder
+	if cfg.Title != "" {
+		fmt.Fprintf(&b, "%s\n", cfg.Title)
+	}
+	for i, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[i%len(markers)], s.Label)
+	}
+	yTop, yBot := maxY, minY
+	if cfg.LogY {
+		yTop, yBot = math.Pow(10, maxY), math.Pow(10, minY)
+	}
+	fmt.Fprintf(&b, "%s (top=%.3g bottom=%.3g)\n", cfg.YLabel, yTop, yBot)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("+" + strings.Repeat("-", w) + "\n")
+	fmt.Fprintf(&b, " %s: %.3g .. %.3g\n", cfg.XLabel, minX, maxX)
+	return b.String()
+}

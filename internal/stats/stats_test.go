@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStdDev(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Errorf("mean = %v", Mean(xs))
+	}
+	if math.Abs(StdDev(xs)-2) > 1e-12 {
+		t.Errorf("stddev = %v, want 2", StdDev(xs))
+	}
+	if StdDev([]float64{1}) != 0 {
+		t.Error("single-element stddev")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 5 {
+		t.Error("extremes wrong")
+	}
+	if Percentile(xs, 50) != 3 {
+		t.Errorf("p50 = %v", Percentile(xs, 50))
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile")
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Error("Percentile mutated input")
+	}
+}
+
+func TestPercentileWithinBounds(t *testing.T) {
+	f := func(raw []float64, p uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+		got := Percentile(raw, float64(p%101))
+		min, max := raw[0], raw[0]
+		for _, v := range raw {
+			min, max = math.Min(min, v), math.Max(max, v)
+		}
+		return got >= min && got <= max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Results", "path", "rate")
+	tb.Add("clean", "9.4 Gbps")
+	tb.Addf("firewalled", 123)
+	out := tb.String()
+	if !strings.Contains(out, "Results") || !strings.Contains(out, "9.4 Gbps") || !strings.Contains(out, "123") {
+		t.Errorf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + rule + 2 rows.
+	if len(lines) != 5 {
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+	// Columns aligned: header "path" and "clean" start at same offset.
+	if tb.Rows() != 2 {
+		t.Error("Rows wrong")
+	}
+}
+
+func TestTableExtraCells(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.Add("1", "2", "3") // more cells than headers must not panic
+	if !strings.Contains(tb.String(), "3") {
+		t.Error("extra cells dropped")
+	}
+}
+
+func TestChartBasics(t *testing.T) {
+	s := XY{Label: "mathis", X: []float64{1, 10, 100}, Y: []float64{100, 10, 1}}
+	out := Chart(ChartConfig{Title: "fig1", XLabel: "rtt", YLabel: "gbps"}, s)
+	if !strings.Contains(out, "fig1") || !strings.Contains(out, "mathis") {
+		t.Error("chart missing labels")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("chart missing points")
+	}
+}
+
+func TestChartLogY(t *testing.T) {
+	s := XY{Label: "a", X: []float64{1, 2, 3}, Y: []float64{1, 100, 10000}}
+	out := Chart(ChartConfig{LogY: true}, s)
+	if !strings.Contains(out, "1e+04") && !strings.Contains(out, "10000") {
+		t.Errorf("log chart top label missing:\n%s", out)
+	}
+	// Zero/negative values are skipped, not crashed on.
+	bad := XY{Label: "b", X: []float64{1}, Y: []float64{0}}
+	_ = Chart(ChartConfig{LogY: true}, bad)
+}
+
+func TestChartEmpty(t *testing.T) {
+	out := Chart(ChartConfig{Title: "empty"})
+	if !strings.Contains(out, "no data") {
+		t.Error("empty chart should say so")
+	}
+}
+
+func TestChartDegenerateRanges(t *testing.T) {
+	s := XY{Label: "point", X: []float64{5}, Y: []float64{7}}
+	out := Chart(ChartConfig{}, s)
+	if !strings.Contains(out, "*") {
+		t.Error("single point should render")
+	}
+}
+
+func TestChartMultipleSeriesMarkers(t *testing.T) {
+	a := XY{Label: "a", X: []float64{1, 2}, Y: []float64{1, 2}}
+	b := XY{Label: "b", X: []float64{1, 2}, Y: []float64{2, 1}}
+	out := Chart(ChartConfig{}, a, b)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("series markers missing")
+	}
+}

@@ -1,0 +1,175 @@
+package tcp
+
+import (
+	"math"
+	"time"
+)
+
+// CongestionControl is the pluggable congestion-avoidance policy of a
+// Sender. The paper's Figure 1 compares TCP-Reno with TCP-Hamilton
+// (H-TCP); CUBIC is included as the Linux default that most real DTNs
+// run. Implementations adjust only the congestion-avoidance increase and
+// the loss backoff; slow start, fast retransmit/recovery and RTO handling
+// are common NewReno machinery in the Sender.
+type CongestionControl interface {
+	// Name identifies the algorithm in stats and figure legends.
+	Name() string
+	// Start is called once when the connection enters steady state.
+	Start(s *Sender)
+	// OnAck is called for each ACK received in congestion avoidance with
+	// the number of newly acknowledged bytes; it should grow s.Cwnd.
+	OnAck(s *Sender, acked int, rtt time.Duration)
+	// Backoff is called on a fast-retransmit loss event; it returns the
+	// new slow-start threshold in bytes (the multiplicative decrease).
+	Backoff(s *Sender) float64
+}
+
+// NewReno is classic Reno/NewReno congestion avoidance: one MSS per RTT
+// additive increase, halve on loss.
+type NewReno struct{}
+
+// Name implements CongestionControl.
+func (NewReno) Name() string { return "reno" }
+
+// Start implements CongestionControl.
+func (NewReno) Start(*Sender) {}
+
+// OnAck implements CongestionControl: cwnd += MSS·MSS/cwnd per ACK.
+func (NewReno) OnAck(s *Sender, acked int, _ time.Duration) {
+	mss := float64(s.mss)
+	s.Cwnd += mss * mss / s.Cwnd
+}
+
+// Backoff implements CongestionControl: multiplicative decrease by half.
+func (NewReno) Backoff(s *Sender) float64 {
+	return s.Cwnd / 2
+}
+
+// HTCP implements H-TCP (Leith & Shorten, Hamilton Institute): the
+// additive-increase factor α grows with the time elapsed since the last
+// congestion event, and the backoff factor β adapts to the ratio of
+// minimum to maximum RTT. This recovers high-BDP paths far faster than
+// Reno — the "TCP-Hamilton" curve of Figure 1.
+type HTCP struct {
+	lastLoss       time.Duration // sim time of last congestion event
+	minRTT, maxRTT time.Duration
+	beta           float64
+}
+
+// Name implements CongestionControl.
+func (h *HTCP) Name() string { return "htcp" }
+
+// Start implements CongestionControl.
+func (h *HTCP) Start(s *Sender) {
+	h.lastLoss = s.now().Duration()
+	h.beta = 0.5
+	h.minRTT, h.maxRTT = 0, 0
+}
+
+// deltaL is H-TCP's low-speed threshold: within 1 s of a loss the
+// algorithm behaves exactly like Reno.
+const htcpDeltaL = time.Second
+
+// OnAck implements CongestionControl.
+func (h *HTCP) OnAck(s *Sender, acked int, rtt time.Duration) {
+	if rtt > 0 {
+		if h.minRTT == 0 || rtt < h.minRTT {
+			h.minRTT = rtt
+		}
+		if rtt > h.maxRTT {
+			h.maxRTT = rtt
+		}
+	}
+	delta := s.now().Duration() - h.lastLoss
+	alpha := 1.0
+	if delta > htcpDeltaL {
+		dt := (delta - htcpDeltaL).Seconds()
+		alpha = 1 + 10*dt + dt*dt/4
+	}
+	// Scale so that the average increase matches 2(1-β)·α, per the H-TCP
+	// specification, keeping the AIMD fixed point independent of β.
+	alpha = 2 * (1 - h.beta) * alpha
+	if alpha < 1 {
+		alpha = 1
+	}
+	mss := float64(s.mss)
+	s.Cwnd += alpha * mss * mss / s.Cwnd
+}
+
+// Backoff implements CongestionControl: adaptive β = RTTmin/RTTmax,
+// clamped to [0.5, 0.8].
+func (h *HTCP) Backoff(s *Sender) float64 {
+	h.lastLoss = s.now().Duration()
+	beta := 0.5
+	if h.maxRTT > 0 && h.minRTT > 0 {
+		beta = float64(h.minRTT) / float64(h.maxRTT)
+	}
+	if beta < 0.5 {
+		beta = 0.5
+	}
+	if beta > 0.8 {
+		beta = 0.8
+	}
+	h.beta = beta
+	return s.Cwnd * beta
+}
+
+// Cubic implements CUBIC congestion control (RFC 8312 shape): window
+// growth is a cubic function of time since the last loss, centred on the
+// window size at which the loss occurred.
+type Cubic struct {
+	wMax      float64       // cwnd in bytes at last loss
+	epoch     time.Duration // sim time of last loss
+	started   bool
+	lastCwndT time.Duration
+}
+
+// Cubic constants per RFC 8312.
+const (
+	cubicC    = 0.4
+	cubicBeta = 0.7
+)
+
+// Name implements CongestionControl.
+func (c *Cubic) Name() string { return "cubic" }
+
+// Start implements CongestionControl.
+func (c *Cubic) Start(s *Sender) {
+	c.wMax = 0
+	c.started = false
+}
+
+// OnAck implements CongestionControl.
+func (c *Cubic) OnAck(s *Sender, acked int, rtt time.Duration) {
+	mss := float64(s.mss)
+	if c.wMax == 0 {
+		// No loss yet: grow aggressively, one MSS per ACK bounded by
+		// Reno-style growth scaled up (pre-loss CUBIC uses slow-start /
+		// hybrid probing; plain additive here).
+		s.Cwnd += mss * mss / s.Cwnd * 4
+		return
+	}
+	if !c.started {
+		c.started = true
+		c.epoch = s.now().Duration()
+	}
+	t := (s.now().Duration() - c.epoch).Seconds()
+	wMaxSeg := c.wMax / mss
+	k := math.Cbrt(wMaxSeg * (1 - cubicBeta) / cubicC)
+	target := cubicC*math.Pow(t-k, 3) + wMaxSeg // in segments
+	targetBytes := target * mss
+	if targetBytes > s.Cwnd {
+		// Approach the cubic target over one RTT.
+		s.Cwnd += (targetBytes - s.Cwnd) * float64(acked) / s.Cwnd
+	} else {
+		// TCP-friendly floor: at least Reno growth.
+		s.Cwnd += mss * mss / s.Cwnd
+	}
+}
+
+// Backoff implements CongestionControl.
+func (c *Cubic) Backoff(s *Sender) float64 {
+	c.wMax = s.Cwnd
+	c.started = false
+	return s.Cwnd * cubicBeta
+}

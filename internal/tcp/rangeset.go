@@ -1,0 +1,108 @@
+package tcp
+
+// rangeSet is a sorted set of disjoint half-open byte ranges, used as the
+// sender's SACK scoreboard.
+type rangeSet struct {
+	r     []byteRange
+	total int64
+}
+
+// add inserts [start, end), merging overlaps.
+func (s *rangeSet) add(start, end int64) {
+	if end <= start {
+		return
+	}
+	i := 0
+	for i < len(s.r) && s.r[i].start < start {
+		i++
+	}
+	s.r = append(s.r, byteRange{})
+	copy(s.r[i+1:], s.r[i:])
+	s.r[i] = byteRange{start, end}
+
+	merged := s.r[:0]
+	total := int64(0)
+	for _, rg := range s.r {
+		n := len(merged)
+		if n > 0 && rg.start <= merged[n-1].end {
+			if rg.end > merged[n-1].end {
+				merged[n-1].end = rg.end
+			}
+			continue
+		}
+		merged = append(merged, rg)
+	}
+	for _, rg := range merged {
+		total += rg.end - rg.start
+	}
+	s.r = merged
+	s.total = total
+}
+
+// trimBelow removes coverage below seq.
+func (s *rangeSet) trimBelow(seq int64) {
+	out := s.r[:0]
+	total := int64(0)
+	for _, rg := range s.r {
+		if rg.end <= seq {
+			continue
+		}
+		if rg.start < seq {
+			rg.start = seq
+		}
+		out = append(out, rg)
+		total += rg.end - rg.start
+	}
+	s.r = out
+	s.total = total
+}
+
+// clear empties the set.
+func (s *rangeSet) clear() {
+	s.r = s.r[:0]
+	s.total = 0
+}
+
+// totalBytes returns the covered byte count.
+func (s *rangeSet) totalBytes() int64 { return s.total }
+
+// max returns the highest covered sequence, or 0 when empty.
+func (s *rangeSet) max() int64 {
+	if len(s.r) == 0 {
+		return 0
+	}
+	return s.r[len(s.r)-1].end
+}
+
+// covers reports whether seq falls inside a covered range.
+func (s *rangeSet) covers(seq int64) bool {
+	for _, rg := range s.r {
+		if seq < rg.start {
+			return false
+		}
+		if seq < rg.end {
+			return true
+		}
+	}
+	return false
+}
+
+// nextHole returns the first uncovered sequence at or after from and
+// below max(). ok is false when no hole remains.
+func (s *rangeSet) nextHole(from int64) (int64, bool) {
+	if from >= s.max() {
+		return 0, false
+	}
+	for _, rg := range s.r {
+		if from < rg.start {
+			return from, true
+		}
+		if from < rg.end {
+			from = rg.end
+		}
+	}
+	if from < s.max() {
+		return from, true
+	}
+	return 0, false
+}

@@ -1,0 +1,745 @@
+package tcp
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Sender is the data-sending endpoint of a connection: the full NewReno
+// machine. Cwnd is exported (in bytes) for CongestionControl modules.
+type Sender struct {
+	Cwnd float64 // congestion window, bytes
+
+	net    *netsim.Network
+	host   *netsim.Host
+	flow   netsim.FlowKey
+	mss    int
+	opts   Options
+	cc     CongestionControl
+	onDone func(*Stats)
+
+	established bool
+	peerWScale  int  // scale the peer applies to windows it sends us
+	scalingOn   bool // both sides carried the option
+	sackOK      bool // SACK negotiated
+
+	// SACK scoreboard: ranges above sndUna the receiver holds, and hole
+	// starts already retransmitted in the current recovery episode.
+	sacked rangeSet
+	rexmit map[int64]bool
+
+	ssthresh float64
+	sndUna   int64
+	sndNxt   int64
+	maxSent  int64 // high-water mark, for counting retransmissions
+	total    int64 // bytes to send; -1 = unbounded
+	rwnd     int64
+	dupAcks  int
+
+	inRecovery bool
+	recover    int64
+	// recoverHi is the loss-episode high-water mark (RFC 6582): loss
+	// signals for data at or below it belong to an episode that already
+	// took its multiplicative decrease, so recovery resumes without
+	// another backoff. Without this, a mass-loss episode interrupted by
+	// an RTO charges one cwnd halving per revealed hole and pins the
+	// window at its floor.
+	recoverHi int64
+
+	srtt, rttvar time.Duration
+	rto          time.Duration
+	rttSeq       int64
+	rttSentAt    sim.Time
+	rttValid     bool
+
+	rtoTimer  *sim.Timer
+	synTimer  *sim.Timer
+	synTries  int
+	synSentAt sim.Time
+
+	paceNext  sim.Time // earliest time the next paced segment may leave
+	paceTimer *sim.Timer
+	tsqTimer  *sim.Timer
+
+	// wasCwndLimited records whether, since the last ACK, a transmission
+	// attempt was blocked by cwnd specifically (not by the receive
+	// window or pacing). RFC 2861-style cwnd validation keys off it.
+	wasCwndLimited bool
+
+	// Limited counts why transmission loops stopped — diagnostic
+	// visibility into which constraint binds a connection.
+	Limited struct {
+		Cwnd, Rwnd, Pace, Burst, Data, Tsq uint64
+	}
+
+	stats Stats
+	done  bool
+
+	// cwndTrace, when enabled via TraceCwnd, records (time, cwnd) pairs.
+	cwndTrace *Series
+}
+
+func newSender(net *netsim.Network, host *netsim.Host, flow netsim.FlowKey,
+	mss int, size units.ByteSize, opts Options, onDone func(*Stats)) *Sender {
+	total := int64(size)
+	if size < 0 {
+		total = -1
+	}
+	s := &Sender{
+		net:    net,
+		host:   host,
+		flow:   flow,
+		mss:    mss,
+		opts:   opts,
+		cc:     opts.CC,
+		onDone: onDone,
+		total:  total,
+		rto:    time.Second,
+		rwnd:   int64(opts.RcvBuf), // refined by the SYN-ACK
+	}
+	s.Cwnd = float64(opts.InitialCwnd * mss)
+	s.ssthresh = 1 << 30 // effectively unbounded until first loss
+	s.rexmit = make(map[int64]bool)
+	s.stats = Stats{
+		Flow:   flow,
+		CCName: opts.CC.Name(),
+		MSS:    mss,
+		Start:  net.Sched.Now(),
+	}
+	return s
+}
+
+// MSS returns the negotiated maximum segment size in bytes.
+func (s *Sender) MSS() int { return s.mss }
+
+// Flow returns the connection's flow key (client -> server direction).
+func (s *Sender) Flow() netsim.FlowKey { return s.flow }
+
+// Stats returns a snapshot of the connection statistics, with End set to
+// now for in-progress connections.
+func (s *Sender) Stats() *Stats {
+	st := s.stats
+	if !s.done {
+		st.End = s.net.Sched.Now()
+	}
+	st.SRTT = s.srtt
+	st.WScaleOK = s.scalingOn
+	return &st
+}
+
+// Done reports whether all data has been acknowledged.
+func (s *Sender) Done() bool { return s.done }
+
+// InFlight returns unacknowledged bytes.
+func (s *Sender) InFlight() units.ByteSize { return units.ByteSize(s.sndNxt - s.sndUna) }
+
+// TraceThroughput samples goodput (bytes acknowledged per interval,
+// expressed in bits/s) into the returned series, until the connection
+// completes — the per-flow utilization series behind Figure 8.
+func (s *Sender) TraceThroughput(interval time.Duration) *Series {
+	tr := &Series{}
+	last := s.stats.BytesAcked
+	var tick *sim.Ticker
+	tick = s.net.Sched.Every(interval, func() {
+		if s.done {
+			tick.Stop()
+			return
+		}
+		delta := s.stats.BytesAcked - last
+		last = s.stats.BytesAcked
+		tr.Add(s.net.Sched.Now(), float64(delta)*8/interval.Seconds())
+	})
+	return tr
+}
+
+// TraceCwnd samples the congestion window every interval into the
+// returned series, until the connection completes.
+func (s *Sender) TraceCwnd(interval time.Duration) *Series {
+	s.cwndTrace = &Series{}
+	var tick *sim.Ticker
+	tick = s.net.Sched.Every(interval, func() {
+		if s.done {
+			tick.Stop()
+			return
+		}
+		s.cwndTrace.Add(s.net.Sched.Now(), s.Cwnd)
+	})
+	return s.cwndTrace
+}
+
+func (s *Sender) now() sim.Time { return s.net.Sched.Now() }
+
+// --- handshake ---
+
+func (s *Sender) sendSYN() {
+	ws := netsim.NoWScale
+	if s.opts.WindowScale {
+		ws = DefaultWindowScale
+	}
+	s.synSentAt = s.now()
+	s.host.Send(&netsim.Packet{
+		Flow:      s.flow,
+		Size:      HeaderSize,
+		Flags:     netsim.FlagSYN,
+		WScale:    ws,
+		MSSOpt:    s.mss,
+		SackOK:    !s.opts.NoSACK,
+		WindowRaw: int(min64(int64(s.opts.RcvBuf), 65535)),
+	})
+	s.synTries++
+	s.synTimer = s.net.Sched.After(time.Second*time.Duration(1<<uint(s.synTries-1)), func() {
+		if !s.established && s.synTries < 6 {
+			s.sendSYN()
+		}
+	})
+}
+
+func (s *Sender) deliver(pkt *netsim.Packet) {
+	if s.done {
+		return
+	}
+	switch {
+	case pkt.Flags.Has(netsim.FlagSYN | netsim.FlagACK):
+		s.handleSynAck(pkt)
+	case pkt.Flags.Has(netsim.FlagACK):
+		s.handleAck(pkt)
+	}
+}
+
+func (s *Sender) handleSynAck(pkt *netsim.Packet) {
+	if s.established {
+		// Duplicate SYN-ACK (our ACK was lost): re-ack.
+		s.sendHandshakeAck()
+		return
+	}
+	s.established = true
+	if s.synTimer != nil {
+		s.synTimer.Stop()
+	}
+	// Window scaling is on only if we offered it and the (possibly
+	// middlebox-mangled) SYN-ACK still carries the option.
+	s.scalingOn = s.opts.WindowScale && pkt.WScale != netsim.NoWScale
+	if s.scalingOn {
+		s.peerWScale = pkt.WScale
+	} else {
+		s.peerWScale = 0
+	}
+	s.sackOK = !s.opts.NoSACK && pkt.SackOK
+	// The window field on a SYN-ACK is never scaled (RFC 1323 §2.2).
+	s.rwnd = int64(pkt.WindowRaw)
+	// Handshake RTT seeds the estimator.
+	s.updateRTT(s.now().Sub(s.synSentAt))
+	s.sendHandshakeAck()
+	s.cc.Start(s)
+	s.trySend()
+}
+
+func (s *Sender) sendHandshakeAck() {
+	s.host.Send(&netsim.Packet{
+		Flow:  s.flow,
+		Size:  HeaderSize,
+		Flags: netsim.FlagACK,
+	})
+}
+
+// --- ACK processing ---
+
+func (s *Sender) handleAck(pkt *netsim.Packet) {
+	s.rwnd = int64(pkt.WindowRaw) << uint(s.peerWScale)
+	ack := pkt.Ack
+
+	if s.sackOK {
+		for _, b := range pkt.Sack {
+			start, end := b[0], b[1]
+			if start < s.sndUna {
+				start = s.sndUna
+			}
+			s.sacked.add(start, end)
+		}
+	}
+
+	switch {
+	case ack > s.sndUna:
+		s.handleNewAck(ack)
+	case ack == s.sndUna && s.sndNxt > s.sndUna:
+		s.handleDupAck()
+	}
+
+	// RFC 6675-style loss detection: enough SACKed bytes above the
+	// cumulative ACK imply loss even without three exact duplicates.
+	if s.sackOK && !s.inRecovery && !s.done &&
+		s.sacked.totalBytes() >= int64(3*s.mss) {
+		if s.sacked.max() <= s.recoverHi {
+			s.resumeRecovery()
+		} else {
+			s.enterRecovery()
+		}
+	}
+	s.trySend()
+}
+
+// resumeRecovery re-arms hole-driven retransmission for losses belonging
+// to an episode that already backed off — no additional decrease.
+func (s *Sender) resumeRecovery() {
+	s.recover = s.recoverHi
+	s.inRecovery = true
+	s.rexmit = make(map[int64]bool)
+	s.resetRTO()
+}
+
+func (s *Sender) handleNewAck(ack int64) {
+	acked := ack - s.sndUna
+	s.stats.BytesAcked += units.ByteSize(acked)
+	// RFC 2861 congestion-window validation: only grow cwnd when it was
+	// actually the binding constraint since the last ACK. Without this,
+	// a receive-window- or pace-limited sender inflates cwnd arbitrarily
+	// and then releases huge line-rate bursts whenever the advertised
+	// window jumps. Like Linux, a slow-start flow with more than half a
+	// window in flight still counts as cwnd-limited, so pacing micro-
+	// gaps do not stall the exponential ramp.
+	inflightNow := s.sndNxt - s.sndUna
+	cwndLimited := s.wasCwndLimited ||
+		(s.Cwnd < s.ssthresh && float64(2*inflightNow) > s.Cwnd)
+	s.wasCwndLimited = false
+
+	var rtt time.Duration
+	if s.rttValid && ack >= s.rttSeq {
+		rtt = s.now().Sub(s.rttSentAt)
+		s.updateRTT(rtt)
+		s.rttValid = false
+	}
+
+	s.sndUna = ack
+	if s.sackOK {
+		s.sacked.trimBelow(ack)
+		for seq := range s.rexmit {
+			if seq < ack {
+				delete(s.rexmit, seq)
+			}
+		}
+	}
+
+	if s.inRecovery {
+		if ack >= s.recover {
+			// Full recovery: deflate to ssthresh and resume avoidance.
+			s.inRecovery = false
+			s.dupAcks = 0
+			s.Cwnd = s.ssthresh
+		} else if !s.sackOK {
+			// NewReno partial ACK: the next segment after ack is also
+			// lost. (With SACK, hole-driven retransmission in trySend
+			// covers this.)
+			s.retransmitSegment(s.sndUna)
+			s.Cwnd -= float64(acked)
+			if s.Cwnd < float64(s.mss) {
+				s.Cwnd = float64(s.mss)
+			}
+			s.Cwnd += float64(s.mss)
+			s.resetRTO()
+			return
+		} else {
+			// SACK recovery partial ACK. If cwnd is below ssthresh the
+			// episode began with an RTO (loss state): slow-start the
+			// window back up while holes are repaired, as real stacks
+			// do — otherwise a collapsed window repairs a mass-loss
+			// backlog at a crawl.
+			if s.Cwnd < s.ssthresh {
+				inc := float64(acked)
+				if inc > float64(2*s.mss) {
+					inc = float64(2 * s.mss)
+				}
+				s.Cwnd += inc
+			}
+			s.resetRTO()
+			return
+		}
+	} else {
+		s.dupAcks = 0
+		switch {
+		case !cwndLimited:
+			// Validation: no growth while rwnd- or app-limited.
+		case s.Cwnd < s.ssthresh:
+			// Slow start: one MSS per ACK (bounded by bytes acked with
+			// appropriate byte counting).
+			inc := float64(acked)
+			if inc > float64(2*s.mss) {
+				inc = float64(2 * s.mss)
+			}
+			s.Cwnd += inc
+		default:
+			s.cc.OnAck(s, int(acked), rtt)
+		}
+	}
+
+	if units.ByteSize(s.Cwnd) > s.stats.PeakCwnd {
+		s.stats.PeakCwnd = units.ByteSize(s.Cwnd)
+	}
+
+	if s.total >= 0 && s.sndUna >= s.total {
+		s.complete(true)
+		return
+	}
+	s.resetRTO()
+}
+
+func (s *Sender) handleDupAck() {
+	s.dupAcks++
+	if s.inRecovery {
+		if !s.sackOK {
+			// NewReno window inflation for each additional dup ack.
+			// SACK mode uses pipe accounting instead.
+			s.Cwnd += float64(s.mss)
+		}
+		return
+	}
+	if s.dupAcks == 3 {
+		if s.sndUna < s.recoverHi {
+			s.resumeRecovery()
+		} else {
+			s.enterRecovery()
+		}
+	}
+}
+
+func (s *Sender) enterRecovery() {
+	s.stats.LossEvents++
+	s.ssthresh = s.cc.Backoff(s)
+	if s.ssthresh < float64(2*s.mss) {
+		s.ssthresh = float64(2 * s.mss)
+	}
+	s.recover = s.sndNxt
+	if s.recover > s.recoverHi {
+		s.recoverHi = s.recover
+	}
+	s.inRecovery = true
+	if s.sackOK {
+		// Pipe accounting governs transmission; no NewReno inflation.
+		s.Cwnd = s.ssthresh
+		s.rexmit = make(map[int64]bool)
+		s.retransmitSegment(s.sndUna)
+		s.rexmit[s.sndUna] = true
+	} else {
+		s.Cwnd = s.ssthresh + float64(3*s.mss)
+		s.retransmitSegment(s.sndUna)
+	}
+	s.resetRTO()
+}
+
+// --- transmission ---
+
+func (s *Sender) segmentLen(seq int64) int {
+	if s.total < 0 {
+		return s.mss
+	}
+	remaining := s.total - seq
+	if remaining <= 0 {
+		return 0
+	}
+	if remaining < int64(s.mss) {
+		return int(remaining)
+	}
+	return s.mss
+}
+
+func (s *Sender) sendSegment(seq int64, isRetransmit bool) {
+	length := s.segmentLen(seq)
+	if length == 0 {
+		return
+	}
+	if isRetransmit {
+		s.stats.Retransmits++
+		// Karn's algorithm: a retransmitted timing sample is invalid.
+		if s.rttValid && seq < s.rttSeq {
+			s.rttValid = false
+		}
+	} else if !s.rttValid {
+		s.rttSeq = seq + int64(length)
+		s.rttSentAt = s.now()
+		s.rttValid = true
+	}
+	s.host.Send(&netsim.Packet{
+		Flow:  s.flow,
+		Size:  HeaderSize + units.ByteSize(length),
+		Flags: netsim.FlagACK,
+		Seq:   seq,
+	})
+}
+
+func (s *Sender) retransmitSegment(seq int64) {
+	s.sendSegment(seq, true)
+}
+
+// maxBurstSegments bounds how many segments one ACK (or timer event) may
+// release, approximating the burst mitigation real stacks get from TCP
+// small queues and pacing. Without it, window jumps flood the local NIC
+// queue — self-inflicted loss no real sender exhibits.
+const maxBurstSegments = 10
+
+// tsqBytes is the TCP-small-queues budget: a sender stops handing
+// segments to its NIC once the local egress queue holds this much.
+// Without it, a sender whose NIC rate equals the path rate buffers its
+// whole window locally — hundreds of milliseconds of self-inflicted
+// queueing that inflates RTT and runs the receive-buffer autotuning away.
+const tsqBytes units.ByteSize = 256 * units.KB
+
+// tsqAllows defers transmission while the local NIC queue is over the
+// TSQ budget, scheduling a resume when it should have drained.
+func (s *Sender) tsqAllows() bool {
+	out := s.host.RouteTo(s.flow.Dst)
+	if out == nil {
+		return true
+	}
+	q := out.QueueBytes()
+	if q <= tsqBytes {
+		return true
+	}
+	if s.tsqTimer == nil || !s.tsqTimer.Pending() {
+		wait := out.Rate().Serialize(q - tsqBytes)
+		if wait < time.Microsecond {
+			wait = time.Microsecond
+		}
+		s.tsqTimer = s.net.Sched.After(wait, s.trySend)
+	}
+	return false
+}
+
+// pipe estimates bytes actually in flight: outstanding minus what the
+// receiver has selectively acknowledged (RFC 6675's pipe, simplified).
+func (s *Sender) pipe() int64 {
+	p := s.sndNxt - s.sndUna - s.sacked.totalBytes()
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+// sendHoleRetransmits retransmits SACK-identified holes while the pipe
+// has room — the recovery behaviour that repairs many losses per RTT
+// instead of NewReno's one.
+func (s *Sender) sendHoleRetransmits(budget *int) {
+	limit := min64(int64(s.Cwnd), s.rwnd)
+	cursor := s.sndUna
+	for *budget < maxBurstSegments {
+		hole, ok := s.sacked.nextHole(cursor)
+		if !ok {
+			return
+		}
+		// Align the hole to the sending segmentation (all segments are
+		// MSS-sized from sequence zero).
+		hole -= hole % int64(s.mss)
+		if hole < cursor {
+			hole = cursor
+		}
+		if s.rexmit[hole] || s.sacked.covers(hole) {
+			cursor = hole + int64(s.mss)
+			continue
+		}
+		if s.pipe()+int64(s.mss) > limit {
+			return
+		}
+		if !s.paceAllows(s.segmentLen(hole)) {
+			return
+		}
+		s.retransmitSegment(hole)
+		s.rexmit[hole] = true
+		cursor = hole + int64(s.mss)
+		*budget++
+	}
+}
+
+func (s *Sender) trySend() {
+	if !s.established || s.done {
+		return
+	}
+	burst := 0
+	if s.inRecovery && s.sackOK {
+		s.sendHoleRetransmits(&burst)
+	}
+	for {
+		if burst >= maxBurstSegments {
+			s.Limited.Burst++
+			break
+		}
+		length := s.segmentLen(s.sndNxt)
+		if length == 0 {
+			s.Limited.Data++
+			break
+		}
+		inflight := s.sndNxt - s.sndUna
+		if s.sackOK {
+			inflight = s.pipe()
+		}
+		limit := min64(int64(s.Cwnd), s.rwnd)
+		// Always allow one segment when nothing is in flight, so a
+		// zero/tiny window cannot deadlock the connection (the receiver
+		// buffers opportunistically, as real stacks' persist timers
+		// eventually would).
+		if inflight > 0 && inflight+int64(length) > limit {
+			if int64(s.Cwnd) <= s.rwnd {
+				s.wasCwndLimited = true
+				s.Limited.Cwnd++
+			} else {
+				s.Limited.Rwnd++
+			}
+			break
+		}
+		// TSQ after the window check, so cwnd-limited detection (and
+		// with it RFC 2861 growth) still sees the true constraint.
+		if !s.tsqAllows() {
+			s.Limited.Tsq++
+			break
+		}
+		// Pacing last: tokens are only consumed for segments that all
+		// other gates have already admitted.
+		if !s.paceAllows(length) {
+			s.Limited.Pace++
+			break
+		}
+		isRetx := s.sndNxt < s.maxSent
+		s.sendSegment(s.sndNxt, isRetx)
+		s.sndNxt += int64(length)
+		if s.sndNxt > s.maxSent {
+			s.maxSent = s.sndNxt
+		}
+		burst++
+	}
+	if s.sndNxt > s.sndUna && (s.rtoTimer == nil || !s.rtoTimer.Pending()) {
+		s.armRTO()
+	}
+}
+
+// paceAllows implements sender pacing as a leaky-bucket schedule: each
+// admitted segment advances the earliest-departure time by its
+// serialization time at the pace rate, with idle credit capped at a
+// 16-segment burst. When pacing blocks, a timer resumes trySend exactly
+// at the next departure slot.
+func (s *Sender) paceAllows(length int) bool {
+	rate := s.opts.PaceRate
+	if rate <= 0 {
+		return true
+	}
+	now := s.now()
+	if now < s.paceNext {
+		if s.paceTimer == nil || !s.paceTimer.Pending() {
+			s.paceTimer = s.net.Sched.At(s.paceNext, s.trySend)
+		}
+		return false
+	}
+	// Forgive idle time beyond a 16-segment burst allowance, so a long
+	// pause cannot bank an unbounded line-rate burst.
+	burst := rate.Serialize(units.ByteSize(16 * (s.mss + int(HeaderSize))))
+	base := s.paceNext
+	if floor := now.Add(-burst); base < floor {
+		base = floor
+	}
+	s.paceNext = base.Add(rate.Serialize(units.ByteSize(length) + HeaderSize))
+	return true
+}
+
+// --- timers & RTT ---
+
+func (s *Sender) updateRTT(sample time.Duration) {
+	if sample <= 0 {
+		sample = time.Microsecond
+	}
+	if s.srtt == 0 {
+		s.srtt = sample
+		s.rttvar = sample / 2
+	} else {
+		diff := s.srtt - sample
+		if diff < 0 {
+			diff = -diff
+		}
+		s.rttvar = (3*s.rttvar + diff) / 4
+		s.srtt = (7*s.srtt + sample) / 8
+	}
+	s.rto = s.srtt + 4*s.rttvar
+	if s.rto < MinRTO {
+		s.rto = MinRTO
+	}
+	if s.rto > MaxRTO {
+		s.rto = MaxRTO
+	}
+}
+
+func (s *Sender) armRTO() {
+	s.rtoTimer = s.net.Sched.After(s.rto, s.onRTO)
+}
+
+func (s *Sender) resetRTO() {
+	if s.rtoTimer != nil {
+		s.rtoTimer.Stop()
+	}
+	if s.sndNxt > s.sndUna {
+		s.armRTO()
+	}
+}
+
+func (s *Sender) onRTO() {
+	if s.done || s.sndUna >= s.sndNxt {
+		return
+	}
+	s.stats.RTOs++
+	s.ssthresh = s.Cwnd / 2
+	if s.ssthresh < float64(2*s.mss) {
+		s.ssthresh = float64(2 * s.mss)
+	}
+	s.Cwnd = float64(s.mss)
+	s.inRecovery = false
+	s.dupAcks = 0
+	s.rttValid = false
+	// The scoreboard may be stale (reneging is permitted); discard it.
+	s.sacked.clear()
+	s.rexmit = make(map[int64]bool)
+	// Go-back-N: restart from the first unacknowledged byte.
+	s.sndNxt = s.sndUna
+	s.rto *= 2
+	if s.rto > MaxRTO {
+		s.rto = MaxRTO
+	}
+	s.trySend()
+}
+
+func (s *Sender) complete(success bool) {
+	s.done = true
+	s.stats.End = s.now()
+	s.stats.Done = success
+	s.stats.SRTT = s.srtt
+	s.stats.WScaleOK = s.scalingOn
+	if s.rtoTimer != nil {
+		s.rtoTimer.Stop()
+	}
+	if s.synTimer != nil {
+		s.synTimer.Stop()
+	}
+	if s.paceTimer != nil {
+		s.paceTimer.Stop()
+	}
+	if s.tsqTimer != nil {
+		s.tsqTimer.Stop()
+	}
+	s.host.Unbind(netsim.ProtoTCP, s.flow.SrcPort)
+	if s.onDone != nil {
+		st := s.stats
+		s.onDone(&st)
+	}
+}
+
+// Abort ends the connection immediately (a fixed-duration throughput test
+// finishing, or an operator kill), finalizing statistics with Done=false.
+func (s *Sender) Abort() {
+	if s.done {
+		return
+	}
+	s.complete(false)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

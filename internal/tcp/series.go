@@ -1,0 +1,42 @@
+package tcp
+
+import "repro/internal/sim"
+
+// Series is a simple (time, value) trace used for congestion-window and
+// throughput sampling in figures.
+type Series struct {
+	Times  []sim.Time
+	Values []float64
+}
+
+// Add appends a sample.
+func (s *Series) Add(t sim.Time, v float64) {
+	s.Times = append(s.Times, t)
+	s.Values = append(s.Values, v)
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Times) }
+
+// Max returns the maximum value, or 0 for an empty series.
+func (s *Series) Max() float64 {
+	max := 0.0
+	for _, v := range s.Values {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty series.
+func (s *Series) Mean() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum / float64(len(s.Values))
+}

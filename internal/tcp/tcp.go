@@ -1,0 +1,250 @@
+// Package tcp is a segment-level TCP model running over internal/netsim.
+//
+// It implements the mechanisms the Science DMZ paper's analysis depends
+// on: slow start and congestion avoidance with pluggable congestion
+// control (Reno, H-TCP, CUBIC), NewReno fast retransmit / fast recovery,
+// retransmission timeouts with exponential backoff, RFC 1323 window
+// scaling negotiated on the SYN exchange (and breakable by middleboxes
+// that strip the option — the §6.2 Penn State pathology), and
+// receive-buffer auto-tuning.
+//
+// The API is push-oriented: a Server listens on a host, and Dial creates
+// a connection that sends a given number of bytes to it. Throughput,
+// retransmission, and congestion-window time series are recorded per
+// connection for the benchmark harness.
+package tcp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// HeaderSize is the combined IP+TCP header overhead per segment. Option
+// bytes are ignored — they are noise at the fidelity this model targets.
+const HeaderSize units.ByteSize = 40
+
+// Default protocol parameters.
+const (
+	DefaultInitialCwndSegments = 10
+	DefaultWindowScale         = 12 // windows up to 256 MiB, enough for 10G x 100ms paths
+	DefaultRcvBuf              = 64 * units.KiB
+	DefaultMaxRcvBuf           = 256 * units.MiB
+	MinRTO                     = 200 * time.Millisecond
+	MaxRTO                     = 60 * time.Second
+)
+
+// Options configures one endpoint of a connection.
+type Options struct {
+	// CC selects the congestion-control algorithm; nil means NewReno.
+	// Each connection needs its own instance (CC modules keep state).
+	CC CongestionControl
+
+	// MSS is the maximum segment payload in bytes; zero derives it from
+	// the path MTU (MTU - HeaderSize).
+	MSS int
+
+	// WindowScale offers the RFC 1323 window-scale option on the SYN.
+	// Without it (or when a middlebox strips it) windows cap at 64 KiB.
+	WindowScale bool
+
+	// RcvBuf is the receiver's initial socket buffer. Zero defaults to
+	// DefaultRcvBuf (64 KiB, the classic default of §6.2).
+	RcvBuf units.ByteSize
+
+	// AutoTune enables dynamic receive-buffer growth up to MaxRcvBuf,
+	// modelling Linux receive-buffer auto-tuning.
+	AutoTune bool
+
+	// MaxRcvBuf bounds auto-tuning. Zero defaults to DefaultMaxRcvBuf.
+	MaxRcvBuf units.ByteSize
+
+	// InitialCwnd is the initial congestion window in segments; zero
+	// defaults to 10 (RFC 6928).
+	InitialCwnd int
+
+	// NoDelayedAck makes the receiver ack every segment instead of every
+	// second one.
+	NoDelayedAck bool
+
+	// PaceRate, when positive, caps the sender's transmission rate with
+	// a token bucket — how a DTN is provisioned to a circuit reservation
+	// or throttled to its storage bandwidth. Zero means unpaced (pure
+	// ack-clocking).
+	PaceRate units.BitRate
+
+	// NoSACK disables selective acknowledgments, leaving pure NewReno
+	// recovery (one hole repaired per RTT). Every real stack has had
+	// SACK since the late 1990s; the flag exists for ablation.
+	NoSACK bool
+}
+
+// Tuned returns the options of a properly configured data-transfer host:
+// window scaling on, auto-tuning receive buffers (per the ESnet DTN
+// tuning guide the paper references).
+func Tuned() Options {
+	return Options{WindowScale: true, AutoTune: true}
+}
+
+// TunedWith returns Tuned options with the given congestion control.
+func TunedWith(cc CongestionControl) Options {
+	o := Tuned()
+	o.CC = cc
+	return o
+}
+
+// Legacy returns the options of an untuned legacy host: 64 KiB fixed
+// buffers and no window scaling — the configuration whose transfers
+// "trickle in at 1-2MB/s" in §6.3.
+func Legacy() Options {
+	return Options{WindowScale: false, AutoTune: false, RcvBuf: 64 * units.KiB}
+}
+
+func (o Options) withDefaults() Options {
+	if o.CC == nil {
+		o.CC = NewReno{}
+	}
+	if o.RcvBuf == 0 {
+		o.RcvBuf = DefaultRcvBuf
+	}
+	if o.MaxRcvBuf == 0 {
+		o.MaxRcvBuf = DefaultMaxRcvBuf
+	}
+	if o.InitialCwnd == 0 {
+		o.InitialCwnd = DefaultInitialCwndSegments
+	}
+	return o
+}
+
+// Server accepts connections on a host port and sinks their data. One
+// Server handles any number of concurrent connections, each with its own
+// receiver state.
+type Server struct {
+	Host *netsim.Host
+	Port uint16
+	Opts Options
+
+	conns map[netsim.FlowKey]*receiver
+
+	// Accepted counts connections accepted (SYNs seen for new flows).
+	Accepted int
+}
+
+// NewServer binds a sink server to a host TCP port.
+func NewServer(h *netsim.Host, port uint16, opts Options) *Server {
+	s := &Server{
+		Host:  h,
+		Port:  port,
+		Opts:  opts.withDefaults(),
+		conns: make(map[netsim.FlowKey]*receiver),
+	}
+	h.Bind(netsim.ProtoTCP, port, netsim.HandlerFunc(s.deliver))
+	return s
+}
+
+// Close unbinds the server from its port.
+func (s *Server) Close() { s.Host.Unbind(netsim.ProtoTCP, s.Port) }
+
+func (s *Server) deliver(pkt *netsim.Packet) {
+	key := pkt.Flow
+	r, ok := s.conns[key]
+	if !ok {
+		if !pkt.Flags.Has(netsim.FlagSYN) {
+			// Stray segment for an unknown flow (e.g., late retransmit
+			// after an RST in some future model); ignore.
+			return
+		}
+		r = newReceiver(s, key)
+		s.conns[key] = r
+		s.Accepted++
+	}
+	r.deliver(pkt)
+}
+
+// Received returns total payload bytes sunk across all connections.
+func (s *Server) Received() units.ByteSize {
+	var total units.ByteSize
+	for _, r := range s.conns {
+		total += r.delivered
+	}
+	return total
+}
+
+// Conn is the sending endpoint of a connection created by Dial.
+type Conn struct {
+	*Sender
+}
+
+// Dial opens a connection from client to the server's host/port and
+// prepares to send size bytes of application data (size < 0 means send
+// until the simulation ends). onDone, if non-nil, runs when the final
+// byte is acknowledged.
+//
+// The connection starts with the SYN exchange immediately; data flows as
+// soon as the handshake completes.
+func Dial(client *netsim.Host, srv *Server, size units.ByteSize, opts Options, onDone func(*Stats)) *Conn {
+	opts = opts.withDefaults()
+	if client.Network() != srv.Host.Network() {
+		panic("tcp: Dial across different networks")
+	}
+	net := client.Network()
+	mss := opts.MSS
+	if mss == 0 {
+		mtu := net.PathMTU(client.Name(), srv.Host.Name())
+		if mtu == 0 {
+			mtu = netsim.DefaultMTU
+		}
+		mss = mtu - int(HeaderSize)
+	}
+	flow := netsim.FlowKey{
+		Src:     client.Name(),
+		Dst:     srv.Host.Name(),
+		SrcPort: client.EphemeralPort(),
+		DstPort: srv.Port,
+		Proto:   netsim.ProtoTCP,
+	}
+	snd := newSender(net, client, flow, mss, size, opts, onDone)
+	client.Bind(netsim.ProtoTCP, flow.SrcPort, netsim.HandlerFunc(snd.deliver))
+	snd.sendSYN()
+	return &Conn{Sender: snd}
+}
+
+// Stats summarizes a connection for the benchmark harness.
+type Stats struct {
+	Flow        netsim.FlowKey
+	CCName      string
+	MSS         int
+	Start, End  sim.Time
+	Done        bool
+	BytesAcked  units.ByteSize
+	Retransmits int
+	LossEvents  int // fast-retransmit episodes
+	RTOs        int
+	SRTT        time.Duration
+	WScaleOK    bool // window scaling successfully negotiated
+	PeakCwnd    units.ByteSize
+}
+
+// Duration returns the elapsed connection time (to completion, or to the
+// last ACK processed for unfinished flows).
+func (st *Stats) Duration() time.Duration {
+	return st.End.Sub(st.Start)
+}
+
+// Throughput returns average goodput over the connection lifetime.
+func (st *Stats) Throughput() units.BitRate {
+	d := st.Duration()
+	if d <= 0 {
+		return 0
+	}
+	return units.Rate(st.BytesAcked, d)
+}
+
+func (st *Stats) String() string {
+	return fmt.Sprintf("%s %s: %v in %v = %v (retx=%d lossEv=%d rto=%d srtt=%v)",
+		st.Flow, st.CCName, st.BytesAcked, st.Duration(), st.Throughput(),
+		st.Retransmits, st.LossEvents, st.RTOs, st.SRTT)
+}

@@ -1,0 +1,126 @@
+package topo
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/dtn"
+	"repro/internal/netsim"
+	"repro/internal/tcp"
+	"repro/internal/units"
+)
+
+// DYNES models the NSF DYNES deployment (§7.1): campus DTNs connected
+// through regional networks to a national backbone, with per-domain
+// OSCARS services stitched by an inter-domain controller, so guaranteed
+// circuits can be provisioned campus-to-campus across three
+// administrative domains.
+type DYNES struct {
+	Net *netsim.Network
+
+	// Campuses holds one DTN per campus, keyed by campus name.
+	Campuses map[string]*dtn.Node
+
+	// Domains are the per-domain reservation services: each campus, each
+	// regional, and the backbone.
+	Domains map[string]*circuit.Service
+
+	// IDC is the inter-domain controller coordinating them.
+	IDC *circuit.IDC
+}
+
+// DYNESConfig adjusts the build.
+type DYNESConfig struct {
+	// CampusesPerRegional is the campus count per regional network;
+	// zero means 2.
+	CampusesPerRegional int
+	// Regionals is the regional-network count; zero means 2.
+	Regionals int
+	// BackboneDelay is the one-way latency across the backbone; zero
+	// means 15 ms.
+	BackboneDelay time.Duration
+}
+
+// NewDYNES builds the multi-domain topology:
+//
+//	campus00 --\
+//	            regional0 --\
+//	campus01 --/             backbone
+//	campus10 --\            /
+//	            regional1 --
+//	campus11 --/
+func NewDYNES(seed int64, cfg DYNESConfig) *DYNES {
+	if cfg.CampusesPerRegional == 0 {
+		cfg.CampusesPerRegional = 2
+	}
+	if cfg.Regionals == 0 {
+		cfg.Regionals = 2
+	}
+	if cfg.BackboneDelay == 0 {
+		cfg.BackboneDelay = 15 * time.Millisecond
+	}
+	n := netsim.New(seed)
+	d := &DYNES{
+		Net:      n,
+		Campuses: make(map[string]*dtn.Node),
+		Domains:  make(map[string]*circuit.Service),
+	}
+
+	bb := n.NewDevice("backbone", netsim.DeviceConfig{EgressBuffer: 64 * units.MB})
+	var backboneLinks []*netsim.Link
+
+	for r := 0; r < cfg.Regionals; r++ {
+		regName := fmt.Sprintf("regional%d", r)
+		reg := n.NewDevice(regName, netsim.DeviceConfig{EgressBuffer: 64 * units.MB})
+		up := n.Connect(reg, bb, netsim.LinkConfig{
+			Rate: 100 * units.Gbps, Delay: cfg.BackboneDelay, MTU: 9000,
+		})
+		backboneLinks = append(backboneLinks, up)
+
+		var regLinks []*netsim.Link
+		for c := 0; c < cfg.CampusesPerRegional; c++ {
+			campusName := fmt.Sprintf("campus%d%d", r, c)
+			border := n.NewDevice(campusName+"-border", netsim.DeviceConfig{EgressBuffer: 32 * units.MB})
+			host := n.NewHost(campusName + "-dtn")
+			access := n.Connect(border, reg, netsim.LinkConfig{
+				Rate: 10 * units.Gbps, Delay: 2 * time.Millisecond, MTU: 9000,
+			})
+			local := n.Connect(host, border, netsim.LinkConfig{
+				Rate: 10 * units.Gbps, Delay: 10 * time.Microsecond, MTU: 9000,
+			})
+			d.Campuses[campusName] = dtn.New(host, dtn.Disk{}, tcp.Tuned())
+			// The campus owns its internal links; the regional owns the
+			// access links it provides; the backbone owns the uplinks.
+			d.Domains[campusName] = circuit.NewService(n, campusName, local)
+			regLinks = append(regLinks, access)
+		}
+		d.Domains[regName] = circuit.NewService(n, regName, regLinks...)
+	}
+	d.Domains["backbone"] = circuit.NewService(n, "backbone", backboneLinks...)
+	n.ComputeRoutes()
+
+	var services []*circuit.Service
+	for _, s := range d.Domains {
+		services = append(services, s)
+	}
+	d.IDC = circuit.NewIDC(n, services...)
+	return d
+}
+
+// CampusNames returns campus names in creation order.
+func (d *DYNES) CampusNames() []string {
+	var out []string
+	for name := range d.Campuses {
+		out = append(out, name)
+	}
+	// Deterministic order.
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j] < out[i] {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package topo
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rdma"
+	"repro/internal/tcp"
+	"repro/internal/units"
+)
+
+func TestDYNESTopology(t *testing.T) {
+	d := NewDYNES(1, DYNESConfig{})
+	names := d.CampusNames()
+	if len(names) != 4 {
+		t.Fatalf("campuses = %v", names)
+	}
+	// Cross-regional path: campus00 -> campus10 crosses both regionals
+	// and the backbone.
+	path := d.Net.Path("campus00-dtn", "campus10-dtn")
+	want := []string{"campus00-dtn", "campus00-border", "regional0", "backbone", "regional1", "campus10-border", "campus10-dtn"}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	// 4 campuses + 2 regionals + backbone = 7 domains.
+	if len(d.Domains) != 7 {
+		t.Errorf("domains = %d, want 7", len(d.Domains))
+	}
+}
+
+func TestDYNESMultiDomainCircuit(t *testing.T) {
+	d := NewDYNES(1, DYNESConfig{})
+	c, err := d.IDC.Reserve("e2e", "campus00-dtn", "campus11-dtn", 5*units.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Path) != 7 {
+		t.Errorf("circuit path = %v", c.Path)
+	}
+	// The reservation committed bandwidth in each domain it crosses:
+	// both campuses' local links and both regionals' access links.
+	for _, name := range []string{"campus00", "campus11", "regional0", "regional1", "backbone"} {
+		svc := d.Domains[name]
+		found := false
+		for _, l := range d.Net.Links() {
+			if svc.Owns(l) && svc.Available(l) < units.BitRate(0.9*float64(l.Rate)) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("domain %s shows no committed bandwidth", name)
+		}
+	}
+	c.Release()
+}
+
+func TestDYNESCircuitProtectsRoCEAcrossDomains(t *testing.T) {
+	// The DYNES purpose: a guaranteed end-to-end circuit lets RoCE run
+	// campus-to-campus at the provisioned rate despite TCP cross
+	// traffic on the shared regional uplinks.
+	d := NewDYNES(1, DYNESConfig{})
+	if _, err := d.IDC.Reserve("roce", "campus00-dtn", "campus10-dtn", 9*units.Gbps); err != nil {
+		t.Fatal(err)
+	}
+	// Cross traffic: campus01 -> campus11 TCP flows share regional0's
+	// uplink with the circuit.
+	srv := tcp.NewServer(d.Campuses["campus11"].Host, 2811, tcp.Tuned())
+	for i := 0; i < 4; i++ {
+		tcp.Dial(d.Campuses["campus01"].Host, srv, -1, tcp.Tuned(), nil)
+	}
+	var res *rdma.Result
+	rdma.Transfer(d.Campuses["campus00"].Host, d.Campuses["campus10"].Host, 4791,
+		2*units.GB, rdma.Options{Rate: 8500 * units.Mbps}, func(r *rdma.Result) { res = r })
+	d.Net.RunFor(10 * time.Second)
+	if res == nil {
+		t.Fatal("RoCE transfer did not finish")
+	}
+	gbps := float64(res.Throughput()) / 1e9
+	if gbps < 7 {
+		t.Errorf("cross-domain RoCE = %.2f Gbps, want near 8.5", gbps)
+	}
+	if res.Rewinds > 2 {
+		t.Errorf("rewinds = %d; circuit should protect the flow", res.Rewinds)
+	}
+}
+
+func TestDYNESAdmissionAcrossSharedSegment(t *testing.T) {
+	// Two circuits crossing the same regional access link must not
+	// oversubscribe it: the second large reservation is refused.
+	d := NewDYNES(1, DYNESConfig{})
+	if _, err := d.IDC.Reserve("a", "campus00-dtn", "campus10-dtn", 6*units.Gbps); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.IDC.Reserve("b", "campus00-dtn", "campus11-dtn", 6*units.Gbps); err == nil {
+		t.Fatal("second 6G circuit over the same 10G access link should be refused")
+	}
+	// A smaller one still fits.
+	if _, err := d.IDC.Reserve("c", "campus00-dtn", "campus11-dtn", 2*units.Gbps); err != nil {
+		t.Fatalf("2G circuit should fit: %v", err)
+	}
+}

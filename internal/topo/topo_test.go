@@ -1,0 +1,225 @@
+package topo
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/tcp"
+	"repro/internal/units"
+)
+
+func TestCampusPathCrossesFirewall(t *testing.T) {
+	c := NewCampus(1, CampusConfig{})
+	path := c.Net.Path("remote-dtn", "science")
+	want := []string{"remote-dtn", "border", "fw", "core", "dept", "science"}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	if len(c.OfficeHosts) != 8 {
+		t.Errorf("offices = %d", len(c.OfficeHosts))
+	}
+	// Science host untuned by default.
+	if c.ScienceHost.Tuning.WindowScale {
+		t.Error("default science host should be untuned")
+	}
+}
+
+func TestCampusTransferIsSlow(t *testing.T) {
+	// The "before" picture: untuned host + firewall + long WAN => slow.
+	c := NewCampus(1, CampusConfig{})
+	var res *tcp.Stats
+	srv := tcp.NewServer(c.ScienceHost.Host, 5001, c.ScienceHost.Tuning)
+	tcp.Dial(c.RemoteDTN.Host, srv, 20*units.MB, c.RemoteDTN.Tuning, func(st *tcp.Stats) { res = st })
+	c.Net.RunFor(2 * time.Minute)
+	if res == nil {
+		t.Fatal("transfer did not finish")
+	}
+	mbps := float64(res.Throughput()) / 1e6
+	if mbps > 50 {
+		t.Errorf("campus transfer = %.1f Mbps; the general-purpose path should be slow", mbps)
+	}
+}
+
+func TestSimpleDMZSciencePathAvoidsFirewall(t *testing.T) {
+	d := NewSimpleDMZ(1, SimpleDMZConfig{})
+	path := d.Net.Path("remote-dtn", "dtn")
+	for _, hop := range path {
+		if hop == "fw" {
+			t.Fatalf("science path %v crosses the firewall", path)
+		}
+	}
+	if len(path) != 4 { // remote-dtn border dmz-sw dtn
+		t.Errorf("path = %v, want 4 hops", path)
+	}
+	// Campus path still protected.
+	cpath := d.Net.Path("remote-dtn", "campus-pc")
+	foundFW := false
+	for _, hop := range cpath {
+		if hop == "fw" {
+			foundFW = true
+		}
+	}
+	if !foundFW {
+		t.Errorf("campus path %v should cross the firewall", cpath)
+	}
+}
+
+func TestSimpleDMZFastTransfer(t *testing.T) {
+	d := NewSimpleDMZ(1, SimpleDMZConfig{})
+	var res *tcp.Stats
+	srv := tcp.NewServer(d.DTN.Host, 2811, d.DTN.Tuning)
+	tcp.Dial(d.RemoteDTN.Host, srv, 500*units.MB, d.RemoteDTN.Tuning, func(st *tcp.Stats) { res = st })
+	d.Net.RunFor(30 * time.Second)
+	if res == nil {
+		t.Fatal("transfer did not finish")
+	}
+	gbps := float64(res.Throughput()) / 1e9
+	if gbps < 3 {
+		t.Errorf("DMZ transfer = %.2f Gbps, want multi-gigabit", gbps)
+	}
+}
+
+func TestSupercomputerTopology(t *testing.T) {
+	s := NewSupercomputer(1, SupercomputerConfig{})
+	if len(s.DTNs) != 4 {
+		t.Fatalf("DTNs = %d", len(s.DTNs))
+	}
+	// Every DTN mounts the filesystem directly (one fabric hop).
+	for _, d := range s.DTNs {
+		p := s.Net.Path(d.Host.Name(), "pfs")
+		if len(p) != 3 {
+			t.Errorf("DTN->pfs path = %v, want direct via fabric", p)
+		}
+	}
+	// WAN path to a DTN avoids login nodes entirely and is short.
+	p := s.Net.Path("remote-dtn", s.DTNs[0].Host.Name())
+	if len(p) != 4 {
+		t.Errorf("WAN->dtn path = %v", p)
+	}
+	// Login node models the untuned alternative.
+	if s.Login.Tuning.WindowScale {
+		t.Error("login node should be untuned")
+	}
+}
+
+func TestBigDataTopology(t *testing.T) {
+	b := NewBigData(1, BigDataConfig{})
+	if len(b.Cluster) != 6 || len(b.RemoteCluster) != 6 {
+		t.Fatalf("cluster sizes = %d/%d", len(b.Cluster), len(b.RemoteCluster))
+	}
+	// Science paths avoid both firewalls.
+	for _, x := range b.Cluster {
+		p := b.Net.Path(b.RemoteCluster[0].Host.Name(), x.Host.Name())
+		for _, hop := range p {
+			if hop == "fw1" || hop == "fw2" {
+				t.Errorf("science path %v crosses a firewall", p)
+			}
+		}
+	}
+	// Office path crosses a firewall.
+	p := b.Net.Path(b.RemoteCluster[0].Host.Name(), "office")
+	fwSeen := false
+	for _, hop := range p {
+		if hop == "fw1" || hop == "fw2" {
+			fwSeen = true
+		}
+	}
+	if !fwSeen {
+		t.Errorf("office path %v should cross a firewall", p)
+	}
+	if b.WAN.Rate != 40*units.Gbps {
+		t.Errorf("default big-data WAN = %v, want 40G", b.WAN.Rate)
+	}
+}
+
+func TestColoradoFanInPathology(t *testing.T) {
+	// Faulty switch: under the physics group's load the cut-through
+	// switch degrades to its slow store-and-forward engine and per-host
+	// throughput collapses. The vendor fix restores "near line rate for
+	// each member" (§6.1) — the 6x1G aggregate fits the 10G uplink.
+	run := func(fixed bool) (perHost float64, degraded bool) {
+		c := NewColorado(1, ColoradoConfig{FixedSwitch: fixed})
+		srv := tcp.NewServer(c.RemoteTier2.Host, 2811, c.RemoteTier2.Tuning)
+		var conns []*tcp.Conn
+		for _, ph := range c.Physics {
+			conns = append(conns, tcp.Dial(ph.Host, srv, -1, ph.Tuning, nil))
+		}
+		c.Net.RunFor(8 * time.Second)
+		var sum float64
+		for _, conn := range conns {
+			sum += float64(conn.Stats().Throughput())
+		}
+		return sum / float64(len(conns)) / 1e6, c.PhysicsAgg.Degraded
+	}
+	broken, degraded := run(false)
+	if !degraded {
+		t.Error("faulty switch should degrade to store-and-forward")
+	}
+	fixed, fixedDegraded := run(true)
+	if fixedDegraded {
+		t.Error("fixed switch should not degrade")
+	}
+	if fixed < 700 {
+		t.Errorf("fixed per-host = %.0f Mbps, want near line rate", fixed)
+	}
+	if broken > 0.5*fixed {
+		t.Errorf("broken per-host = %.0f Mbps vs fixed %.0f: expected clear collapse", broken, fixed)
+	}
+}
+
+func TestPennStateSequenceCheckingPathology(t *testing.T) {
+	run := func(seqCheck bool) *tcp.Stats {
+		p := NewPennState(1, PennStateConfig{SequenceChecking: seqCheck})
+		srv := tcp.NewServer(p.Colo.Host, 5001, p.Colo.Tuning)
+		var res *tcp.Stats
+		tcp.Dial(p.VTTIHost.Host, srv, 30*units.MB, p.VTTIHost.Tuning, func(st *tcp.Stats) { res = st })
+		p.Net.RunFor(time.Minute)
+		if res == nil {
+			t.Fatal("transfer did not finish")
+		}
+		return res
+	}
+	broken := run(true)
+	if broken.WScaleOK {
+		t.Error("sequence checking should strip window scaling")
+	}
+	if mbps := float64(broken.Throughput()) / 1e6; mbps > 60 {
+		t.Errorf("broken = %.0f Mbps, want ~50", mbps)
+	}
+	fixed := run(false)
+	if !fixed.WScaleOK {
+		t.Error("fixed path should negotiate scaling")
+	}
+	if ratio := float64(fixed.Throughput()) / float64(broken.Throughput()); ratio < 4 {
+		t.Errorf("fix improved only %.1fx, want >= 4x (paper: 5-12x)", ratio)
+	}
+}
+
+func TestPennStateCampusPathClean(t *testing.T) {
+	// The other perfSONAR host (not behind the CoE firewall) sees full
+	// rate even with sequence checking on — the observation that
+	// localized the fault to the firewall.
+	p := NewPennState(1, PennStateConfig{SequenceChecking: true})
+	srv := tcp.NewServer(p.CampusPS, 5201, tcp.Tuned())
+	var res *tcp.Stats
+	tcp.Dial(p.VTTIHost.Host, srv, 50*units.MB, p.VTTIHost.Tuning, func(st *tcp.Stats) { res = st })
+	p.Net.RunFor(time.Minute)
+	if res == nil {
+		t.Fatal("transfer did not finish")
+	}
+	if mbps := float64(res.Throughput()) / 1e6; mbps < 700 {
+		t.Errorf("campus path = %.0f Mbps, want >900-ish", mbps)
+	}
+}
+
+func TestWANDefaults(t *testing.T) {
+	w := WANConfig{}.withDefaults()
+	if w.Rate != 10*units.Gbps || w.Delay != 12500*time.Microsecond || w.MTU != 9000 {
+		t.Errorf("defaults = %+v", w)
+	}
+}

@@ -1,0 +1,188 @@
+package topo
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dtn"
+	"repro/internal/firewall"
+	"repro/internal/netsim"
+	"repro/internal/tcp"
+	"repro/internal/units"
+)
+
+// Colorado is the §6.1 / Figures 6-7 topology: the UC Boulder campus
+// splits at the perimeter into a protected campus (behind a firewall)
+// and RCNet, an unprotected research network delivered straight to
+// consumers. The physics group's computation/storage hosts connect at
+// 1 Gb/s each into an aggregation switch whose 1G->10G fan-out (and a
+// cut-through switch that degrades to store-and-forward under load) is
+// the §6.1 pathology.
+type Colorado struct {
+	Net *netsim.Network
+
+	RemoteTier2 *dtn.Node
+
+	Border *netsim.Device
+	RCNet  *netsim.Device
+	// PhysicsAgg is the aggregation switch with the §6.1 problem.
+	PhysicsAgg *netsim.Device
+	Physics    []*dtn.Node
+
+	Firewall *firewall.Firewall
+	Campus   *netsim.Device
+
+	// Perf1G and Perf10G are the two measurement hosts of Figure 6.
+	Perf1G, Perf10G *netsim.Host
+
+	WAN WANConfig
+}
+
+// ColoradoConfig adjusts the §6.1 build.
+type ColoradoConfig struct {
+	WAN WANConfig
+	// PhysicsHosts is the cluster size; zero means 6 (the paper's ~5
+	// Gb/s aggregate of 1G hosts). The uplink is not oversubscribed —
+	// the fault is the switch degrading under load, not congestion.
+	PhysicsHosts int
+	// FixedSwitch builds the post-fix aggregation switch (adequate
+	// buffers, no degradation) instead of the faulty one.
+	FixedSwitch bool
+}
+
+// NewColorado builds the §6.1 topology.
+func NewColorado(seed int64, cfg ColoradoConfig) *Colorado {
+	cfg.WAN = cfg.WAN.withDefaults()
+	if cfg.PhysicsHosts == 0 {
+		cfg.PhysicsHosts = 6
+	}
+	n := netsim.New(seed)
+
+	remote := n.NewHost("tier2")
+	border := n.NewDevice("border", netsim.DeviceConfig{EgressBuffer: 32 * units.MB})
+	rcnet := n.NewDevice("rcnet", netsim.DeviceConfig{EgressBuffer: 32 * units.MB})
+	// The faulty switch: cut-through silicon that, under load, falls
+	// back to a slow store-and-forward engine with a tiny shared pool.
+	// The physics aggregate (~5-6 Gb/s) exceeds the fallback engine, so
+	// once it degrades, loss is continuous.
+	aggCfg := netsim.DeviceConfig{
+		EgressBuffer: 8 * units.MB,
+		CutThrough:   true,
+		SFRate:       3 * units.Gbps,
+		SFBuffer:     256 * units.KB,
+	}
+	if cfg.FixedSwitch {
+		aggCfg = netsim.DeviceConfig{EgressBuffer: 32 * units.MB}
+	}
+	agg := n.NewDevice("physics-agg", aggCfg)
+	fw := firewall.New(n, "fw", firewall.Config{})
+	campus := n.NewDevice("campus", netsim.DeviceConfig{EgressBuffer: 2 * units.MB})
+	perf1g := n.NewHost("perf1g")
+	perf10g := n.NewHost("perf10g")
+
+	wan := netsim.LinkConfig{Rate: cfg.WAN.Rate, Delay: cfg.WAN.Delay, MTU: cfg.WAN.MTU, Loss: cfg.WAN.Loss}
+	n.Connect(remote, border, wan)
+	n.Connect(border, rcnet, netsim.LinkConfig{Rate: 10 * units.Gbps, Delay: 10 * time.Microsecond})
+	n.Connect(rcnet, agg, netsim.LinkConfig{Rate: 10 * units.Gbps, Delay: 10 * time.Microsecond})
+	n.Connect(border, fw, netsim.LinkConfig{Rate: 10 * units.Gbps, Delay: 10 * time.Microsecond})
+	n.Connect(fw, campus, netsim.LinkConfig{Rate: 10 * units.Gbps, Delay: 10 * time.Microsecond})
+	n.Connect(perf1g, rcnet, netsim.LinkConfig{Rate: units.Gbps, Delay: 10 * time.Microsecond})
+	n.Connect(perf10g, rcnet, netsim.LinkConfig{Rate: 10 * units.Gbps, Delay: 10 * time.Microsecond})
+
+	c := &Colorado{
+		Net:        n,
+		Border:     border,
+		RCNet:      rcnet,
+		PhysicsAgg: agg,
+		Firewall:   fw,
+		Campus:     campus,
+		Perf1G:     perf1g,
+		Perf10G:    perf10g,
+		WAN:        cfg.WAN,
+	}
+	for i := 0; i < cfg.PhysicsHosts; i++ {
+		h := n.NewHost(fmt.Sprintf("physics%02d", i))
+		n.Connect(h, agg, netsim.LinkConfig{Rate: units.Gbps, Delay: 10 * time.Microsecond})
+		c.Physics = append(c.Physics, dtn.New(h, dtn.Disk{}, tcp.Tuned()))
+	}
+	n.ComputeRoutes()
+	c.RemoteTier2 = dtn.New(remote, dtn.Disk{}, tcp.Tuned())
+	return c
+}
+
+// PennState is the §6.2 topology: VTTI collocates storage at Penn
+// State's College of Engineering; policy requires a firewall in front of
+// the collocated equipment. The firewall's "TCP flow sequence checking"
+// rewrites the window-scale option, capping every flow at 64 KB windows
+// — ~50 Mb/s at the 10 ms RTT between the sites.
+type PennState struct {
+	Net *netsim.Network
+
+	// VTTIHost is the remote Virginia Tech host.
+	VTTIHost *dtn.Node
+
+	Border   *netsim.Device
+	Firewall *firewall.Firewall
+	CoE      *netsim.Device
+	// Colo is the VTTI equipment collocated behind the CoE firewall.
+	Colo *dtn.Node
+
+	// CampusPS is another campus perfSONAR host NOT behind the CoE
+	// firewall, which tested >900 Mb/s and localized the fault.
+	CampusPS *netsim.Host
+
+	WAN WANConfig
+}
+
+// PennStateConfig adjusts the §6.2 build.
+type PennStateConfig struct {
+	WAN WANConfig
+	// SequenceChecking enables the pathological firewall feature; the
+	// paper's "before" state. Disabling it is the fix.
+	SequenceChecking bool
+}
+
+// NewPennState builds the §6.2 topology. The default WAN here is 10 ms
+// RTT at 1 Gb/s host speed — the measured Penn State <-> VTTI path.
+func NewPennState(seed int64, cfg PennStateConfig) *PennState {
+	if cfg.WAN.Rate == 0 {
+		cfg.WAN.Rate = units.Gbps
+	}
+	if cfg.WAN.Delay == 0 {
+		cfg.WAN.Delay = 5 * time.Millisecond // 10 ms RTT
+	}
+	if cfg.WAN.MTU == 0 {
+		cfg.WAN.MTU = 1500
+	}
+	n := netsim.New(seed)
+
+	vtti := n.NewHost("vtti")
+	border := n.NewDevice("border", netsim.DeviceConfig{EgressBuffer: 32 * units.MB})
+	fw := firewall.New(n, "coe-fw", firewall.Config{
+		SequenceChecking: cfg.SequenceChecking,
+		ProcRate:         2 * units.Gbps,
+		InputBuffer:      4 * units.MB,
+	})
+	coe := n.NewDevice("coe", netsim.DeviceConfig{EgressBuffer: 8 * units.MB})
+	colo := n.NewHost("vtti-colo")
+	campusPS := n.NewHost("campus-ps")
+
+	wan := netsim.LinkConfig{Rate: cfg.WAN.Rate, Delay: cfg.WAN.Delay, MTU: cfg.WAN.MTU, Loss: cfg.WAN.Loss}
+	n.Connect(vtti, border, wan)
+	n.Connect(border, fw, netsim.LinkConfig{Rate: 10 * units.Gbps, Delay: 10 * time.Microsecond})
+	n.Connect(fw, coe, netsim.LinkConfig{Rate: 10 * units.Gbps, Delay: 10 * time.Microsecond})
+	n.Connect(coe, colo, netsim.LinkConfig{Rate: units.Gbps, Delay: 10 * time.Microsecond})
+	n.Connect(campusPS, border, netsim.LinkConfig{Rate: units.Gbps, Delay: 10 * time.Microsecond})
+	n.ComputeRoutes()
+
+	return &PennState{
+		Net:      n,
+		VTTIHost: dtn.New(vtti, dtn.Disk{}, tcp.Tuned()),
+		Border:   border,
+		Firewall: fw,
+		CoE:      coe,
+		Colo:     dtn.New(colo, dtn.Disk{}, tcp.Tuned()),
+		CampusPS: campusPS,
+		WAN:      cfg.WAN,
+	}
+}

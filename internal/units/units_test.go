@@ -1,0 +1,132 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSerialize(t *testing.T) {
+	tests := []struct {
+		name string
+		rate BitRate
+		n    ByteSize
+		want time.Duration
+	}{
+		{"1500B at 1Gbps", Gbps, 1500, 12 * time.Microsecond},
+		{"9000B at 10Gbps", 10 * Gbps, 9000, 7200 * time.Nanosecond},
+		{"1B at 8bps", 8, 1, time.Second},
+		{"zero bytes", Gbps, 0, 0},
+		{"zero rate", 0, 1500, 0},
+		{"negative rate", -1, 1500, 0},
+	}
+	for _, tt := range tests {
+		if got := tt.rate.Serialize(tt.n); got != tt.want {
+			t.Errorf("%s: Serialize = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestBytesIn(t *testing.T) {
+	if got := Gbps.BytesIn(time.Second); got != 125*MB {
+		t.Errorf("1Gbps over 1s = %v, want 125MB", got)
+	}
+	if got := (10 * Gbps).BytesIn(10 * time.Millisecond); got != ByteSize(12_500_000) {
+		t.Errorf("10Gbps over 10ms = %v, want 12.5MB", got)
+	}
+	if got := Gbps.BytesIn(-time.Second); got != 0 {
+		t.Errorf("negative duration = %v, want 0", got)
+	}
+}
+
+func TestPacketsPerSecond(t *testing.T) {
+	// The paper's §2.1 cites 812,744 regular (1538-byte on-wire) frames
+	// per second for a 10G line card at peak efficiency.
+	pps := (10 * Gbps).PacketsPerSecond(1538)
+	if math.Abs(pps-812744) > 1 {
+		t.Errorf("10G 1538B pps = %.0f, want ~812744", pps)
+	}
+	if got := Gbps.PacketsPerSecond(0); got != 0 {
+		t.Errorf("zero size pps = %v, want 0", got)
+	}
+}
+
+func TestRate(t *testing.T) {
+	if got := Rate(125*MB, time.Second); got != Gbps {
+		t.Errorf("Rate(125MB, 1s) = %v, want 1Gbps", got)
+	}
+	if got := Rate(MB, 0); got != 0 {
+		t.Errorf("Rate with zero duration = %v, want 0", got)
+	}
+}
+
+func TestBandwidthDelayProduct(t *testing.T) {
+	// Paper Equation 2: 1 Gb/s at 10 ms RTT needs a 1.25 MB window.
+	if got := BandwidthDelayProduct(Gbps, 10*time.Millisecond); got != ByteSize(1_250_000) {
+		t.Errorf("BDP(1Gbps,10ms) = %v, want 1.25MB", got)
+	}
+}
+
+func TestRoundTrip_RateSerialize(t *testing.T) {
+	// Serializing n bytes at rate r then recomputing the rate returns r.
+	f := func(nRaw uint32, rRaw uint16) bool {
+		n := ByteSize(nRaw%1_000_000 + 1)
+		r := BitRate(rRaw%1000+1) * Mbps
+		d := r.Serialize(n)
+		got := Rate(n, d)
+		// Serialize truncates to whole nanoseconds, so allow the
+		// corresponding relative error plus float slack.
+		tol := 2/float64(d.Nanoseconds()) + 1e-6
+		return math.Abs(float64(got-r))/float64(r) < tol
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitRateString(t *testing.T) {
+	tests := []struct {
+		r    BitRate
+		want string
+	}{
+		{10 * Gbps, "10.00 Gbps"},
+		{BitRate(1.5 * float64(Tbps)), "1.50 Tbps"},
+		{200 * Mbps, "200.00 Mbps"},
+		{64 * Kbps, "64.00 Kbps"},
+		{512, "512 bps"},
+	}
+	for _, tt := range tests {
+		if got := tt.r.String(); got != tt.want {
+			t.Errorf("String(%v bps) = %q, want %q", float64(tt.r), got, tt.want)
+		}
+	}
+}
+
+func TestByteSizeString(t *testing.T) {
+	tests := []struct {
+		s    ByteSize
+		want string
+	}{
+		{ByteSize(239.5 * float64(GB)), "239.50 GB"},
+		{40 * TB, "40.00 TB"},
+		{33 * GB, "33.00 GB"},
+		{1500, "1.50 KB"},
+		{512, "512 B"},
+		{-2 * MB, "-2.00 MB"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", int64(tt.s), got, tt.want)
+		}
+	}
+}
+
+func TestBinaryConstants(t *testing.T) {
+	if KiB != 1024 || MiB != 1024*1024 || GiB != 1<<30 || TiB != 1<<40 {
+		t.Error("binary constants wrong")
+	}
+	if KB != 1000 || MB != 1e6 || GB != 1e9 || TB != 1e12 {
+		t.Error("decimal constants wrong")
+	}
+}
