@@ -19,6 +19,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/netsim"
 	"repro/internal/tcp"
+	"repro/internal/telemetry"
 	"repro/internal/topo"
 	"repro/internal/units"
 )
@@ -278,4 +279,46 @@ func BenchmarkSimulatorEventRate(b *testing.B) {
 		n.RunFor(2 * time.Second)
 		b.ReportMetric(float64(n.Sched.Processed), "events/iter")
 	}
+}
+
+// --- telemetry overhead --------------------------------------------------
+
+// telemetryWorkload is the BenchmarkSimulatorEventRate scenario with an
+// optional telemetry instance attached, shared by the overhead pair.
+func telemetryWorkload(b *testing.B, tele *telemetry.Telemetry) {
+	for i := 0; i < b.N; i++ {
+		n := netsim.New(1)
+		if tele != nil {
+			n.AttachTelemetry(tele)
+		}
+		c := n.NewHost("c")
+		s := n.NewHost("s")
+		n.Connect(c, s, netsim.LinkConfig{Rate: 10 * units.Gbps, Delay: time.Millisecond, MTU: 9000})
+		n.ComputeRoutes()
+		srv := tcp.NewServer(s, 5001, tcp.Tuned())
+		tcp.Dial(c, srv, -1, tcp.Tuned(), nil)
+		n.RunFor(2 * time.Second)
+		b.ReportMetric(float64(n.Sched.Processed), "events/iter")
+	}
+}
+
+// BenchmarkTelemetryDisabled runs the event-rate workload with no
+// telemetry attached: the instrumentation must compile down to nil-bus
+// checks, so this should stay within ~2% of the pre-telemetry
+// BenchmarkSimulatorEventRate baseline (see EXPERIMENTS.md).
+func BenchmarkTelemetryDisabled(b *testing.B) {
+	telemetryWorkload(b, nil)
+}
+
+// BenchmarkTelemetryEnabled runs the same workload with full tracing: a
+// flight-recorder bus subscriber receiving every packet event plus a
+// 100 ms metrics sampler. The gap to BenchmarkTelemetryDisabled is the
+// price of turning tracing on.
+func BenchmarkTelemetryEnabled(b *testing.B) {
+	tele := telemetry.New()
+	tele.SampleInterval = 100 * time.Millisecond
+	fr := telemetry.NewFlightRecorder(64 * 1024)
+	tele.Bus.Subscribe(fr.Record)
+	telemetryWorkload(b, tele)
+	b.ReportMetric(float64(fr.Total())/float64(b.N), "trace-events/iter")
 }

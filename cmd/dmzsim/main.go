@@ -16,6 +16,8 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/netsim"
+	"repro/internal/telemetry"
 )
 
 // renderer is any experiment result.
@@ -66,10 +68,59 @@ func names() []string {
 	return out
 }
 
+// setupTelemetry wires the --trace / --metrics flags: every network the
+// selected experiments build attaches to one shared telemetry instance,
+// and the returned finish func writes the outputs after the run.
+func setupTelemetry(tracePath, metricsPath string) (finish func()) {
+	if tracePath == "" && metricsPath == "" {
+		return func() {}
+	}
+	tele := telemetry.New()
+	var traceFile *os.File
+	var traceWriter *telemetry.JSONLWriter
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		traceFile = f
+		traceWriter = telemetry.NewJSONLWriter(f)
+		tele.Bus.Subscribe(traceWriter.Write)
+	}
+	if metricsPath != "" {
+		tele.SampleInterval = 100 * time.Millisecond
+	}
+	netsim.DefaultTelemetry = tele
+	return func() {
+		if traceWriter != nil {
+			if err := traceWriter.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "trace:", err)
+			}
+			traceFile.Close()
+		}
+		if metricsPath != "" {
+			f, err := os.Create(metricsPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "metrics:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			if err := tele.WriteMetricsJSON(f); err != nil {
+				fmt.Fprintln(os.Stderr, "metrics:", err)
+			}
+		}
+	}
+}
+
 func main() {
 	list := flag.Bool("list", false, "list experiments")
 	run := flag.String("run", "", "experiment to run (or 'all')")
+	trace := flag.String("trace", "", "write a JSONL packet/TCP event trace to this file")
+	metrics := flag.String("metrics", "", "write periodic metrics snapshots (JSON) to this file")
 	flag.Parse()
+
+	finish := setupTelemetry(*trace, *metrics)
 
 	switch {
 	case *list:
@@ -92,4 +143,5 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	finish()
 }

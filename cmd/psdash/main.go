@@ -7,15 +7,61 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/netsim"
+	"repro/internal/telemetry"
 )
 
 func main() {
+	trace := flag.String("trace", "", "write a JSONL packet/TCP event trace to this file")
+	metrics := flag.String("metrics", "", "write periodic metrics snapshots (JSON) to this file")
 	flag.Parse()
+
+	var tele *telemetry.Telemetry
+	var traceFile *os.File
+	var traceWriter *telemetry.JSONLWriter
+	if *trace != "" || *metrics != "" {
+		tele = telemetry.New()
+		if *trace != "" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "trace:", err)
+				os.Exit(1)
+			}
+			traceFile = f
+			traceWriter = telemetry.NewJSONLWriter(f)
+			tele.Bus.Subscribe(traceWriter.Write)
+		}
+		if *metrics != "" {
+			tele.SampleInterval = time.Second
+		}
+		netsim.DefaultTelemetry = tele
+	}
+
 	r := experiments.Fig2()
 	fmt.Println(r.Render())
 	for _, a := range r.Alerts {
 		fmt.Println(" ", a)
+	}
+
+	if traceWriter != nil {
+		if err := traceWriter.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+		}
+		traceFile.Close()
+	}
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := tele.WriteMetricsJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+		}
 	}
 }

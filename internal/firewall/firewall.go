@@ -31,6 +31,9 @@ import (
 	"repro/internal/units"
 )
 
+// tagFirewall attributes inspection-engine events in scheduler telemetry.
+var tagFirewall = sim.TagFor("firewall")
+
 // Config describes a firewall appliance.
 type Config struct {
 	// Processors is the number of parallel inspection engines. Zero
@@ -156,7 +159,7 @@ func (f *Firewall) Receive(pkt *netsim.Packet, in *netsim.Port) {
 
 	if p.queueSize+pkt.Size > f.Config.InputBuffer {
 		f.Stats.BufferDrops++
-		f.net.CountDrop(pkt, "firewall buffer overflow at "+f.Name())
+		f.net.CountDropReason(pkt, netsim.DropFirewallOverflow, f.Name(), "")
 		return
 	}
 	p.queue = append(p.queue, pkt)
@@ -179,7 +182,7 @@ func (p *processor) serveNext() {
 	if extra := p.fw.sessionDelay(pkt); extra > 0 {
 		d += extra
 	}
-	p.fw.net.Sched.After(d, func() {
+	p.fw.net.Sched.AfterTag(tagFirewall, d, func() {
 		p.fw.finish(pkt)
 		p.serveNext()
 	})
@@ -202,7 +205,7 @@ func (f *Firewall) finish(pkt *netsim.Packet) {
 	f.Stats.Inspected++
 	if f.Config.Rules != nil && !f.Config.Rules.Check(pkt, nil) {
 		f.Stats.PolicyDrops++
-		f.net.CountDrop(pkt, "firewall policy at "+f.Name())
+		f.net.CountDropReason(pkt, netsim.DropFirewallPolicy, f.Name(), "")
 		return
 	}
 	if f.Config.SequenceChecking && pkt.Flags.Has(netsim.FlagSYN) && pkt.WScale != netsim.NoWScale {
@@ -215,7 +218,7 @@ func (f *Firewall) finish(pkt *netsim.Packet) {
 func (f *Firewall) forward(pkt *netsim.Packet) {
 	out, ok := f.fib[pkt.Flow.Dst]
 	if !ok {
-		f.net.CountDrop(pkt, "no route at "+f.Name()+" to "+pkt.Flow.Dst)
+		f.net.CountDropReason(pkt, netsim.DropNoRoute, f.Name(), pkt.Flow.Dst)
 		return
 	}
 	out.Send(pkt)

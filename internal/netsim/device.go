@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -126,7 +127,7 @@ func (d *Device) Receive(pkt *Packet, in *Port) {
 	for _, f := range d.filters {
 		if !f.Check(pkt, in) {
 			d.FilterDrops[f.FilterName()]++
-			d.net.countDrop(pkt, "filtered by "+f.FilterName()+" at "+d.Name())
+			d.net.countDrop(pkt, DropFiltered, d.Name(), f.FilterName())
 			return
 		}
 	}
@@ -151,14 +152,24 @@ func (d *Device) forward(pkt *Packet) {
 	if out == nil {
 		p, ok := d.fib[pkt.Flow.Dst]
 		if !ok {
-			d.net.countDrop(pkt, "no route at "+d.Name()+" to "+pkt.Flow.Dst)
+			d.net.countDrop(pkt, DropNoRoute, d.Name(), pkt.Flow.Dst)
 			return
 		}
 		out = p
 	}
 	d.Forwarded++
+	if d.net.bus.Enabled() {
+		d.net.bus.Emit(telemetry.Event{
+			At:     d.net.Sched.Now(),
+			Kind:   telemetry.EvForward,
+			Node:   d.Name(),
+			Flow:   pkt.Flow.String(),
+			Packet: pkt.ID,
+			Bytes:  int64(pkt.Size),
+		})
+	}
 	if delay := d.Config.FwdLatency; delay > 0 {
-		d.net.Sched.After(delay, func() { out.Send(pkt) })
+		d.net.Sched.AfterTag(tagDevice, delay, func() { out.Send(pkt) })
 		return
 	}
 	out.Send(pkt)
@@ -173,7 +184,7 @@ func (d *Device) sfEnqueue(pkt *Packet) {
 	}
 	if d.sfBytes+pkt.Size > buf {
 		d.SFDrops++
-		d.net.countDrop(pkt, "store-and-forward pool overflow at "+d.Name())
+		d.net.countDrop(pkt, DropSFOverflow, d.Name(), "")
 		return
 	}
 	d.sfQueue = append(d.sfQueue, pkt)
@@ -196,7 +207,7 @@ func (d *Device) sfServe() {
 	if rate == 0 {
 		rate = 4 * units.Gbps
 	}
-	d.net.Sched.After(rate.Serialize(pkt.Size), func() {
+	d.net.Sched.AfterTag(tagDevice, rate.Serialize(pkt.Size), func() {
 		d.forward(pkt)
 		d.sfServe()
 	})

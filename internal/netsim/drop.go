@@ -1,0 +1,105 @@
+package netsim
+
+import "repro/internal/sim"
+
+// Scheduler-attribution tags for netsim components (see sim.TagFor).
+var (
+	tagPort   = sim.TagFor("netsim.port")
+	tagLink   = sim.TagFor("netsim.link")
+	tagDevice = sim.TagFor("netsim.device")
+)
+
+// DropReason is the structured cause of a packet drop. Drops were
+// previously tallied only under free-text strings; the enum makes them
+// aggregatable by cause (all queue overflows across the topology, all
+// wire losses) while DropReason.Format regenerates the original
+// human-readable string for logs, tests, and the legacy Drops map.
+type DropReason uint8
+
+// Drop reasons. DropOther covers custom nodes using the free-text
+// CountDrop API.
+const (
+	DropQueueOverflow    DropReason = iota // egress buffer full
+	DropMaxHops                            // routing loop guard
+	DropLinkDown                           // hard failure: link administratively/physically down
+	DropWireLoss                           // soft failure: corrupted in transit by a LossModel
+	DropFiltered                           // rejected by a device filter (ACL, SDN table)
+	DropNoRoute                            // no route at a forwarding device
+	DropNoLocalRoute                       // no route at the sending host
+	DropNoHandler                          // no transport handler bound at the destination
+	DropSFOverflow                         // degraded store-and-forward pool full
+	DropFirewallOverflow                   // firewall inspection input buffer full
+	DropFirewallPolicy                     // firewall rule rejection
+	DropOther                              // free-text CountDrop from a custom node
+
+	numDropReasons // sentinel
+)
+
+var dropReasonNames = [numDropReasons]string{
+	DropQueueOverflow:    "queue-overflow",
+	DropMaxHops:          "max-hops",
+	DropLinkDown:         "link-down",
+	DropWireLoss:         "wire-loss",
+	DropFiltered:         "filtered",
+	DropNoRoute:          "no-route",
+	DropNoLocalRoute:     "no-local-route",
+	DropNoHandler:        "no-handler",
+	DropSFOverflow:       "sf-overflow",
+	DropFirewallOverflow: "firewall-overflow",
+	DropFirewallPolicy:   "firewall-policy",
+	DropOther:            "other",
+}
+
+// String returns the short aggregation key used in metrics labels and
+// trace events.
+func (r DropReason) String() string {
+	if int(r) < len(dropReasonNames) {
+		return dropReasonNames[r]
+	}
+	return "unknown"
+}
+
+// Format renders the human-readable drop description historically used
+// as the Drops map key. node is where the drop happened; detail is the
+// reason-specific extra (destination for no-route, filter name for
+// filtered, the verbatim free text for DropOther).
+func (r DropReason) Format(node, detail string) string {
+	switch r {
+	case DropQueueOverflow:
+		return "queue overflow at " + node
+	case DropMaxHops:
+		return "max hops exceeded at " + node
+	case DropLinkDown:
+		return "link down: " + node
+	case DropWireLoss:
+		return "wire loss on " + node
+	case DropFiltered:
+		return "filtered by " + detail + " at " + node
+	case DropNoRoute:
+		return "no route at " + node + " to " + detail
+	case DropNoLocalRoute:
+		return "no route from " + node + " to " + detail
+	case DropNoHandler:
+		return "no handler on " + node
+	case DropSFOverflow:
+		return "store-and-forward pool overflow at " + node
+	case DropFirewallOverflow:
+		return "firewall buffer overflow at " + node
+	case DropFirewallPolicy:
+		return "firewall policy at " + node
+	default:
+		if detail != "" {
+			return detail
+		}
+		return "dropped at " + node
+	}
+}
+
+// DropSite is the aggregation key for structured drop accounting: what
+// happened and where.
+type DropSite struct {
+	Reason DropReason
+	Node   string
+}
+
+func (s DropSite) String() string { return s.Reason.String() + "@" + s.Node }

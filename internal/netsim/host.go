@@ -78,7 +78,7 @@ func (h *Host) Receive(pkt *Packet, _ *Port) {
 		return
 	}
 	h.Dropped++
-	h.net.countDrop(pkt, "no handler on "+h.Name())
+	h.net.countDrop(pkt, DropNoHandler, h.Name(), "")
 }
 
 // Send stamps and transmits a packet toward its destination via the
@@ -89,7 +89,7 @@ func (h *Host) Send(pkt *Packet) {
 	pkt.SentAt = h.net.Sched.Now()
 	out, ok := h.fib[pkt.Flow.Dst]
 	if !ok {
-		h.net.countDrop(pkt, "no route from "+h.Name()+" to "+pkt.Flow.Dst)
+		h.net.countDrop(pkt, DropNoLocalRoute, h.Name(), pkt.Flow.Dst)
 		return
 	}
 	out.Send(pkt)

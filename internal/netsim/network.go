@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -48,23 +50,113 @@ type Network struct {
 	links   []*Link
 	nextID  uint64
 
-	// Drops tallies every packet the network destroyed, by reason. It is
-	// experiment bookkeeping, not something devices can see.
+	// Drops tallies every packet the network destroyed, by formatted
+	// human-readable reason. It is experiment bookkeeping, not something
+	// devices can see. DropStats is the structured equivalent,
+	// aggregatable by cause.
 	Drops map[string]uint64
+
+	// DropStats tallies drops by structured (reason, location) site.
+	DropStats map[DropSite]uint64
 
 	// DropHook, when set, observes every dropped packet. Tests use it to
 	// assert on loss behaviour.
 	DropHook func(pkt *Packet, reason string)
+
+	// Telemetry wiring. bus is nil until AttachTelemetry; all emit
+	// sites guard with bus.Enabled(), which is nil-receiver-safe, so a
+	// network without telemetry pays one branch per would-be event.
+	tele    *telemetry.Telemetry
+	bus     *telemetry.Bus
+	sampler *telemetry.Sampler
 }
+
+// DefaultTelemetry, when non-nil, is attached to every Network created
+// by New. Command-line tools set it to thread --trace/--metrics through
+// experiment code that constructs its own networks internally.
+var DefaultTelemetry *telemetry.Telemetry
 
 // New creates an empty network with a deterministic random stream.
 func New(seed int64) *Network {
-	return &Network{
-		Sched:   sim.New(),
-		rng:     sim.NewRand(seed),
-		nodes:   make(map[string]Node),
-		hostSet: make(map[string]*Host),
-		Drops:   make(map[string]uint64),
+	n := &Network{
+		Sched:     sim.New(),
+		rng:       sim.NewRand(seed),
+		nodes:     make(map[string]Node),
+		hostSet:   make(map[string]*Host),
+		Drops:     make(map[string]uint64),
+		DropStats: make(map[DropSite]uint64),
+	}
+	if DefaultTelemetry != nil {
+		n.AttachTelemetry(DefaultTelemetry)
+	}
+	return n
+}
+
+// AttachTelemetry wires the network into a telemetry plane: trace
+// events flow to t.Bus, the network's state becomes visible to
+// registry snapshots via a collector, the scheduler is instrumented,
+// and — when t.SampleInterval is set — a sampler starts on this
+// network's scheduler.
+//
+// Attaching a later network to the same Telemetry supersedes the
+// earlier one's scheduler gauges and state collector (keyed
+// registration), which is what sequential experiment runs want.
+func (n *Network) AttachTelemetry(t *telemetry.Telemetry) {
+	n.tele = t
+	n.bus = t.Bus
+	telemetry.InstrumentScheduler(t.Registry, n.Sched)
+	t.Registry.RegisterCollector("netsim", n.collectMetrics)
+	if t.SampleInterval > 0 {
+		n.sampler = t.StartSampler(n.Sched, t.SampleInterval)
+	}
+}
+
+// Telemetry returns the attached telemetry plane, or nil.
+func (n *Network) Telemetry() *telemetry.Telemetry { return n.tele }
+
+// TelemetryBus returns the attached trace bus. The result may be nil;
+// all Bus methods are nil-safe, so callers may use it unconditionally.
+func (n *Network) TelemetryBus() *telemetry.Bus { return n.bus }
+
+// TelemetrySampler returns the registry sampler running on this
+// network's scheduler, or nil when none was started.
+func (n *Network) TelemetrySampler() *telemetry.Sampler { return n.sampler }
+
+// collectMetrics exposes per-port counters, live queue state, device
+// forwarding counts, link wire drops, and structured drop tallies to
+// registry snapshots. It runs at snapshot time only, so instrumenting
+// a network adds zero cost to the packet hot path.
+func (n *Network) collectMetrics(emit telemetry.EmitFunc) {
+	names := make([]string, 0, len(n.nodes))
+	for name := range n.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		node := n.nodes[name]
+		for _, p := range node.Ports() {
+			l := telemetry.Labels{"node": name, "port": strconv.Itoa(p.Index)}
+			emit("netsim_port_tx_packets", l, float64(p.Counters.TxPackets))
+			emit("netsim_port_rx_packets", l, float64(p.Counters.RxPackets))
+			emit("netsim_port_tx_bytes", l, float64(p.Counters.TxBytes))
+			emit("netsim_port_rx_bytes", l, float64(p.Counters.RxBytes))
+			emit("netsim_port_queue_drops", l, float64(p.Counters.QueueDrops))
+			emit("netsim_port_queue_bytes", l, float64(p.QueueBytes()))
+			emit("netsim_port_queue_pkts", l, float64(p.QueueLen()))
+		}
+		if d, ok := node.(*Device); ok {
+			emit("netsim_device_forwarded", telemetry.Labels{"node": name}, float64(d.Forwarded))
+		}
+	}
+	for i, l := range n.links {
+		emit("netsim_link_wire_drops",
+			telemetry.Labels{"link": l.describe(), "index": strconv.Itoa(i)},
+			float64(l.WireDrops))
+	}
+	for site, c := range n.DropStats {
+		emit("netsim_drops_total",
+			telemetry.Labels{"reason": site.Reason.String(), "node": site.Node},
+			float64(c))
 	}
 }
 
@@ -85,8 +177,20 @@ func (n *Network) register(name string, node Node) {
 func (n *Network) Register(name string, node Node) { n.register(name, node) }
 
 // CountDrop records a packet destroyed by a custom node, with a
-// human-readable reason. It feeds the Drops map and DropHook.
-func (n *Network) CountDrop(pkt *Packet, reason string) { n.countDrop(pkt, reason) }
+// free-text human-readable reason. It feeds the Drops map, DropStats
+// (as DropOther), the trace bus, and DropHook. Nodes with a reason the
+// DropReason enum covers should prefer CountDropReason so their drops
+// aggregate by cause.
+func (n *Network) CountDrop(pkt *Packet, reason string) {
+	n.countDrop(pkt, DropOther, "", reason)
+}
+
+// CountDropReason records a packet destroyed by a custom node with a
+// structured reason, location, and optional detail (see
+// DropReason.Format).
+func (n *Network) CountDropReason(pkt *Packet, reason DropReason, node, detail string) {
+	n.countDrop(pkt, reason, node, detail)
+}
 
 // NewHost adds a host to the network.
 func (n *Network) NewHost(name string) *Host {
@@ -185,10 +289,28 @@ func (n *Network) nextPacketID() uint64 {
 	return n.nextID
 }
 
-func (n *Network) countDrop(pkt *Packet, reason string) {
-	n.Drops[reason]++
+func (n *Network) countDrop(pkt *Packet, reason DropReason, node, detail string) {
+	text := reason.Format(node, detail)
+	n.Drops[text]++
+	n.DropStats[DropSite{Reason: reason, Node: node}]++
+	if n.bus.Enabled() {
+		kind := telemetry.EvDrop
+		if reason == DropWireLoss {
+			kind = telemetry.EvWireLoss
+		}
+		n.bus.Emit(telemetry.Event{
+			At:     n.Sched.Now(),
+			Kind:   kind,
+			Node:   node,
+			Flow:   pkt.Flow.String(),
+			Packet: pkt.ID,
+			Bytes:  int64(pkt.Size),
+			Reason: reason.String(),
+			Detail: detail,
+		})
+	}
 	if n.DropHook != nil {
-		n.DropHook(pkt, reason)
+		n.DropHook(pkt, text)
 	}
 }
 

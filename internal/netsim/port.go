@@ -3,6 +3,7 @@ package netsim
 import (
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -83,7 +84,7 @@ func (p *Port) BusyTime() time.Duration { return p.busy }
 // busy and dropping it if the egress buffer is full.
 func (p *Port) Send(pkt *Packet) {
 	if pkt.Hops >= MaxHops {
-		p.net.countDrop(pkt, "max hops exceeded at "+p.Owner.Name())
+		p.net.countDrop(pkt, DropMaxHops, p.Owner.Name(), "")
 		return
 	}
 	if p.transmitting {
@@ -105,22 +106,38 @@ func (p *Port) Send(pkt *Packet) {
 			p.queue = append(p.queue, pkt)
 			p.queueBytes += pkt.Size
 		}
+		p.emitQueueEvent(telemetry.EvEnqueue, pkt)
 		return
 	}
 	p.startTx(pkt)
 }
 
+func (p *Port) emitQueueEvent(kind telemetry.EventKind, pkt *Packet) {
+	if !p.net.bus.Enabled() {
+		return
+	}
+	p.net.bus.Emit(telemetry.Event{
+		At:     p.net.Sched.Now(),
+		Kind:   kind,
+		Node:   p.Owner.Name(),
+		Flow:   pkt.Flow.String(),
+		Packet: pkt.ID,
+		Bytes:  int64(pkt.Size),
+		Value:  float64(p.QueueBytes()),
+	})
+}
+
 func (p *Port) dropForQueue(pkt *Packet) {
 	p.Counters.QueueDrops++
 	p.Counters.QueueDropBytes += pkt.Size
-	p.net.countDrop(pkt, "queue overflow at "+p.Owner.Name())
+	p.net.countDrop(pkt, DropQueueOverflow, p.Owner.Name(), "")
 }
 
 func (p *Port) startTx(pkt *Packet) {
 	p.transmitting = true
 	d := p.Link.Rate.Serialize(pkt.Size)
 	p.busy += d
-	p.net.Sched.After(d, func() { p.finishTx(pkt) })
+	p.net.Sched.AfterTag(tagPort, d, func() { p.finishTx(pkt) })
 }
 
 func (p *Port) finishTx(pkt *Packet) {
@@ -136,11 +153,13 @@ func (p *Port) finishTx(pkt *Packet) {
 		next := p.prioQueue[0]
 		p.prioQueue = p.prioQueue[1:]
 		p.prioBytes -= next.Size
+		p.emitQueueEvent(telemetry.EvDequeue, next)
 		p.startTx(next)
 	case len(p.queue) > 0:
 		next := p.queue[0]
 		p.queue = p.queue[1:]
 		p.queueBytes -= next.Size
+		p.emitQueueEvent(telemetry.EvDequeue, next)
 		p.startTx(next)
 	default:
 		p.transmitting = false
@@ -191,16 +210,16 @@ func (l *Link) Down() bool { return l.down }
 // its peer, applying corruption loss and propagation delay.
 func (l *Link) carry(from *Port, pkt *Packet) {
 	if l.down {
-		l.net.countDrop(pkt, "link down: "+l.describe())
+		l.net.countDrop(pkt, DropLinkDown, l.describe(), "")
 		return
 	}
 	if l.Loss != nil && l.Loss.Drop(l.net.rng, pkt) {
 		l.WireDrops++
-		l.net.countDrop(pkt, "wire loss on "+l.describe())
+		l.net.countDrop(pkt, DropWireLoss, l.describe(), "")
 		return
 	}
 	to := from.peer
-	l.net.Sched.After(l.Delay, func() { to.deliver(pkt) })
+	l.net.Sched.AfterTag(tagLink, l.Delay, func() { to.deliver(pkt) })
 }
 
 func (l *Link) describe() string {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -114,6 +115,28 @@ func (a *Archive) Paths() []PathKey {
 		return out[i].Dst < out[j].Dst
 	})
 	return out
+}
+
+// BindRegistry publishes the archive into a telemetry registry: a
+// snapshot-time collector exposes, per measured path, the most recent
+// loss fraction, mean one-way delay, and BWCTL throughput, plus the
+// per-path measurement count. With this bound, registry snapshots are
+// the single measurement plane — simulator-internal counters and
+// end-to-end perfSONAR results land in the same deterministic export.
+func (a *Archive) BindRegistry(reg *telemetry.Registry) {
+	reg.RegisterCollector("perfsonar", func(emit telemetry.EmitFunc) {
+		for _, path := range a.Paths() {
+			l := telemetry.Labels{"src": path.Src, "dst": path.Dst}
+			emit("perfsonar_measurements", l, float64(len(a.byPath[path])))
+			if m, ok := a.Latest(path, KindLoss); ok {
+				emit("perfsonar_loss_fraction", l, m.Loss)
+				emit("perfsonar_delay_seconds", l, m.Delay.Seconds())
+			}
+			if m, ok := a.Latest(path, KindThroughput); ok {
+				emit("perfsonar_throughput_bps", l, float64(m.Throughput))
+			}
+		}
+	})
 }
 
 // MeanLoss returns the average measured loss on a path since the given

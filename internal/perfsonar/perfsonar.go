@@ -27,6 +27,9 @@ import (
 	"repro/internal/units"
 )
 
+// tagPerfsonar attributes measurement events in scheduler telemetry.
+var tagPerfsonar = sim.TagFor("perfsonar")
+
 // Well-known ports for the measurement services.
 const (
 	OwampPort uint16 = 861
@@ -94,7 +97,7 @@ func (t *Toolkit) owampDeliver(pkt *netsim.Packet) {
 	if r == nil {
 		r = &owampReceiver{}
 		t.receive[probe.Sender] = r
-		t.net.Sched.Every(t.interval, func() { t.flushOwamp(probe.Sender, r) })
+		t.net.Sched.EveryTag(tagPerfsonar, t.interval, func() { t.flushOwamp(probe.Sender, r) })
 	}
 	if !r.seen || probe.Seq > r.maxSeq {
 		r.maxSeq = probe.Seq
@@ -176,7 +179,7 @@ func (s *OwampSession) Stop() { s.ticker.Stop() }
 // the path from this toolkit's host to the peer's.
 func (t *Toolkit) StartOWAMP(peer *Toolkit, interval time.Duration) *OwampSession {
 	s := &OwampSession{From: t, To: peer, Interval: interval}
-	s.ticker = t.net.Sched.Every(interval, func() {
+	s.ticker = t.net.Sched.EveryTag(tagPerfsonar, interval, func() {
 		t.Host.Send(&netsim.Packet{
 			Flow: netsim.FlowKey{
 				Src: t.Host.Name(), Dst: peer.Host.Name(),
@@ -195,7 +198,7 @@ func (t *Toolkit) StartOWAMP(peer *Toolkit, interval time.Duration) *OwampSessio
 // and archives the result when it ends.
 func (t *Toolkit) RunBWCTL(peer *Toolkit, duration time.Duration, opts tcp.Options) {
 	conn := tcp.Dial(t.Host, peer.srv, -1, opts, nil)
-	t.net.Sched.After(duration, func() {
+	t.net.Sched.AfterTag(tagPerfsonar, duration, func() {
 		st := conn.Stats()
 		conn.Abort()
 		t.Archive.Add(Measurement{
@@ -235,6 +238,9 @@ func NewMesh(hosts ...*netsim.Host) *Mesh {
 	m := &Mesh{Archive: NewArchive(), net: hosts[0].Network()}
 	for _, h := range hosts {
 		m.Toolkits = append(m.Toolkits, NewToolkit(h, m.Archive))
+	}
+	if tele := m.net.Telemetry(); tele != nil {
+		m.Archive.BindRegistry(tele.Registry)
 	}
 	return m
 }

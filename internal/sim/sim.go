@@ -14,6 +14,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"sort"
+	"sync"
 	"time"
 )
 
@@ -36,12 +38,59 @@ func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
 // String formats the timestamp as a duration, e.g. "1.5s".
 func (t Time) String() string { return time.Duration(t).String() }
 
+// Tag is an interned component handle for scheduler attribution.
+// Components intern their name once at package init with TagFor and
+// schedule through the *Tag variants; attribution then costs a single
+// array increment per executed event, and the event struct stays one
+// machine word smaller than it would with a string tag.
+type Tag uint8
+
+// maxTags bounds the interning table; Tag 0 is reserved for untagged.
+const maxTags = 256
+
+var (
+	tagMu    sync.Mutex
+	tagNames = []string{""} // index = Tag; 0 = untagged
+)
+
+// TagFor interns a component name, returning its Tag. Interning the
+// same name twice returns the same Tag. Intended for package-level
+// variable initialisation, not per-event calls.
+func TagFor(name string) Tag {
+	if name == "" {
+		return 0
+	}
+	tagMu.Lock()
+	defer tagMu.Unlock()
+	for i, n := range tagNames {
+		if n == name {
+			return Tag(i)
+		}
+	}
+	if len(tagNames) == maxTags {
+		panic("sim: too many distinct scheduler tags")
+	}
+	tagNames = append(tagNames, name)
+	return Tag(len(tagNames) - 1)
+}
+
+// Name returns the component name the tag was interned under.
+func (t Tag) Name() string {
+	tagMu.Lock()
+	defer tagMu.Unlock()
+	if int(t) < len(tagNames) {
+		return tagNames[t]
+	}
+	return ""
+}
+
 type event struct {
 	at  Time
 	seq uint64 // scheduling order; breaks ties deterministically
 	fn  func()
 
-	index int // heap index; -1 once popped or cancelled
+	index int32 // heap index; -1 once popped or cancelled
+	tag   Tag   // component attribution; 0 = untagged
 }
 
 type eventHeap []*event
@@ -55,12 +104,12 @@ func (h eventHeap) Less(i, j int) bool {
 }
 func (h eventHeap) Swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+	h[i].index = int32(i)
+	h[j].index = int32(j)
 }
 func (h *eventHeap) Push(x any) {
 	e := x.(*event)
-	e.index = len(*h)
+	e.index = int32(len(*h))
 	*h = append(*h, e)
 }
 func (h *eventHeap) Pop() any {
@@ -84,6 +133,11 @@ type Scheduler struct {
 	// Processed counts events executed so far; useful for run statistics
 	// and for guarding against runaway simulations in tests.
 	Processed uint64
+
+	// tagCounts attributes executed events to the component tags they
+	// were scheduled under (AtTag/AfterTag/EveryTag), indexed by Tag.
+	// Index 0 accumulates untagged events; Processed covers everything.
+	tagCounts [maxTags]uint64
 }
 
 // New returns an empty scheduler with the clock at zero.
@@ -104,21 +158,33 @@ type Timer struct {
 // At schedules fn to run at absolute time t. Scheduling in the past (t
 // before Now) panics: it is always a logic error in a simulation model.
 func (s *Scheduler) At(t Time, fn func()) *Timer {
+	return s.AtTag(0, t, fn)
+}
+
+// AtTag is At with the executed event attributed to the tagged
+// component in EventCounts. Components that want their scheduler load
+// visible in telemetry schedule through the *Tag variants.
+func (s *Scheduler) AtTag(tag Tag, t Time, fn func()) *Timer {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
 	s.seq++
-	e := &event{at: t, seq: s.seq, fn: fn}
+	e := &event{at: t, seq: s.seq, fn: fn, tag: tag}
 	heap.Push(&s.events, e)
 	return &Timer{s: s, e: e}
 }
 
 // After schedules fn to run d from now. Negative d is treated as zero.
 func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
+	return s.AfterTag(0, d, fn)
+}
+
+// AfterTag is After with component attribution; see AtTag.
+func (s *Scheduler) AfterTag(tag Tag, d time.Duration, fn func()) *Timer {
 	if d < 0 {
 		d = 0
 	}
-	return s.At(s.now.Add(d), fn)
+	return s.AtTag(tag, s.now.Add(d), fn)
 }
 
 // Stop cancels the timer if it has not fired. It reports whether the
@@ -128,7 +194,7 @@ func (t *Timer) Stop() bool {
 	if t == nil || t.e == nil || t.e.index < 0 {
 		return false
 	}
-	heap.Remove(&t.s.events, t.e.index)
+	heap.Remove(&t.s.events, int(t.e.index))
 	t.e.fn = nil
 	t.e = nil
 	return true
@@ -157,8 +223,33 @@ func (s *Scheduler) step() bool {
 	e := heap.Pop(&s.events).(*event)
 	s.now = e.at
 	s.Processed++
+	s.tagCounts[e.tag]++
 	e.fn()
 	return true
+}
+
+// TagCount is one component's executed-event count.
+type TagCount struct {
+	Tag   string
+	Count uint64
+}
+
+// EventCounts returns per-component executed-event counts for events
+// scheduled through AtTag/AfterTag/EveryTag, sorted by component name
+// so callers iterate deterministically. Untagged events (Tag 0) are
+// not included; Processed covers everything.
+func (s *Scheduler) EventCounts() []TagCount {
+	tagMu.Lock()
+	names := tagNames[:len(tagNames):len(tagNames)]
+	tagMu.Unlock()
+	out := make([]TagCount, 0, len(names))
+	for i := 1; i < len(names); i++ {
+		if c := s.tagCounts[i]; c > 0 {
+			out = append(out, TagCount{Tag: names[i], Count: c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tag < out[j].Tag })
+	return out
 }
 
 // Run executes events until the queue is empty or Stop is called.
@@ -197,6 +288,7 @@ type Ticker struct {
 	s        *Scheduler
 	interval time.Duration
 	fn       func()
+	tag      Tag
 	timer    *Timer
 	stopped  bool
 }
@@ -204,16 +296,21 @@ type Ticker struct {
 // Every schedules fn to run every interval, with the first invocation one
 // interval from now. It panics on a nonpositive interval.
 func (s *Scheduler) Every(interval time.Duration, fn func()) *Ticker {
+	return s.EveryTag(0, interval, fn)
+}
+
+// EveryTag is Every with component attribution; see AtTag.
+func (s *Scheduler) EveryTag(tag Tag, interval time.Duration, fn func()) *Ticker {
 	if interval <= 0 {
 		panic("sim: Every requires a positive interval")
 	}
-	t := &Ticker{s: s, interval: interval, fn: fn}
+	t := &Ticker{s: s, interval: interval, fn: fn, tag: tag}
 	t.schedule()
 	return t
 }
 
 func (t *Ticker) schedule() {
-	t.timer = t.s.After(t.interval, func() {
+	t.timer = t.s.AfterTag(t.tag, t.interval, func() {
 		if t.stopped {
 			return
 		}

@@ -154,7 +154,7 @@ func (r *receiver) handleData(pkt *netsim.Packet) {
 		return
 	}
 	if r.delayedAck == nil || !r.delayedAck.Pending() {
-		r.delayedAck = r.net().Sched.After(delayedAckTimeout, func() { r.sendAck() })
+		r.delayedAck = r.net().Sched.AfterTag(tagReceiver, delayedAckTimeout, func() { r.sendAck() })
 	}
 }
 

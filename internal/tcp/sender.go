@@ -5,7 +5,15 @@ import (
 
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/units"
+)
+
+// Scheduler-attribution tags for tcp components (see sim.TagFor).
+var (
+	tagSender   = sim.TagFor("tcp.sender")
+	tagReceiver = sim.TagFor("tcp.receiver")
+	tagTrace    = sim.TagFor("tcp.trace")
 )
 
 // Sender is the data-sending endpoint of a connection: the full NewReno
@@ -80,6 +88,13 @@ type Sender struct {
 
 	// cwndTrace, when enabled via TraceCwnd, records (time, cwnd) pairs.
 	cwndTrace *Series
+
+	// Telemetry wiring: bus is nil (and nil-safe) when the network has
+	// no telemetry attached; flowStr caches the flow label; rttHist,
+	// when non-nil, receives RTT samples.
+	bus     *telemetry.Bus
+	flowStr string
+	rttHist *telemetry.Histogram
 }
 
 func newSender(net *netsim.Network, host *netsim.Host, flow netsim.FlowKey,
@@ -109,7 +124,37 @@ func newSender(net *netsim.Network, host *netsim.Host, flow netsim.FlowKey,
 		MSS:    mss,
 		Start:  net.Sched.Now(),
 	}
+	s.bus = net.TelemetryBus()
+	if tele := net.Telemetry(); tele != nil {
+		s.flowStr = flow.String()
+		l := telemetry.Labels{"flow": s.flowStr}
+		tele.Registry.GaugeFunc("tcp_cwnd_bytes", l, func() float64 { return s.Cwnd })
+		tele.Registry.GaugeFunc("tcp_bytes_acked", l, func() float64 { return float64(s.stats.BytesAcked) })
+		tele.Registry.GaugeFunc("tcp_retransmits", l, func() float64 { return float64(s.stats.Retransmits) })
+		tele.Registry.GaugeFunc("tcp_rtos", l, func() float64 { return float64(s.stats.RTOs) })
+		s.rttHist = tele.Registry.Histogram("tcp_srtt_seconds", l,
+			[]float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5})
+	}
 	return s
+}
+
+// emit publishes a TCP trace event; a single branch when tracing is off.
+func (s *Sender) emit(kind telemetry.EventKind, reason string, seq int64, value float64) {
+	if !s.bus.Enabled() {
+		return
+	}
+	if s.flowStr == "" {
+		s.flowStr = s.flow.String()
+	}
+	s.bus.Emit(telemetry.Event{
+		At:     s.now(),
+		Kind:   kind,
+		Node:   s.flow.Src,
+		Flow:   s.flowStr,
+		Reason: reason,
+		Seq:    seq,
+		Value:  value,
+	})
 }
 
 // MSS returns the negotiated maximum segment size in bytes.
@@ -139,11 +184,33 @@ func (s *Sender) InFlight() units.ByteSize { return units.ByteSize(s.sndNxt - s.
 // TraceThroughput samples goodput (bytes acknowledged per interval,
 // expressed in bits/s) into the returned series, until the connection
 // completes — the per-flow utilization series behind Figure 8.
+//
+// When the network has a telemetry sampler running, samples ride that
+// sampler instead of a private ticker — so goodput traces and metric
+// snapshots share one timebase — and the interval argument is ignored
+// in favour of the sampler's.
 func (s *Sender) TraceThroughput(interval time.Duration) *Series {
 	tr := &Series{}
 	last := s.stats.BytesAcked
+	if sam := s.net.TelemetrySampler(); sam != nil {
+		lastAt := s.net.Sched.Now()
+		sam.OnSample(func(snap *telemetry.Snapshot) {
+			if s.done {
+				return
+			}
+			dt := snap.At.Sub(lastAt).Seconds()
+			if dt <= 0 {
+				return
+			}
+			delta := s.stats.BytesAcked - last
+			last = s.stats.BytesAcked
+			lastAt = snap.At
+			tr.Add(snap.At, float64(delta)*8/dt)
+		})
+		return tr
+	}
 	var tick *sim.Ticker
-	tick = s.net.Sched.Every(interval, func() {
+	tick = s.net.Sched.EveryTag(tagTrace, interval, func() {
 		if s.done {
 			tick.Stop()
 			return
@@ -156,11 +223,22 @@ func (s *Sender) TraceThroughput(interval time.Duration) *Series {
 }
 
 // TraceCwnd samples the congestion window every interval into the
-// returned series, until the connection completes.
+// returned series, until the connection completes. As with
+// TraceThroughput, a running telemetry sampler takes over the timebase
+// and the interval argument is ignored.
 func (s *Sender) TraceCwnd(interval time.Duration) *Series {
 	s.cwndTrace = &Series{}
+	if sam := s.net.TelemetrySampler(); sam != nil {
+		tr := s.cwndTrace
+		sam.OnSample(func(snap *telemetry.Snapshot) {
+			if !s.done {
+				tr.Add(snap.At, s.Cwnd)
+			}
+		})
+		return tr
+	}
 	var tick *sim.Ticker
-	tick = s.net.Sched.Every(interval, func() {
+	tick = s.net.Sched.EveryTag(tagTrace, interval, func() {
 		if s.done {
 			tick.Stop()
 			return
@@ -190,7 +268,7 @@ func (s *Sender) sendSYN() {
 		WindowRaw: int(min64(int64(s.opts.RcvBuf), 65535)),
 	})
 	s.synTries++
-	s.synTimer = s.net.Sched.After(time.Second*time.Duration(1<<uint(s.synTries-1)), func() {
+	s.synTimer = s.net.Sched.AfterTag(tagSender, time.Second*time.Duration(1<<uint(s.synTries-1)), func() {
 		if !s.established && s.synTries < 6 {
 			s.sendSYN()
 		}
@@ -228,6 +306,11 @@ func (s *Sender) handleSynAck(pkt *netsim.Packet) {
 		s.peerWScale = 0
 	}
 	s.sackOK = !s.opts.NoSACK && pkt.SackOK
+	wsNegotiated := 0.0
+	if s.scalingOn {
+		wsNegotiated = 1
+	}
+	s.emit(telemetry.EvTCPWScale, "", 0, wsNegotiated)
 	// The window field on a SYN-ACK is never scaled (RFC 1323 §2.2).
 	s.rwnd = int64(pkt.WindowRaw)
 	// Handshake RTT seeds the estimator.
@@ -287,6 +370,7 @@ func (s *Sender) resumeRecovery() {
 	s.recover = s.recoverHi
 	s.inRecovery = true
 	s.rexmit = make(map[int64]bool)
+	s.emit(telemetry.EvTCPRecoveryEnter, "resume", s.recover, s.Cwnd)
 	s.resetRTO()
 }
 
@@ -328,6 +412,8 @@ func (s *Sender) handleNewAck(ack int64) {
 			s.inRecovery = false
 			s.dupAcks = 0
 			s.Cwnd = s.ssthresh
+			s.emit(telemetry.EvTCPRecoveryExit, "", ack, s.Cwnd)
+			s.emit(telemetry.EvTCPCwnd, "recovery-exit", ack, s.Cwnd)
 		} else if !s.sackOK {
 			// NewReno partial ACK: the next segment after ack is also
 			// lost. (With SACK, hole-driven retransmission in trySend
@@ -415,6 +501,8 @@ func (s *Sender) enterRecovery() {
 		s.recoverHi = s.recover
 	}
 	s.inRecovery = true
+	s.emit(telemetry.EvTCPRecoveryEnter, "fast-retransmit", s.recover, s.ssthresh)
+	s.emit(telemetry.EvTCPCwnd, "backoff", s.sndUna, s.ssthresh)
 	if s.sackOK {
 		// Pipe accounting governs transmission; no NewReno inflation.
 		s.Cwnd = s.ssthresh
@@ -451,6 +539,7 @@ func (s *Sender) sendSegment(seq int64, isRetransmit bool) {
 	}
 	if isRetransmit {
 		s.stats.Retransmits++
+		s.emit(telemetry.EvTCPRetransmit, "", seq, float64(length))
 		// Karn's algorithm: a retransmitted timing sample is invalid.
 		if s.rttValid && seq < s.rttSeq {
 			s.rttValid = false
@@ -501,7 +590,7 @@ func (s *Sender) tsqAllows() bool {
 		if wait < time.Microsecond {
 			wait = time.Microsecond
 		}
-		s.tsqTimer = s.net.Sched.After(wait, s.trySend)
+		s.tsqTimer = s.net.Sched.AfterTag(tagSender, wait, s.trySend)
 	}
 	return false
 }
@@ -624,7 +713,7 @@ func (s *Sender) paceAllows(length int) bool {
 	now := s.now()
 	if now < s.paceNext {
 		if s.paceTimer == nil || !s.paceTimer.Pending() {
-			s.paceTimer = s.net.Sched.At(s.paceNext, s.trySend)
+			s.paceTimer = s.net.Sched.AtTag(tagSender, s.paceNext, s.trySend)
 		}
 		return false
 	}
@@ -663,10 +752,13 @@ func (s *Sender) updateRTT(sample time.Duration) {
 	if s.rto > MaxRTO {
 		s.rto = MaxRTO
 	}
+	if s.rttHist != nil {
+		s.rttHist.Observe(sample.Seconds())
+	}
 }
 
 func (s *Sender) armRTO() {
-	s.rtoTimer = s.net.Sched.After(s.rto, s.onRTO)
+	s.rtoTimer = s.net.Sched.AfterTag(tagSender, s.rto, s.onRTO)
 }
 
 func (s *Sender) resetRTO() {
@@ -683,6 +775,7 @@ func (s *Sender) onRTO() {
 		return
 	}
 	s.stats.RTOs++
+	s.emit(telemetry.EvTCPRTO, "", s.sndUna, s.rto.Seconds())
 	s.ssthresh = s.Cwnd / 2
 	if s.ssthresh < float64(2*s.mss) {
 		s.ssthresh = float64(2 * s.mss)
@@ -691,6 +784,7 @@ func (s *Sender) onRTO() {
 	s.inRecovery = false
 	s.dupAcks = 0
 	s.rttValid = false
+	s.emit(telemetry.EvTCPCwnd, "rto-collapse", s.sndUna, s.Cwnd)
 	// The scoreboard may be stale (reneging is permitted); discard it.
 	s.sacked.clear()
 	s.rexmit = make(map[int64]bool)

@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilBusIsSafe(t *testing.T) {
+	var b *Bus
+	if b.Enabled() {
+		t.Error("nil bus reports enabled")
+	}
+	b.Emit(Event{Kind: EvDrop}) // must not panic
+}
+
+func TestBusEnabledOnlyWithSubscribers(t *testing.T) {
+	b := &Bus{}
+	if b.Enabled() {
+		t.Error("bus with no subscribers reports enabled")
+	}
+	var got []Event
+	b.Subscribe(func(ev *Event) { got = append(got, *ev) })
+	if !b.Enabled() {
+		t.Error("bus with subscriber reports disabled")
+	}
+	b.Emit(Event{Kind: EvForward, Node: "r1"})
+	b.Emit(Event{Kind: EvDrop, Node: "r2", Reason: "queue-overflow"})
+	if len(got) != 2 || got[0].Node != "r1" || got[1].Reason != "queue-overflow" {
+		t.Errorf("delivered events = %+v", got)
+	}
+}
+
+func TestJSONLWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	b := &Bus{}
+	b.Subscribe(w.Write)
+	b.Emit(Event{At: 1e9, Kind: EvDrop, Node: "fw", Reason: "firewall-policy", Detail: "blocked"})
+	b.Emit(Event{At: 2e9, Kind: EvTCPCwnd, Flow: "a>b", Value: 14480})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2", len(lines))
+	}
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("line 0 not valid JSON: %v", err)
+	}
+	if ev["kind"] != "drop" || ev["node"] != "fw" || ev["reason"] != "firewall-policy" {
+		t.Errorf("line 0 = %v", ev)
+	}
+	if _, present := ev["flow"]; present {
+		t.Error("empty flow field was not omitted")
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := map[EventKind]string{
+		EvEnqueue: "enqueue", EvDequeue: "dequeue", EvForward: "forward",
+		EvDrop: "drop", EvWireLoss: "wire_loss",
+		EvTCPCwnd: "tcp_cwnd", EvTCPRetransmit: "tcp_retransmit", EvTCPRTO: "tcp_rto",
+		EvTCPRecoveryEnter: "tcp_recovery_enter", EvTCPRecoveryExit: "tcp_recovery_exit",
+		EvTCPWScale: "tcp_wscale",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("kind %d String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// EventKind classifies a trace event. The packet-lifecycle kinds come
+// from netsim (queues, wires, forwarding); the TCP kinds from the
+// transport model. Kinds marshal to stable strings in JSONL output.
+type EventKind uint8
+
+// Trace event kinds.
+const (
+	// EvEnqueue: a packet entered an egress queue (the port was busy).
+	EvEnqueue EventKind = iota
+	// EvDequeue: a queued packet reached the head of its egress queue
+	// and began serialization.
+	EvDequeue
+	// EvForward: a device committed a packet to an output port.
+	EvForward
+	// EvDrop: a packet was destroyed, with a structured reason.
+	EvDrop
+	// EvWireLoss: a packet was corrupted in transit by a link's loss
+	// model — the soft failure invisible to device counters.
+	EvWireLoss
+	// EvTCPCwnd: a congestion-window discontinuity (backoff, RTO
+	// collapse, recovery deflation). Continuous cwnd is a sampled
+	// gauge, not an event stream.
+	EvTCPCwnd
+	// EvTCPRetransmit: a segment retransmission.
+	EvTCPRetransmit
+	// EvTCPRTO: a retransmission-timeout firing.
+	EvTCPRTO
+	// EvTCPRecoveryEnter / EvTCPRecoveryExit: fast-recovery episode
+	// boundaries.
+	EvTCPRecoveryEnter
+	EvTCPRecoveryExit
+	// EvTCPWScale: window-scaling negotiation outcome at handshake
+	// completion (Value=1 negotiated, 0 stripped/declined).
+	EvTCPWScale
+
+	numEventKinds // sentinel
+)
+
+var eventKindNames = [numEventKinds]string{
+	EvEnqueue:          "enqueue",
+	EvDequeue:          "dequeue",
+	EvForward:          "forward",
+	EvDrop:             "drop",
+	EvWireLoss:         "wire_loss",
+	EvTCPCwnd:          "tcp_cwnd",
+	EvTCPRetransmit:    "tcp_retransmit",
+	EvTCPRTO:           "tcp_rto",
+	EvTCPRecoveryEnter: "tcp_recovery_enter",
+	EvTCPRecoveryExit:  "tcp_recovery_exit",
+	EvTCPWScale:        "tcp_wscale",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// MarshalJSON writes the kind as its stable string name.
+func (k EventKind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// Event is one trace record. It is a single flat struct — no
+// interfaces, no per-kind allocation — so emitting an event costs a
+// struct copy. Unused fields stay zero and are elided from JSON.
+//
+// Field semantics by kind:
+//
+//	enqueue/dequeue    Node=port owner, Packet, Bytes, Value=queue bytes after
+//	forward            Node=device, Packet, Bytes
+//	drop/wire_loss     Node=location, Reason, Detail, Packet, Bytes
+//	tcp_*              Node=sending host, Flow, Seq, Value (cwnd bytes,
+//	                   RTO seconds, or wscale negotiated 0/1)
+type Event struct {
+	At     sim.Time  `json:"t"`
+	Kind   EventKind `json:"kind"`
+	Node   string    `json:"node,omitempty"`
+	Flow   string    `json:"flow,omitempty"`
+	Packet uint64    `json:"pkt,omitempty"`
+	Bytes  int64     `json:"bytes,omitempty"`
+	Reason string    `json:"reason,omitempty"`
+	Detail string    `json:"detail,omitempty"`
+	Seq    int64     `json:"seq,omitempty"`
+	Value  float64   `json:"value,omitempty"`
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%v %s node=%s flow=%s pkt=%d reason=%s v=%g",
+		e.At, e.Kind, e.Node, e.Flow, e.Packet, e.Reason, e.Value)
+}

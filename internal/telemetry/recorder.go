@@ -1,0 +1,72 @@
+package telemetry
+
+import "io"
+
+// FlightRecorder keeps the last N events in a fixed ring buffer — the
+// always-on, bounded-cost recorder that makes "what led up to this?"
+// answerable after an anomaly (a queue-overflow burst, an unexpected
+// RTO storm) without paying for full-run tracing.
+//
+// Subscribe its Record method to a Bus:
+//
+//	fr := telemetry.NewFlightRecorder(4096)
+//	bus.Subscribe(fr.Record)
+//	...
+//	if anomaly { fr.Dump(os.Stderr) }
+type FlightRecorder struct {
+	buf   []Event
+	next  int    // ring write cursor
+	total uint64 // events ever recorded
+}
+
+// NewFlightRecorder returns a recorder retaining the last capacity
+// events. Capacity must be positive.
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		panic("telemetry: flight recorder capacity must be positive")
+	}
+	return &FlightRecorder{buf: make([]Event, capacity)}
+}
+
+// Record stores a copy of the event, evicting the oldest when full.
+func (r *FlightRecorder) Record(ev *Event) {
+	r.buf[r.next] = *ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+	}
+	r.total++
+}
+
+// Len returns the number of events currently retained.
+func (r *FlightRecorder) Len() int {
+	if r.total < uint64(len(r.buf)) {
+		return int(r.total)
+	}
+	return len(r.buf)
+}
+
+// Total returns the number of events ever recorded, including those
+// already evicted.
+func (r *FlightRecorder) Total() uint64 { return r.total }
+
+// Events returns the retained events, oldest first, as a fresh slice.
+func (r *FlightRecorder) Events() []Event {
+	n := r.Len()
+	out := make([]Event, 0, n)
+	if r.total >= uint64(len(r.buf)) {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+		return out
+	}
+	return append(out, r.buf[:r.next]...)
+}
+
+// Dump writes the retained events as JSONL, oldest first.
+func (r *FlightRecorder) Dump(w io.Writer) error {
+	jw := NewJSONLWriter(w)
+	for _, ev := range r.Events() {
+		jw.Write(&ev)
+	}
+	return jw.Flush()
+}

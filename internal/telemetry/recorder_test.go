@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFlightRecorderBelowCapacity(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	for i := 0; i < 5; i++ {
+		fr.Record(&Event{Packet: uint64(i)})
+	}
+	if fr.Len() != 5 || fr.Total() != 5 {
+		t.Fatalf("len=%d total=%d", fr.Len(), fr.Total())
+	}
+	evs := fr.Events()
+	for i, ev := range evs {
+		if ev.Packet != uint64(i) {
+			t.Errorf("event %d has pkt %d", i, ev.Packet)
+		}
+	}
+}
+
+func TestFlightRecorderWrapAround(t *testing.T) {
+	const cap, emitted = 16, 103
+	fr := NewFlightRecorder(cap)
+	for i := 0; i < emitted; i++ {
+		fr.Record(&Event{Packet: uint64(i)})
+	}
+	if fr.Len() != cap {
+		t.Fatalf("len = %d, want %d", fr.Len(), cap)
+	}
+	if fr.Total() != emitted {
+		t.Fatalf("total = %d, want %d", fr.Total(), emitted)
+	}
+	evs := fr.Events()
+	// Must retain exactly the last cap events, oldest first.
+	for i, ev := range evs {
+		want := uint64(emitted - cap + i)
+		if ev.Packet != want {
+			t.Errorf("event %d has pkt %d, want %d", i, ev.Packet, want)
+		}
+	}
+}
+
+func TestFlightRecorderAsBusSubscriber(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	b := &Bus{}
+	b.Subscribe(fr.Record)
+	for i := 0; i < 10; i++ {
+		b.Emit(Event{Kind: EvForward, Packet: uint64(i)})
+	}
+	evs := fr.Events()
+	if len(evs) != 4 || evs[0].Packet != 6 || evs[3].Packet != 9 {
+		t.Errorf("recorder kept %+v", evs)
+	}
+}
+
+func TestFlightRecorderDump(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	fr.Record(&Event{Kind: EvDrop, Node: "r1", Reason: "max-hops"})
+	var buf bytes.Buffer
+	if err := fr.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"kind":"drop"`) || !strings.Contains(out, `"reason":"max-hops"`) {
+		t.Errorf("dump = %q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Error("dump lines not newline-terminated")
+	}
+}
+
+func TestFlightRecorderBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("capacity 0 did not panic")
+		}
+	}()
+	NewFlightRecorder(0)
+}

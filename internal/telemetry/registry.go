@@ -1,0 +1,304 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Labels name a series within a metric, e.g. {"node": "r1"}. Nil means
+// an unlabeled series. Label sets are canonicalized (sorted) at
+// registration, so registration order never affects identity.
+type Labels map[string]string
+
+func (l Labels) canonical() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(l[k])
+	}
+	return b.String()
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v float64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds d, which must be nonnegative.
+func (c *Counter) Add(d float64) {
+	if d < 0 {
+		panic("telemetry: counter decrease")
+	}
+	c.v += d
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v }
+
+// Gauge is a set-to-current-value metric.
+type Gauge struct{ v float64 }
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Add shifts the gauge by d (may be negative).
+func (g *Gauge) Add(d float64) { g.v += d }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Histogram counts observations into fixed buckets (cumulative,
+// Prometheus-style: counts[i] covers v <= bounds[i], with an implicit
+// +Inf bucket equal to Count).
+type Histogram struct {
+	bounds []float64
+	counts []uint64
+	sum    float64
+	count  uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.sum += v
+	h.count++
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+type seriesKind uint8
+
+const (
+	kindCounter seriesKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+type series struct {
+	name   string
+	labels Labels
+	kind   seriesKind
+
+	counter *Counter
+	gauge   *Gauge
+	gaugeFn func() float64
+	hist    *Histogram
+}
+
+// EmitFunc receives ad-hoc samples from a Collector at snapshot time.
+type EmitFunc func(name string, labels Labels, value float64)
+
+// Collector contributes samples computed at snapshot time — the cheap
+// way to expose existing component state (port counters, drop tallies)
+// without touching the component's hot path.
+type Collector func(emit EmitFunc)
+
+// Registry holds named metric series and snapshot-time collectors.
+// It is not safe for concurrent use; the simulator is single-threaded.
+//
+// Registration is get-or-create: asking for the same (name, labels)
+// pair returns the same instance, and asking with a different metric
+// kind panics — a misconfiguration, not a runtime condition.
+type Registry struct {
+	series     map[string]*series
+	collectors map[string]Collector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		series:     make(map[string]*series),
+		collectors: make(map[string]Collector),
+	}
+}
+
+func seriesKey(name string, labels Labels) string {
+	lc := labels.canonical()
+	if lc == "" {
+		return name
+	}
+	return name + "{" + lc + "}"
+}
+
+func (r *Registry) lookup(name string, labels Labels, kind seriesKind) (*series, string) {
+	key := seriesKey(name, labels)
+	if s, ok := r.series[key]; ok {
+		if s.kind != kind {
+			panic(fmt.Sprintf("telemetry: %s re-registered as a different metric kind", key))
+		}
+		return s, key
+	}
+	return nil, key
+}
+
+// Counter returns the counter for (name, labels), creating it if new.
+func (r *Registry) Counter(name string, labels Labels) *Counter {
+	s, key := r.lookup(name, labels, kindCounter)
+	if s != nil {
+		return s.counter
+	}
+	c := &Counter{}
+	r.series[key] = &series{name: name, labels: labels, kind: kindCounter, counter: c}
+	return c
+}
+
+// Gauge returns the gauge for (name, labels), creating it if new.
+func (r *Registry) Gauge(name string, labels Labels) *Gauge {
+	s, key := r.lookup(name, labels, kindGauge)
+	if s != nil {
+		return s.gauge
+	}
+	g := &Gauge{}
+	r.series[key] = &series{name: name, labels: labels, kind: kindGauge, gauge: g}
+	return g
+}
+
+// GaugeFunc registers fn as the value source for (name, labels),
+// sampled at snapshot time. Re-registering replaces the function —
+// deliberate, so a new network attaching to a shared registry takes
+// over instrumentation cleanly.
+func (r *Registry) GaugeFunc(name string, labels Labels, fn func() float64) {
+	key := seriesKey(name, labels)
+	if s, ok := r.series[key]; ok && s.kind != kindGaugeFunc {
+		panic(fmt.Sprintf("telemetry: %s re-registered as a different metric kind", key))
+	}
+	r.series[key] = &series{name: name, labels: labels, kind: kindGaugeFunc, gaugeFn: fn}
+}
+
+// Histogram returns the histogram for (name, labels) with the given
+// bucket upper bounds (ascending), creating it if new. Bounds on an
+// existing histogram are ignored.
+func (r *Registry) Histogram(name string, labels Labels, bounds []float64) *Histogram {
+	s, key := r.lookup(name, labels, kindHistogram)
+	if s != nil {
+		return s.hist
+	}
+	if len(bounds) == 0 {
+		panic("telemetry: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram bounds must be ascending")
+		}
+	}
+	h := &Histogram{bounds: append([]float64(nil), bounds...), counts: make([]uint64, len(bounds))}
+	r.series[key] = &series{name: name, labels: labels, kind: kindHistogram, hist: h}
+	return h
+}
+
+// RegisterCollector installs (or replaces) the collector stored under
+// key. Keyed registration lets a re-created component (a new network
+// sharing the registry) supersede its predecessor instead of leaking
+// stale collectors.
+func (r *Registry) RegisterCollector(key string, c Collector) {
+	r.collectors[key] = c
+}
+
+// Bucket is one cumulative histogram bucket in a snapshot.
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// Sample is one series' value at snapshot time. Scalar series use
+// Value; histograms use Count/Sum/Buckets.
+type Sample struct {
+	Name    string            `json:"name"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   float64           `json:"value"`
+	Count   uint64            `json:"count,omitempty"`
+	Sum     float64           `json:"sum,omitempty"`
+	Buckets []Bucket          `json:"buckets,omitempty"`
+}
+
+// Snapshot is the registry's full state at one simulation instant,
+// with samples sorted by series identity.
+type Snapshot struct {
+	At      sim.Time `json:"t"`
+	Samples []Sample `json:"samples"`
+}
+
+// Get returns the sample for (name, labels) and whether it exists.
+func (s *Snapshot) Get(name string, labels Labels) (Sample, bool) {
+	key := seriesKey(name, labels)
+	for i := range s.Samples {
+		if seriesKey(s.Samples[i].Name, s.Samples[i].Labels) == key {
+			return s.Samples[i], true
+		}
+	}
+	return Sample{}, false
+}
+
+// Snapshot captures every registered series and collector output at
+// time at. Collector samples with the same identity as a registered
+// series (or a collector registered later under a greater key)
+// overwrite earlier ones — last writer wins — so duplicates cannot
+// make output nondeterministic.
+func (r *Registry) Snapshot(at sim.Time) *Snapshot {
+	bySeries := make(map[string]Sample, len(r.series))
+	for key, s := range r.series {
+		sample := Sample{Name: s.name, Labels: s.labels}
+		switch s.kind {
+		case kindCounter:
+			sample.Value = s.counter.v
+		case kindGauge:
+			sample.Value = s.gauge.v
+		case kindGaugeFunc:
+			sample.Value = s.gaugeFn()
+		case kindHistogram:
+			h := s.hist
+			sample.Count = h.count
+			sample.Sum = h.sum
+			sample.Buckets = make([]Bucket, len(h.bounds))
+			for i := range h.bounds {
+				sample.Buckets[i] = Bucket{LE: h.bounds[i], Count: h.counts[i]}
+			}
+		}
+		bySeries[key] = sample
+	}
+	ckeys := make([]string, 0, len(r.collectors))
+	for k := range r.collectors {
+		ckeys = append(ckeys, k)
+	}
+	sort.Strings(ckeys)
+	for _, ck := range ckeys {
+		r.collectors[ck](func(name string, labels Labels, value float64) {
+			bySeries[seriesKey(name, labels)] = Sample{Name: name, Labels: labels, Value: value}
+		})
+	}
+	snap := &Snapshot{At: at, Samples: make([]Sample, 0, len(bySeries))}
+	skeys := make([]string, 0, len(bySeries))
+	for k := range bySeries {
+		skeys = append(skeys, k)
+	}
+	sort.Strings(skeys)
+	for _, k := range skeys {
+		snap.Samples = append(snap.Samples, bySeries[k])
+	}
+	return snap
+}

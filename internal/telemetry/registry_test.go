@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs", Labels{"node": "a"})
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 3 {
+		t.Errorf("counter = %v, want 3", c.Value())
+	}
+	if r.Counter("reqs", Labels{"node": "a"}) != c {
+		t.Error("re-registration did not return the same counter")
+	}
+
+	g := r.Gauge("depth", nil)
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Errorf("gauge = %v, want 5", g.Value())
+	}
+
+	h := r.Histogram("lat", nil, []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 55.55 {
+		t.Errorf("hist count=%d sum=%v", h.Count(), h.Sum())
+	}
+	snap := r.Snapshot(0)
+	s, ok := snap.Get("lat", nil)
+	if !ok {
+		t.Fatal("histogram sample missing")
+	}
+	want := []uint64{1, 2, 3} // cumulative
+	for i, b := range s.Buckets {
+		if b.Count != want[i] {
+			t.Errorf("bucket %v count=%d, want %d", b.LE, b.Count, want[i])
+		}
+	}
+}
+
+func TestCounterDecreasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Add did not panic")
+		}
+	}()
+	NewRegistry().Counter("c", nil).Add(-1)
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("x", nil)
+}
+
+func TestLabelsCanonicalOrder(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("m", Labels{"a": "1", "b": "2"})
+	c2 := r.Counter("m", Labels{"b": "2", "a": "1"})
+	if c1 != c2 {
+		t.Error("label order changed series identity")
+	}
+}
+
+func TestSnapshotSortedAndCollected(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz", nil).Inc()
+	r.GaugeFunc("aa", nil, func() float64 { return 42 })
+	r.RegisterCollector("extra", func(emit EmitFunc) {
+		emit("mm", Labels{"k": "v"}, 9)
+	})
+	snap := r.Snapshot(sim.Time(5 * time.Second))
+	if snap.At != sim.Time(5*time.Second) {
+		t.Errorf("At = %v", snap.At)
+	}
+	var names []string
+	for _, s := range snap.Samples {
+		names = append(names, s.Name)
+	}
+	got := strings.Join(names, ",")
+	if got != "aa,mm,zz" {
+		t.Errorf("sample order = %q, want aa,mm,zz", got)
+	}
+	if s, ok := snap.Get("mm", Labels{"k": "v"}); !ok || s.Value != 9 {
+		t.Errorf("collector sample = %+v ok=%v", s, ok)
+	}
+}
+
+func TestCollectorLastWriterWins(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterCollector("a", func(emit EmitFunc) { emit("dup", nil, 1) })
+	r.RegisterCollector("b", func(emit EmitFunc) { emit("dup", nil, 2) })
+	snap := r.Snapshot(0)
+	if s, _ := snap.Get("dup", nil); s.Value != 2 {
+		t.Errorf("dup = %v, want 2 (collector keys sort a<b)", s.Value)
+	}
+	// Re-registering under the same key replaces, not appends.
+	r.RegisterCollector("b", func(emit EmitFunc) { emit("dup", nil, 3) })
+	if s, _ := r.Snapshot(0).Get("dup", nil); s.Value != 3 {
+		t.Errorf("replaced collector: dup = %v, want 3", s.Value)
+	}
+}
+
+func TestSamplerOnSimClock(t *testing.T) {
+	sched := sim.New()
+	tele := New()
+	g := tele.Registry.Gauge("v", nil)
+	var seen []sim.Time
+	sam := tele.StartSampler(sched, time.Second)
+	sam.OnSample(func(s *Snapshot) { seen = append(seen, s.At) })
+	sched.After(1500*time.Millisecond, func() { g.Set(1) })
+	sched.RunFor(3500 * time.Millisecond)
+	if len(tele.Snapshots) != 3 {
+		t.Fatalf("snapshots = %d, want 3", len(tele.Snapshots))
+	}
+	for i, want := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second} {
+		if seen[i] != sim.Time(want) {
+			t.Errorf("sample %d at %v, want %v", i, seen[i], want)
+		}
+	}
+	if s, _ := tele.Snapshots[0].Get("v", nil); s.Value != 0 {
+		t.Errorf("first snapshot v = %v, want 0", s.Value)
+	}
+	if s, _ := tele.Snapshots[1].Get("v", nil); s.Value != 1 {
+		t.Errorf("second snapshot v = %v, want 1", s.Value)
+	}
+	sam.Stop()
+	sched.RunFor(5 * time.Second)
+	if len(tele.Snapshots) != 3 {
+		t.Errorf("sampler kept running after Stop: %d snapshots", len(tele.Snapshots))
+	}
+}
+
+func TestInstrumentScheduler(t *testing.T) {
+	sched := sim.New()
+	r := NewRegistry()
+	InstrumentScheduler(r, sched)
+	compA, compB := sim.TagFor("compA"), sim.TagFor("compB")
+	sched.AfterTag(compA, time.Second, func() {})
+	sched.AfterTag(compA, 2*time.Second, func() {})
+	sched.AfterTag(compB, time.Second, func() {})
+	sched.After(time.Second, func() {}) // untagged
+	sched.Run()
+	snap := r.Snapshot(sched.Now())
+	if s, _ := snap.Get("sim_events_processed", nil); s.Value != 4 {
+		t.Errorf("events processed = %v, want 4", s.Value)
+	}
+	if s, _ := snap.Get("sim_events_by_component", Labels{"component": "compA"}); s.Value != 2 {
+		t.Errorf("compA events = %v, want 2", s.Value)
+	}
+	if s, _ := snap.Get("sim_events_by_component", Labels{"component": "compB"}); s.Value != 1 {
+		t.Errorf("compB events = %v, want 1", s.Value)
+	}
+	if s, _ := snap.Get("sim_queue_depth", nil); s.Value != 0 {
+		t.Errorf("queue depth = %v, want 0", s.Value)
+	}
+}

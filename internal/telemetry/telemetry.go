@@ -1,0 +1,95 @@
+// Package telemetry is the simulator's unified measurement plane: a
+// metrics registry, a typed trace-event bus, and a bounded flight
+// recorder, all clocked on simulation time.
+//
+// The paper's operational argument (§3.3) is that a Science DMZ works
+// only when it is observable: soft failures are invisible without
+// continuous measurement. The simulator mirrors that stance about
+// itself — every queue, link, device, and TCP sender can publish into
+// one registry and one event bus, and whole runs can be exported as
+// deterministic JSON/JSONL for offline analysis.
+//
+// Three design rules govern the package:
+//
+//   - Simulation time only. Snapshots and events are stamped with
+//     sim.Time by their emitters; nothing in this package reads the
+//     wall clock, so instrumented runs stay bit-for-bit reproducible.
+//
+//   - Pay for what you use. A nil *Bus is a valid, disabled bus: every
+//     method is nil-receiver-safe and Enabled() compiles down to a
+//     pointer check, so uninstrumented hot paths cost one branch.
+//
+//   - Deterministic export. Snapshot samples are sorted by series
+//     identity and serialized with fixed field order, so two identical
+//     runs produce byte-identical output.
+//
+// A Telemetry value bundles the three pieces for one simulation run;
+// netsim.Network.AttachTelemetry wires a network into it.
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Telemetry bundles a registry, an event bus, and the snapshots taken
+// by samplers for one instrumented run. Create with New; attach to
+// networks via netsim's AttachTelemetry (or the netsim.DefaultTelemetry
+// hook used by the CLIs).
+type Telemetry struct {
+	Registry *Registry
+	Bus      *Bus
+
+	// SampleInterval, when positive, makes consumers (netsim's
+	// AttachTelemetry) start a registry sampler at this period on each
+	// attached network's scheduler.
+	SampleInterval time.Duration
+
+	// Snapshots accumulates every registry snapshot taken by samplers
+	// created through StartSampler, in sample order.
+	Snapshots []*Snapshot
+}
+
+// New returns an empty telemetry plane: fresh registry, enabled bus
+// with no subscribers yet.
+func New() *Telemetry {
+	return &Telemetry{Registry: NewRegistry(), Bus: NewBus()}
+}
+
+// StartSampler begins periodic registry sampling on the scheduler,
+// appending snapshots to t.Snapshots. The returned sampler exposes
+// OnSample for consumers (e.g. tcp series adapters) that want to share
+// the sampler's timebase.
+func (t *Telemetry) StartSampler(sched *sim.Scheduler, interval time.Duration) *Sampler {
+	s := newSampler(t, sched, interval)
+	return s
+}
+
+// WriteMetricsJSON writes all accumulated snapshots as one JSON
+// document: {"snapshots": [...]}. Output is deterministic for
+// deterministic runs.
+func (t *Telemetry) WriteMetricsJSON(w io.Writer) error {
+	doc := struct {
+		Snapshots []*Snapshot `json:"snapshots"`
+	}{Snapshots: t.Snapshots}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// InstrumentScheduler registers the scheduler's own health metrics in
+// the registry: pending event-queue depth, total events processed, and
+// per-component event counts (for events scheduled through the tagged
+// scheduling APIs). Re-instrumenting with a different scheduler
+// replaces the previous one's series.
+func InstrumentScheduler(r *Registry, s *sim.Scheduler) {
+	r.GaugeFunc("sim_queue_depth", nil, func() float64 { return float64(s.Pending()) })
+	r.GaugeFunc("sim_events_processed", nil, func() float64 { return float64(s.Processed) })
+	r.RegisterCollector("sim.components", func(emit EmitFunc) {
+		for _, tc := range s.EventCounts() {
+			emit("sim_events_by_component", Labels{"component": tc.Tag}, float64(tc.Count))
+		}
+	})
+}
