@@ -12,6 +12,7 @@
 package repro
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -278,6 +279,32 @@ func BenchmarkSimulatorEventRate(b *testing.B) {
 		tcp.Dial(c, srv, -1, tcp.Tuned(), nil)
 		n.RunFor(2 * time.Second)
 		b.ReportMetric(float64(n.Sched.Processed), "events/iter")
+	}
+}
+
+// BenchmarkSweepParallel measures the sweep harness worker pool on an
+// 8-point loss sweep: the same workload at 1 worker and at 8. The output
+// is byte-identical either way (the determinism tests enforce it); the
+// wall-clock ratio is the parallel speedup, bounded by available cores —
+// see EXPERIMENTS.md for recorded numbers.
+func BenchmarkSweepParallel(b *testing.B) {
+	cfg := experiments.SweepConfig{
+		Axis: "loss", Min: 1e-4, Max: 1e-2, Points: 8,
+		RTT: 5 * time.Millisecond, Duration: time.Second,
+	}
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg.Parallel = workers
+				res, err := experiments.RunSweep(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Rows) != cfg.Points {
+					b.Fatalf("rows = %d", len(res.Rows))
+				}
+			}
+		})
 	}
 }
 

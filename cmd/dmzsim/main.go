@@ -6,6 +6,8 @@
 //	dmzsim -list
 //	dmzsim -run fig1
 //	dmzsim -run all
+//	dmzsim -sweep loss=1e-6..1e-2:8 -parallel 4
+//	dmzsim -sweep rtt=1ms..100ms:6
 package main
 
 import (
@@ -13,6 +15,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
@@ -23,8 +27,12 @@ import (
 // renderer is any experiment result.
 type renderer interface{ Render() string }
 
+// parallelWorkers is the -parallel flag value, read by experiments that
+// run on the sweep harness. Any value produces byte-identical output.
+var parallelWorkers int
+
 var registry = map[string]func() renderer{
-	"fig1":     func() renderer { return experiments.Fig1(experiments.Fig1Config{}) },
+	"fig1":     func() renderer { return experiments.Fig1(experiments.Fig1Config{Parallel: parallelWorkers}) },
 	"fig2":     func() renderer { return experiments.Fig2() },
 	"fig3":     func() renderer { return experiments.Fig3() },
 	"fig4":     func() renderer { return experiments.Fig4() },
@@ -113,16 +121,80 @@ func setupTelemetry(tracePath, metricsPath string) (finish func()) {
 	}
 }
 
+// parseSweep parses a -sweep spec of the form axis=min..max[:points],
+// where axis is "loss" (probabilities) or "rtt" (durations or seconds):
+//
+//	loss=1e-6..1e-2:8
+//	rtt=1ms..100ms:6
+func parseSweep(spec string) (experiments.SweepConfig, error) {
+	var cfg experiments.SweepConfig
+	axis, rest, ok := strings.Cut(spec, "=")
+	if !ok {
+		return cfg, fmt.Errorf("sweep spec %q: want axis=min..max[:points]", spec)
+	}
+	cfg.Axis = axis
+	if bounds, pts, ok := strings.Cut(rest, ":"); ok {
+		n, err := strconv.Atoi(pts)
+		if err != nil {
+			return cfg, fmt.Errorf("sweep spec %q: bad point count %q", spec, pts)
+		}
+		cfg.Points = n
+		rest = bounds
+	}
+	lo, hi, ok := strings.Cut(rest, "..")
+	if !ok {
+		return cfg, fmt.Errorf("sweep spec %q: want min..max bounds", spec)
+	}
+	var err error
+	if cfg.Min, err = parseAxisValue(lo); err != nil {
+		return cfg, fmt.Errorf("sweep spec %q: %v", spec, err)
+	}
+	if cfg.Max, err = parseAxisValue(hi); err != nil {
+		return cfg, fmt.Errorf("sweep spec %q: %v", spec, err)
+	}
+	return cfg, nil
+}
+
+// parseAxisValue accepts a bare float (loss probability, RTT seconds) or
+// a duration literal like 10ms.
+func parseAxisValue(s string) (float64, error) {
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		return v, nil
+	}
+	if d, err := time.ParseDuration(s); err == nil {
+		return d.Seconds(), nil
+	}
+	return 0, fmt.Errorf("bad axis value %q (want a number or duration)", s)
+}
+
 func main() {
 	list := flag.Bool("list", false, "list experiments")
 	run := flag.String("run", "", "experiment to run (or 'all')")
+	sweep := flag.String("sweep", "", "run a parameter sweep, e.g. loss=1e-6..1e-2:8 or rtt=1ms..100ms:6")
 	trace := flag.String("trace", "", "write a JSONL packet/TCP event trace to this file")
 	metrics := flag.String("metrics", "", "write periodic metrics snapshots (JSON) to this file")
+	flag.IntVar(&parallelWorkers, "parallel", 0, "sweep worker count (0 = GOMAXPROCS); results are identical at any value")
 	flag.Parse()
 
 	finish := setupTelemetry(*trace, *metrics)
 
 	switch {
+	case *sweep != "":
+		if *trace != "" || *metrics != "" {
+			fmt.Fprintln(os.Stderr, "warning: -trace/-metrics are ignored by -sweep: sweep workers run isolated from the shared telemetry plane")
+		}
+		cfg, err := parseSweep(*sweep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.Parallel = parallelWorkers
+		res, err := experiments.RunSweep(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Render())
 	case *list:
 		for _, name := range names() {
 			fmt.Printf("%-10s %s\n", name, descriptions[name])

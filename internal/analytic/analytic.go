@@ -84,7 +84,13 @@ func RecoveryTime(rate units.BitRate, rtt time.Duration, mss units.ByteSize) tim
 		return 0
 	}
 	w := float64(units.BandwidthDelayProduct(rate, rtt)) / float64(mss)
-	return time.Duration(w / 2 * float64(rtt))
+	ns := w / 2 * float64(rtt)
+	// Saturate instead of overflowing: extreme rate×RTT combinations
+	// (terabit paths, second-scale RTTs, tiny MSS) exceed int64 ns.
+	if ns >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return time.Duration(ns)
 }
 
 // TransferTime returns the ideal time to move n bytes at the given

@@ -1,0 +1,101 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+// TestModelExtremes drives every closed-form model with the boundary
+// inputs real sweeps generate — zero loss, sub-millisecond RTT, 100G+
+// rates, tiny and jumbo MSS — and asserts the results are finite (or a
+// documented +Inf), non-negative, and never wrapped by int64 overflow.
+func TestModelExtremes(t *testing.T) {
+	rtts := []time.Duration{
+		0, time.Nanosecond, 10 * time.Microsecond, 100 * time.Microsecond,
+		time.Millisecond, 100 * time.Millisecond, time.Second, 10 * time.Second,
+	}
+	rates := []units.BitRate{0, units.Kbps, units.Gbps, 100 * units.Gbps, 10 * units.Tbps}
+	losses := []float64{0, 1e-12, 1e-6, 1.0 / 22000, 0.5, 1}
+	msss := []units.ByteSize{0, 1, 536, 1460, 8960, 64 * units.KB}
+
+	finite := func(name string, v float64, args ...any) {
+		t.Helper()
+		if math.IsNaN(v) {
+			t.Errorf("%s = NaN for %v", name, args)
+		}
+		if v < 0 {
+			t.Errorf("%s = %g, negative, for %v", name, v, args)
+		}
+	}
+
+	for _, rtt := range rtts {
+		for _, p := range losses {
+			for _, mss := range msss {
+				m := MathisThroughput(mss, rtt, p)
+				finite("MathisThroughput", float64(m), rtt, p, mss)
+				if p == 0 && rtt > 0 && !math.IsInf(float64(m), 1) {
+					t.Errorf("MathisThroughput(p=0, rtt=%v) = %v, want +Inf", rtt, m)
+				}
+				if p > 0 && math.IsInf(float64(m), 0) {
+					t.Errorf("MathisThroughput(%v, %v, %g) = +Inf unexpectedly", mss, rtt, p)
+				}
+				finite("MathisThroughputFull", float64(MathisThroughputFull(mss, rtt, p)), rtt, p, mss)
+
+				for _, rate := range rates {
+					em := EffectiveMathisRate(rate, mss, rtt, p)
+					finite("EffectiveMathisRate", float64(em), rate, mss, rtt, p)
+					if float64(em) > float64(rate) {
+						t.Errorf("EffectiveMathisRate(%v,...) = %v exceeds bottleneck", rate, em)
+					}
+				}
+			}
+		}
+	}
+
+	for _, rate := range rates {
+		for _, rtt := range rtts {
+			bdp := units.BandwidthDelayProduct(rate, rtt)
+			if bdp < 0 {
+				t.Errorf("BDP(%v, %v) = %v, overflowed negative", rate, rtt, bdp)
+			}
+			w := RequiredWindow(rate, rtt)
+			if w < 0 {
+				t.Errorf("RequiredWindow(%v, %v) = %v, negative", rate, rtt, w)
+			}
+			for _, mss := range msss {
+				rec := RecoveryTime(rate, rtt, mss)
+				if rec < 0 {
+					t.Errorf("RecoveryTime(%v, %v, %v) = %v, overflowed negative", rate, rtt, mss, rec)
+				}
+			}
+			for _, mss := range msss {
+				b := LossBudget(rate, mss, rtt)
+				finite("LossBudget", b, rate, mss, rtt)
+			}
+		}
+	}
+
+	// 10 Tbps over 10 s RTT with 1-byte MSS is the worst encodable
+	// combination; it must saturate, not wrap.
+	if rec := RecoveryTime(10*units.Tbps, 10*time.Second, 1); rec != math.MaxInt64 {
+		t.Errorf("extreme RecoveryTime = %v, want saturation at MaxInt64", rec)
+	}
+
+	// Window-limited rates at sub-ms RTT stay finite and positive.
+	for _, rtt := range []time.Duration{time.Nanosecond, time.Microsecond, 500 * time.Microsecond} {
+		r := WindowLimitedRate(64*units.KiB, rtt)
+		finite("WindowLimitedRate", float64(r), rtt)
+		if r <= 0 {
+			t.Errorf("WindowLimitedRate(64KiB, %v) = %v, want positive", rtt, r)
+		}
+	}
+
+	// Exabyte transfers at kilobit rates: TransferTime saturates rather
+	// than wrapping negative.
+	if d := TransferTime(1e18*units.Byte, units.Kbps); d < 0 {
+		t.Errorf("TransferTime(1EB, 1Kbps) = %v, overflowed negative", d)
+	}
+}

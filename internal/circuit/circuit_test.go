@@ -69,6 +69,9 @@ func TestNoPathError(t *testing.T) {
 }
 
 func TestCircuitProtectsFromCrossTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation; skipped in -short")
+	}
 	// Congest the sw1->sw2 link with best-effort cross traffic; a
 	// reserved flow must keep its bandwidth and see no queue loss, while
 	// without the circuit it gets squeezed.

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/analytic"
+	"repro/internal/harness"
 	"repro/internal/netsim"
 	"repro/internal/stats"
 	"repro/internal/tcp"
@@ -23,6 +24,14 @@ import (
 // frames, adjustable RTT and loss, deep-buffered routers.
 func fig1Path(seed int64, rtt time.Duration, loss netsim.LossModel) (*netsim.Network, *netsim.Host, *netsim.Host) {
 	n := netsim.New(seed)
+	c, s := fig1PathOn(n, rtt, loss)
+	return n, c, s
+}
+
+// fig1PathOn builds the same path on a caller-provided network, so
+// harness-driven runs can use per-point isolated networks with derived
+// seeds.
+func fig1PathOn(n *netsim.Network, rtt time.Duration, loss netsim.LossModel) (*netsim.Host, *netsim.Host) {
 	c := n.NewHost("sender")
 	s := n.NewHost("receiver")
 	r1 := n.NewDevice("r1", netsim.DeviceConfig{EgressBuffer: 64 * units.MB})
@@ -35,7 +44,7 @@ func fig1Path(seed int64, rtt time.Duration, loss netsim.LossModel) (*netsim.Net
 	n.Connect(r1, r2, wan)
 	n.Connect(r2, s, cfg)
 	n.ComputeRoutes()
-	return n, c, s
+	return c, s
 }
 
 // Fig1Point is one RTT sample of Figure 1.
@@ -63,11 +72,22 @@ type Fig1Config struct {
 	LossRate float64
 	// Duration is simulated measurement time per point; zero means 8 s.
 	Duration time.Duration
+	// Parallel is the harness worker count; zero means GOMAXPROCS. The
+	// result is byte-identical at every value.
+	Parallel int
 }
+
+// rttPoint is one Figure 1 sweep point.
+type rttPoint struct{ rtt time.Duration }
+
+func (p rttPoint) Key() string { return "rtt=" + p.rtt.String() }
 
 // Fig1 reproduces Figure 1: TCP throughput vs RTT with packet loss,
 // comparing the loss-free path, the Mathis prediction, and measured
-// Reno and H-TCP.
+// Reno and H-TCP. RTT points run in parallel on the sweep harness;
+// every simulation is audited for conservation/accounting invariants,
+// and a violation panics — it means the simulator itself is broken, so
+// no figure derived from it can be trusted.
 func Fig1(cfg Fig1Config) *Fig1Result {
 	if len(cfg.RTTs) == 0 {
 		cfg.RTTs = []time.Duration{
@@ -84,7 +104,7 @@ func Fig1(cfg Fig1Config) *Fig1Result {
 	mss := units.ByteSize(9000 - 40)
 	res := &Fig1Result{LossRate: cfg.LossRate, MSS: mss}
 
-	measure := func(rtt time.Duration, lossy bool, cc tcp.CongestionControl) units.BitRate {
+	measure := func(ctx *harness.Ctx, stream string, rtt time.Duration, lossy bool, cc tcp.CongestionControl) units.BitRate {
 		var loss netsim.LossModel
 		dur := cfg.Duration
 		warm := dur / 4
@@ -99,7 +119,8 @@ func Fig1(cfg Fig1Config) *Fig1Result {
 			}
 			warm = dur / 2
 		}
-		n, c, s := fig1Path(42, rtt, loss)
+		n := ctx.NewNetwork(stream)
+		c, s := fig1PathOn(n, rtt, loss)
 		srv := tcp.NewServer(s, 5001, tcp.Tuned())
 		conn := tcp.Dial(c, srv, -1, tcp.TunedWith(cc), nil)
 		n.RunFor(warm)
@@ -109,16 +130,24 @@ func Fig1(cfg Fig1Config) *Fig1Result {
 		return units.Rate(acked, dur)
 	}
 
-	for _, rtt := range cfg.RTTs {
-		p := Fig1Point{
-			RTT:      rtt,
-			LossFree: measure(rtt, false, tcp.NewReno{}),
-			Mathis:   analytic.EffectiveMathisRate(10*units.Gbps, mss, rtt, cfg.LossRate),
-			Reno:     measure(rtt, true, tcp.NewReno{}),
-			HTCP:     measure(rtt, true, &tcp.HTCP{}),
-		}
-		res.Points = append(res.Points, p)
+	points := make([]rttPoint, len(cfg.RTTs))
+	for i, rtt := range cfg.RTTs {
+		points[i] = rttPoint{rtt}
 	}
+	camp := harness.Campaign{Name: "experiments/fig1", Parallel: cfg.Parallel}
+	r := harness.Sweep(camp.Sweep("throughput-vs-rtt"), points, func(ctx *harness.Ctx, p rttPoint) (Fig1Point, error) {
+		return Fig1Point{
+			RTT:      p.rtt,
+			LossFree: measure(ctx, "lossfree", p.rtt, false, tcp.NewReno{}),
+			Mathis:   analytic.EffectiveMathisRate(10*units.Gbps, mss, p.rtt, cfg.LossRate),
+			Reno:     measure(ctx, "reno", p.rtt, true, tcp.NewReno{}),
+			HTCP:     measure(ctx, "htcp", p.rtt, true, &tcp.HTCP{}),
+		}, nil
+	})
+	if err := r.Err(); err != nil {
+		panic("experiments: " + err.Error())
+	}
+	res.Points = r.Values()
 	return res
 }
 

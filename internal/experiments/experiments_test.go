@@ -6,6 +6,14 @@ import (
 	"time"
 )
 
+// skipIfShort gates multi-second simulations out of -short runs (the
+// race-detector CI sweep); the plain CI job still runs everything.
+func skipIfShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation; skipped in -short")
+	}
+}
+
 // quickFig1 keeps unit-test cost low; the benchmark harness runs the
 // full default sweep.
 func quickFig1() *Fig1Result {
@@ -16,6 +24,7 @@ func quickFig1() *Fig1Result {
 }
 
 func TestFig1Shape(t *testing.T) {
+	skipIfShort(t)
 	r := quickFig1()
 	if len(r.Points) != 3 {
 		t.Fatalf("points = %d", len(r.Points))
@@ -51,9 +60,11 @@ func TestFig1Shape(t *testing.T) {
 	if !strings.Contains(out, "Figure 1") || !strings.Contains(out, "htcp") {
 		t.Error("render missing content")
 	}
+	checkGolden(t, "fig1_quick.txt", out)
 }
 
 func TestLineCardStory(t *testing.T) {
+	skipIfShort(t)
 	r := LineCard()
 	if r.WireDrops == 0 {
 		t.Error("no wire drops recorded")
@@ -94,6 +105,7 @@ func TestFig8Relationships(t *testing.T) {
 }
 
 func TestFig2DashboardShowsDegradedSite(t *testing.T) {
+	skipIfShort(t)
 	r := Fig2()
 	if !strings.Contains(r.Grid, "BAD") && !strings.Contains(r.Grid, "WRN") {
 		t.Errorf("grid shows no degradation:\n%s", r.Grid)
@@ -113,6 +125,7 @@ func TestFig2DashboardShowsDegradedSite(t *testing.T) {
 }
 
 func TestFig3BeforeAfter(t *testing.T) {
+	skipIfShort(t)
 	r := Fig3()
 	if r.Speedup() < 10 {
 		t.Errorf("speedup = %.1fx (%.0f -> %.0f Mbps), want order of magnitude",
@@ -152,6 +165,7 @@ func TestFig4IngestionPaths(t *testing.T) {
 }
 
 func TestFig5BigDataSite(t *testing.T) {
+	skipIfShort(t)
 	r := Fig5()
 	if r.AggregateGbps < 20 {
 		t.Errorf("aggregate = %.1f Gbps, want > 20 on a 40G WAN", r.AggregateGbps)
@@ -168,6 +182,7 @@ func TestFig5BigDataSite(t *testing.T) {
 }
 
 func TestFig67Colorado(t *testing.T) {
+	skipIfShort(t)
 	r := Fig67()
 	if !r.Degraded {
 		t.Error("faulty switch should degrade")
@@ -187,6 +202,7 @@ func TestFig67Colorado(t *testing.T) {
 }
 
 func TestNOAARepatriation(t *testing.T) {
+	skipIfShort(t)
 	r := NOAA()
 	mbs := float64(r.FTPRate) / 8e6
 	if mbs < 0.5 || mbs > 5 {
@@ -204,9 +220,11 @@ func TestNOAARepatriation(t *testing.T) {
 	if !strings.Contains(r.Render(), "NOAA") {
 		t.Error("render missing content")
 	}
+	checkGolden(t, "noaa.txt", r.Render())
 }
 
 func TestNERSCCarbon14(t *testing.T) {
+	skipIfShort(t)
 	r := NERSC()
 	if r.Legacy33GB < 5*time.Hour {
 		t.Errorf("legacy 33GB = %v, paper: 'more than an entire workday'", r.Legacy33GB)
@@ -221,9 +239,11 @@ func TestNERSCCarbon14(t *testing.T) {
 	if !strings.Contains(r.Render(), "carbon-14") {
 		t.Error("render missing content")
 	}
+	checkGolden(t, "nersc.txt", r.Render())
 }
 
 func TestRoCECircuits(t *testing.T) {
+	skipIfShort(t)
 	r := RoCE()
 	if r.CircuitGbps < 37 {
 		t.Errorf("circuit RoCE = %.1f, paper: 39.5", r.CircuitGbps)
@@ -240,6 +260,7 @@ func TestRoCECircuits(t *testing.T) {
 }
 
 func TestSDNBypassExperiment(t *testing.T) {
+	skipIfShort(t)
 	r := SDNBypass()
 	if r.BypassGbps < 3*r.FirewalledGbps {
 		t.Errorf("bypass %.2f vs firewalled %.2f: want big win", r.BypassGbps, r.FirewalledGbps)
@@ -269,6 +290,7 @@ func TestAuditDesigns(t *testing.T) {
 }
 
 func TestSawtoothShape(t *testing.T) {
+	skipIfShort(t)
 	r := Sawtooth(20*time.Millisecond, 2*time.Second, 8*time.Second)
 	if r.Backoffs < 3 {
 		t.Fatalf("backoffs = %d", r.Backoffs)

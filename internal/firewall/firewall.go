@@ -22,6 +22,7 @@
 package firewall
 
 import (
+	"fmt"
 	"hash/fnv"
 	"time"
 
@@ -226,3 +227,33 @@ func (f *Firewall) forward(pkt *netsim.Packet) {
 
 // SessionCount returns the number of active sessions in the state table.
 func (f *Firewall) SessionCount() int { return len(f.sessions) }
+
+// HeldPackets implements netsim.PacketHolder: packets waiting in engine
+// input queues plus the one inside each busy engine's service closure.
+func (f *Firewall) HeldPackets() int {
+	held := 0
+	for _, p := range f.procs {
+		held += len(p.queue)
+		if p.busy {
+			held++
+		}
+	}
+	return held
+}
+
+// AuditInvariants implements netsim.SelfAuditor: each engine's byte
+// counter must match the packets actually queued.
+func (f *Firewall) AuditInvariants() []error {
+	var errs []error
+	for i, p := range f.procs {
+		var queued units.ByteSize
+		for _, pkt := range p.queue {
+			queued += pkt.Size
+		}
+		if queued != p.queueSize {
+			errs = append(errs, fmt.Errorf("%s engine %d: input buffer accounting %d B != queued %d B",
+				f.Name(), i, p.queueSize, queued))
+		}
+	}
+	return errs
+}

@@ -66,6 +66,9 @@ func TestBusinessDeterminism(t *testing.T) {
 }
 
 func TestLHCMeshAggregate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation; skipped in -short")
+	}
 	n := netsim.New(1)
 	sw1 := n.NewDevice("sw1", netsim.DeviceConfig{EgressBuffer: 64 * units.MB})
 	sw2 := n.NewDevice("sw2", netsim.DeviceConfig{EgressBuffer: 64 * units.MB})

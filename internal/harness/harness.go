@@ -1,0 +1,249 @@
+// Package harness is a deterministic parallel sweep engine for the
+// simulator: it fans independent simulation runs out over a worker pool
+// and guarantees that results are bit-identical at any parallelism
+// level.
+//
+// Determinism rests on three rules:
+//
+//  1. Worker isolation. Every sweep point runs in its own goroutine with
+//     its own networks and schedulers (one sim.Scheduler per
+//     netsim.Network); nothing mutable is shared between points.
+//  2. Seed derivation. Random streams are never taken from a shared
+//     sequence, which would make them depend on execution order.
+//     Ctx.Seed hashes (campaign name, point key, stream name) with
+//     FNV-1a, so a point's seeds depend only on its identity.
+//  3. Ordered reduction. Results land in a slice indexed by point
+//     position, not in completion order; aggregation reads that slice.
+//
+// Every network a run builds through (or registers with) its Ctx is
+// audited after the run by the simulation invariant checker
+// (netsim.AuditInvariants): packet conservation, queue accounting, drop
+// bookkeeping agreement, and clock sanity. A sweep whose simulations
+// leak packets fails loudly, not statistically.
+package harness
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/netsim"
+)
+
+// Point identifies one parameter combination in a sweep. Key must be
+// unique within the sweep and stable across runs — it is hashed into the
+// point's random seeds and used to label results.
+type Point interface {
+	Key() string
+}
+
+// KeyString is the trivial Point: its key is itself.
+type KeyString string
+
+// Key implements Point.
+func (k KeyString) Key() string { return string(k) }
+
+// Config controls one sweep execution.
+type Config struct {
+	// Name is the campaign name, folded into every seed so distinct
+	// campaigns sample distinct random streams at identical points.
+	Name string
+
+	// Parallel is the worker count. Zero or negative uses GOMAXPROCS.
+	// Any value yields byte-identical results; it changes wall-clock
+	// time only.
+	Parallel int
+
+	// SkipInvariants disables the post-run invariant audit. Only raw
+	// kernel benchmarks should set it.
+	SkipInvariants bool
+}
+
+// Campaign groups related sweeps under one name with shared execution
+// settings; Sweep derives per-sweep Configs from it.
+type Campaign struct {
+	Name           string
+	Parallel       int
+	SkipInvariants bool
+}
+
+// Sweep returns the Config for a named sweep within the campaign.
+func (c Campaign) Sweep(name string) Config {
+	return Config{
+		Name:           c.Name + "/" + name,
+		Parallel:       c.Parallel,
+		SkipInvariants: c.SkipInvariants,
+	}
+}
+
+// Seed derives a deterministic 63-bit seed by FNV-1a hashing the given
+// parts with length framing (so ("ab","c") and ("a","bc") differ).
+func Seed(parts ...string) int64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%d:", len(p))
+		h.Write([]byte(p))
+	}
+	return int64(h.Sum64() &^ (1 << 63))
+}
+
+// Ctx is a sweep point's execution context: the source of its random
+// seeds and the registry of networks to audit when the run finishes.
+// A Ctx must not be shared across points.
+type Ctx struct {
+	campaign string
+	point    string
+	nets     []auditedNet
+}
+
+type auditedNet struct {
+	label string
+	net   *netsim.Network
+}
+
+// Seed returns the deterministic seed for a named random stream of this
+// point, independent of execution order and parallelism.
+func (c *Ctx) Seed(stream string) int64 {
+	return Seed(c.campaign, c.point, stream)
+}
+
+// NewNetwork creates a network seeded for the named stream and registers
+// it for the post-run invariant audit. The network deliberately ignores
+// netsim.DefaultTelemetry — attaching concurrent worker networks to one
+// shared telemetry plane would race.
+func (c *Ctx) NewNetwork(stream string) *netsim.Network {
+	n := netsim.NewIsolated(c.Seed(stream))
+	c.Observe(stream, n)
+	return n
+}
+
+// Observe registers an externally built network (e.g., from a topo
+// constructor) for the post-run invariant audit.
+func (c *Ctx) Observe(label string, n *netsim.Network) {
+	c.nets = append(c.nets, auditedNet{label: label, net: n})
+}
+
+// Violation is one invariant failure found auditing a point's networks.
+type Violation struct {
+	Point   string // point key
+	Network string // Observe/NewNetwork label
+	Err     error
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s [%s]: %v", v.Point, v.Network, v.Err)
+}
+
+// Outcome is one sweep point's result.
+type Outcome[R any] struct {
+	Key        string
+	Value      R
+	Err        error // error returned by the run function
+	Violations []Violation
+}
+
+// Result collects a sweep's outcomes in point order — the same order at
+// any parallelism level.
+type Result[R any] struct {
+	Config   Config
+	Outcomes []Outcome[R]
+}
+
+// Values returns the point results in point order. It is only meaningful
+// when Err() is nil.
+func (r *Result[R]) Values() []R {
+	out := make([]R, len(r.Outcomes))
+	for i, o := range r.Outcomes {
+		out[i] = o.Value
+	}
+	return out
+}
+
+// Err returns the first run error or invariant violation, or nil when
+// every point succeeded cleanly.
+func (r *Result[R]) Err() error {
+	for _, o := range r.Outcomes {
+		if o.Err != nil {
+			return fmt.Errorf("sweep %s point %s: %w", r.Config.Name, o.Key, o.Err)
+		}
+		if len(o.Violations) > 0 {
+			return fmt.Errorf("sweep %s point %s: invariant violated: %v", r.Config.Name, o.Key, o.Violations[0])
+		}
+	}
+	return nil
+}
+
+// Violations returns every invariant violation across all points.
+func (r *Result[R]) Violations() []Violation {
+	var out []Violation
+	for _, o := range r.Outcomes {
+		out = append(out, o.Violations...)
+	}
+	return out
+}
+
+// Sweep runs fn once per point on a pool of cfg.Parallel workers and
+// returns the outcomes in point order. Each invocation gets a fresh Ctx;
+// after fn returns, every network registered on that Ctx is audited for
+// simulation invariants (unless cfg.SkipInvariants). Duplicate point
+// keys panic: they would alias random streams and labels.
+func Sweep[P Point, R any](cfg Config, points []P, fn func(ctx *Ctx, p P) (R, error)) *Result[R] {
+	seen := make(map[string]bool, len(points))
+	for _, p := range points {
+		if seen[p.Key()] {
+			panic(fmt.Sprintf("harness: duplicate sweep point key %q in %q", p.Key(), cfg.Name))
+		}
+		seen[p.Key()] = true
+	}
+
+	res := &Result[R]{
+		Config:   cfg,
+		Outcomes: make([]Outcome[R], len(points)),
+	}
+	workers := cfg.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(points) {
+					return
+				}
+				res.Outcomes[i] = runPoint(cfg, points[i], fn)
+			}
+		}()
+	}
+	wg.Wait()
+	return res
+}
+
+func runPoint[P Point, R any](cfg Config, p P, fn func(ctx *Ctx, p P) (R, error)) Outcome[R] {
+	ctx := &Ctx{campaign: cfg.Name, point: p.Key()}
+	out := Outcome[R]{Key: p.Key()}
+	out.Value, out.Err = fn(ctx, p)
+	if cfg.SkipInvariants {
+		return out
+	}
+	for _, an := range ctx.nets {
+		for _, err := range an.net.AuditInvariants() {
+			out.Violations = append(out.Violations, Violation{
+				Point:   p.Key(),
+				Network: an.label,
+				Err:     err,
+			})
+		}
+	}
+	return out
+}

@@ -169,7 +169,11 @@ func (d *Device) forward(pkt *Packet) {
 		})
 	}
 	if delay := d.Config.FwdLatency; delay > 0 {
-		d.net.Sched.AfterTag(tagDevice, delay, func() { out.Send(pkt) })
+		d.net.transit++
+		d.net.Sched.AfterTag(tagDevice, delay, func() {
+			d.net.transit--
+			out.Send(pkt)
+		})
 		return
 	}
 	out.Send(pkt)
@@ -207,7 +211,9 @@ func (d *Device) sfServe() {
 	if rate == 0 {
 		rate = 4 * units.Gbps
 	}
+	d.net.transit++
 	d.net.Sched.AfterTag(tagDevice, rate.Serialize(pkt.Size), func() {
+		d.net.transit--
 		d.forward(pkt)
 		d.sfServe()
 	})

@@ -1,6 +1,10 @@
 package netsim
 
-import "repro/internal/sim"
+import (
+	"strings"
+
+	"repro/internal/sim"
+)
 
 // Scheduler-attribution tags for netsim components (see sim.TagFor).
 var (
@@ -103,3 +107,51 @@ type DropSite struct {
 }
 
 func (s DropSite) String() string { return s.Reason.String() + "@" + s.Node }
+
+// ParseDropText inverts DropReason.Format: it recovers the structured
+// (reason, node, detail) triple from a legacy human-readable drop
+// description, for migrating free-text Drops tallies into structured
+// accounting. Recovery is exact whenever node and detail do not
+// themselves contain the separator tokens (" at ", " to ", "link down: "
+// prefixes and friends); text that matches no known shape comes back as
+// DropOther with the verbatim text in detail, mirroring Format's
+// fallback. The re-formatted result always reproduces the input:
+// Format(ParseDropText(s)) == s for every s Format can emit.
+func ParseDropText(text string) (reason DropReason, node, detail string) {
+	switch {
+	case strings.HasPrefix(text, "queue overflow at "):
+		return DropQueueOverflow, strings.TrimPrefix(text, "queue overflow at "), ""
+	case strings.HasPrefix(text, "max hops exceeded at "):
+		return DropMaxHops, strings.TrimPrefix(text, "max hops exceeded at "), ""
+	case strings.HasPrefix(text, "link down: "):
+		return DropLinkDown, strings.TrimPrefix(text, "link down: "), ""
+	case strings.HasPrefix(text, "wire loss on "):
+		return DropWireLoss, strings.TrimPrefix(text, "wire loss on "), ""
+	case strings.HasPrefix(text, "filtered by "):
+		rest := strings.TrimPrefix(text, "filtered by ")
+		if i := strings.LastIndex(rest, " at "); i >= 0 {
+			return DropFiltered, rest[i+4:], rest[:i]
+		}
+	case strings.HasPrefix(text, "no route at "):
+		rest := strings.TrimPrefix(text, "no route at ")
+		if i := strings.Index(rest, " to "); i >= 0 {
+			return DropNoRoute, rest[:i], rest[i+4:]
+		}
+	case strings.HasPrefix(text, "no route from "):
+		rest := strings.TrimPrefix(text, "no route from ")
+		if i := strings.Index(rest, " to "); i >= 0 {
+			return DropNoLocalRoute, rest[:i], rest[i+4:]
+		}
+	case strings.HasPrefix(text, "no handler on "):
+		return DropNoHandler, strings.TrimPrefix(text, "no handler on "), ""
+	case strings.HasPrefix(text, "store-and-forward pool overflow at "):
+		return DropSFOverflow, strings.TrimPrefix(text, "store-and-forward pool overflow at "), ""
+	case strings.HasPrefix(text, "firewall buffer overflow at "):
+		return DropFirewallOverflow, strings.TrimPrefix(text, "firewall buffer overflow at "), ""
+	case strings.HasPrefix(text, "firewall policy at "):
+		return DropFirewallPolicy, strings.TrimPrefix(text, "firewall policy at "), ""
+	case strings.HasPrefix(text, "dropped at "):
+		return DropOther, strings.TrimPrefix(text, "dropped at "), ""
+	}
+	return DropOther, "", text
+}

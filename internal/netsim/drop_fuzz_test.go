@@ -1,0 +1,95 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+)
+
+// formatPrefixes are every fixed prefix ParseDropText dispatches on. A
+// detail string starting with one of these can legitimately be
+// re-classified (DropOther's verbatim fallback emits bare detail), so
+// the exact-recovery assertion excludes them.
+var formatPrefixes = []string{
+	"queue overflow at ", "max hops exceeded at ", "link down: ",
+	"wire loss on ", "filtered by ", "no route at ", "no route from ",
+	"no handler on ", "store-and-forward pool overflow at ",
+	"firewall buffer overflow at ", "firewall policy at ", "dropped at ",
+}
+
+func mimicsKnownShape(s string) bool {
+	for _, p := range formatPrefixes {
+		if strings.HasPrefix(s, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzDropReasonFormat checks the Format/ParseDropText contract:
+//
+//  1. Round-trip: for any (reason, node, detail), re-formatting the
+//     parsed triple reproduces the formatted text byte-for-byte — even
+//     when node or detail contain separator tokens.
+//  2. Exact recovery: when node and detail avoid the separator tokens
+//     that make a shape ambiguous, parsing recovers the original triple.
+func FuzzDropReasonFormat(f *testing.F) {
+	for r := DropReason(0); r < numDropReasons; r++ {
+		f.Add(uint8(r), "fw0", "border")
+	}
+	f.Add(uint8(DropFiltered), "node at rack2", "acl to lab") // tokens inside fields
+	f.Add(uint8(DropNoRoute), "r1 to r2", "dtn")
+	f.Add(uint8(DropOther), "x", "queue overflow at y") // detail mimics another shape
+	f.Add(uint8(DropOther), "x", "")
+	f.Add(uint8(numDropReasons), "n", "d") // out-of-range reason
+
+	f.Fuzz(func(t *testing.T, rb uint8, node, detail string) {
+		r := DropReason(rb)
+		text := r.Format(node, detail)
+
+		r2, n2, d2 := ParseDropText(text)
+		if got := r2.Format(n2, d2); got != text {
+			t.Errorf("round-trip broken: Format(%v,%q,%q) = %q, reparsed to (%v,%q,%q), reformats to %q",
+				r, node, detail, text, r2, n2, d2, got)
+		}
+
+		// Exact recovery, where the shape is unambiguous. For the two
+		// shapes with an internal separator, the exact precondition is
+		// positional: the occurrence Parse dispatches on (first " to ",
+		// last " at ") must sit at the field boundary — token-bearing
+		// fields are fine as long as they don't shift it (e.g. a node of
+		// " to" merges with the separator and does).
+		switch r {
+		case DropNoRoute, DropNoLocalRoute:
+			if strings.Index(node+" to "+detail, " to ") != len(node) {
+				return
+			}
+		case DropFiltered:
+			if strings.LastIndex(detail+" at "+node, " at ") != len(detail) {
+				return
+			}
+		}
+		switch {
+		case r < numDropReasons && r != DropOther:
+			// Only filtered/no-route shapes encode detail; elsewhere
+			// Format discards it, so parsing recovers it as empty.
+			wantDetail := ""
+			if r == DropFiltered || r == DropNoRoute || r == DropNoLocalRoute {
+				wantDetail = detail
+			}
+			if r2 != r || n2 != node || d2 != wantDetail {
+				t.Errorf("Parse(Format(%v,%q,%q)) = (%v,%q,%q), want (%v,%q,%q)",
+					r, node, detail, r2, n2, d2, r, node, wantDetail)
+			}
+		case r == DropOther && detail == "":
+			// Format emits "dropped at <node>"; node round-trips.
+			if r2 != DropOther || n2 != node {
+				t.Errorf("Parse(%q) = (%v,%q,%q), want (other,%q,\"\")", text, r2, n2, d2, node)
+			}
+		case r == DropOther && !mimicsKnownShape(detail):
+			// Format emits detail verbatim (node is not encoded).
+			if r2 != DropOther || d2 != detail {
+				t.Errorf("Parse(%q) = (%v,%q,%q), want (other,\"\",%q)", text, r2, n2, d2, detail)
+			}
+		}
+	})
+}

@@ -74,6 +74,7 @@ func (h *Host) EphemeralPort() uint16 {
 func (h *Host) Receive(pkt *Packet, _ *Port) {
 	key := protoPort{pkt.Flow.Proto, pkt.Flow.DstPort}
 	if fn, ok := h.handlers[key]; ok {
+		h.net.delivered++
 		fn.Deliver(pkt)
 		return
 	}
@@ -87,6 +88,7 @@ func (h *Host) Receive(pkt *Packet, _ *Port) {
 func (h *Host) Send(pkt *Packet) {
 	pkt.ID = h.net.nextPacketID()
 	pkt.SentAt = h.net.Sched.Now()
+	h.net.injected++
 	out, ok := h.fib[pkt.Flow.Dst]
 	if !ok {
 		h.net.countDrop(pkt, DropNoLocalRoute, h.Name(), pkt.Flow.Dst)

@@ -63,6 +63,17 @@ type Network struct {
 	// assert on loss behaviour.
 	DropHook func(pkt *Packet, reason string)
 
+	// Conservation accounting (see invariant.go). Every packet enters the
+	// network exactly once through Host.Send and leaves exactly once:
+	// delivered to a transport handler or destroyed through countDrop.
+	// transit counts packets captured inside scheduled closures (wire
+	// propagation, forwarding latency, degraded store-and-forward service)
+	// where no queue length can see them.
+	injected  uint64
+	delivered uint64
+	dropped   uint64
+	transit   uint64
+
 	// Telemetry wiring. bus is nil until AttachTelemetry; all emit
 	// sites guard with bus.Enabled(), which is nil-receiver-safe, so a
 	// network without telemetry pays one branch per would-be event.
@@ -78,7 +89,19 @@ var DefaultTelemetry *telemetry.Telemetry
 
 // New creates an empty network with a deterministic random stream.
 func New(seed int64) *Network {
-	n := &Network{
+	n := NewIsolated(seed)
+	if DefaultTelemetry != nil {
+		n.AttachTelemetry(DefaultTelemetry)
+	}
+	return n
+}
+
+// NewIsolated creates a network that ignores DefaultTelemetry. Parallel
+// sweep workers (internal/harness) use it: a process-global telemetry
+// plane is shared mutable state, and concurrently attaching worker
+// networks to it would race.
+func NewIsolated(seed int64) *Network {
+	return &Network{
 		Sched:     sim.New(),
 		rng:       sim.NewRand(seed),
 		nodes:     make(map[string]Node),
@@ -86,10 +109,6 @@ func New(seed int64) *Network {
 		Drops:     make(map[string]uint64),
 		DropStats: make(map[DropSite]uint64),
 	}
-	if DefaultTelemetry != nil {
-		n.AttachTelemetry(DefaultTelemetry)
-	}
-	return n
 }
 
 // AttachTelemetry wires the network into a telemetry plane: trace
@@ -153,10 +172,10 @@ func (n *Network) collectMetrics(emit telemetry.EmitFunc) {
 			telemetry.Labels{"link": l.describe(), "index": strconv.Itoa(i)},
 			float64(l.WireDrops))
 	}
-	for site, c := range n.DropStats {
+	for _, sc := range n.DropSites() {
 		emit("netsim_drops_total",
-			telemetry.Labels{"reason": site.Reason.String(), "node": site.Node},
-			float64(c))
+			telemetry.Labels{"reason": sc.Site.Reason.String(), "node": sc.Site.Node},
+			float64(sc.Count))
 	}
 }
 
@@ -293,6 +312,7 @@ func (n *Network) countDrop(pkt *Packet, reason DropReason, node, detail string)
 	text := reason.Format(node, detail)
 	n.Drops[text]++
 	n.DropStats[DropSite{Reason: reason, Node: node}]++
+	n.dropped++
 	if n.bus.Enabled() {
 		kind := telemetry.EvDrop
 		if reason == DropWireLoss {
@@ -321,6 +341,46 @@ func (n *Network) TotalDrops() uint64 {
 		total += c
 	}
 	return total
+}
+
+// DropSiteCount is one (reason, node) site's drop tally.
+type DropSiteCount struct {
+	Site  DropSite
+	Count uint64
+}
+
+// DropSites returns the structured drop tallies sorted by reason then
+// node. Renderers and metric exporters must use it instead of ranging
+// over the DropStats map, whose iteration order is randomized.
+func (n *Network) DropSites() []DropSiteCount {
+	out := make([]DropSiteCount, 0, len(n.DropStats))
+	for site, c := range n.DropStats {
+		out = append(out, DropSiteCount{Site: site, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Site.Reason != out[j].Site.Reason {
+			return out[i].Site.Reason < out[j].Site.Reason
+		}
+		return out[i].Site.Node < out[j].Site.Node
+	})
+	return out
+}
+
+// DropCount is one legacy free-text drop tally.
+type DropCount struct {
+	Text  string
+	Count uint64
+}
+
+// DropList returns the legacy free-text drop tallies sorted by
+// description, for deterministic rendering of the Drops map.
+func (n *Network) DropList() []DropCount {
+	out := make([]DropCount, 0, len(n.Drops))
+	for text, c := range n.Drops {
+		out = append(out, DropCount{text, c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Text < out[j].Text })
+	return out
 }
 
 // ComputeRoutes fills every node's routing table with shortest-path

@@ -219,7 +219,11 @@ func (l *Link) carry(from *Port, pkt *Packet) {
 		return
 	}
 	to := from.peer
-	l.net.Sched.AfterTag(tagLink, l.Delay, func() { to.deliver(pkt) })
+	l.net.transit++
+	l.net.Sched.AfterTag(tagLink, l.Delay, func() {
+		l.net.transit--
+		to.deliver(pkt)
+	})
 }
 
 func (l *Link) describe() string {

@@ -87,6 +87,9 @@ func TestOWAMPDetectsSoftFailure(t *testing.T) {
 }
 
 func TestBWCTLMeasuresThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation; skipped in -short")
+	}
 	net, hosts := star(2, 5*time.Millisecond)
 	m := NewMesh(hosts...)
 	m.Toolkits[0].RunBWCTL(m.Toolkits[1], 3*time.Second, tcp.Tuned())
@@ -102,6 +105,9 @@ func TestBWCTLMeasuresThroughput(t *testing.T) {
 }
 
 func TestMeshFullCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation; skipped in -short")
+	}
 	net, hosts := star(4, time.Millisecond)
 	m := NewMesh(hosts...)
 	m.StartOWAMP(50 * time.Millisecond)
@@ -130,6 +136,9 @@ func TestMeshFullCoverage(t *testing.T) {
 }
 
 func TestDashboardRendersDegradedPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation; skipped in -short")
+	}
 	// Mesh with one soft-failing access link: the dashboard must show
 	// BAD/WRN cells for paths via that link and OK elsewhere.
 	net := netsim.New(1)

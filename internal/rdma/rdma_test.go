@@ -99,6 +99,9 @@ func TestLossCollapsesGoBackN(t *testing.T) {
 }
 
 func TestCompetingTrafficWithoutCircuitHurtsRoCE(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation; skipped in -short")
+	}
 	// The §7.1 caveat: RoCE works well over the WAN "but only on a
 	// guaranteed bandwidth virtual circuit with minimal competing
 	// traffic". An unresponsive competing stream that oversubscribes the

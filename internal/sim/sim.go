@@ -134,6 +134,13 @@ type Scheduler struct {
 	// and for guarding against runaway simulations in tests.
 	Processed uint64
 
+	// ClockRegressions counts events that executed with a timestamp
+	// earlier than the clock they found — zero in any correct run, since
+	// At rejects past scheduling and the event heap pops in time order.
+	// Invariant checkers (internal/harness) assert it stays zero rather
+	// than trusting the heap implicitly.
+	ClockRegressions uint64
+
 	// tagCounts attributes executed events to the component tags they
 	// were scheduled under (AtTag/AfterTag/EveryTag), indexed by Tag.
 	// Index 0 accumulates untagged events; Processed covers everything.
@@ -221,6 +228,9 @@ func (s *Scheduler) step() bool {
 		return false
 	}
 	e := heap.Pop(&s.events).(*event)
+	if e.at < s.now {
+		s.ClockRegressions++
+	}
 	s.now = e.at
 	s.Processed++
 	s.tagCounts[e.tag]++

@@ -60,6 +60,9 @@ func TestDYNESMultiDomainCircuit(t *testing.T) {
 }
 
 func TestDYNESCircuitProtectsRoCEAcrossDomains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation; skipped in -short")
+	}
 	// The DYNES purpose: a guaranteed end-to-end circuit lets RoCE run
 	// campus-to-campus at the provisioned rate despite TCP cross
 	// traffic on the shared regional uplinks.

@@ -138,6 +138,9 @@ func TestBigDataTopology(t *testing.T) {
 }
 
 func TestColoradoFanInPathology(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation; skipped in -short")
+	}
 	// Faulty switch: under the physics group's load the cut-through
 	// switch degrades to its slow store-and-forward engine and per-host
 	// throughput collapses. The vendor fix restores "near line rate for

@@ -10,8 +10,19 @@ package units
 
 import (
 	"fmt"
+	"math"
 	"time"
 )
+
+// saturateInt64 converts a non-negative float to int64, pinning values
+// beyond the representable range to MaxInt64 — float-to-int conversions
+// that overflow are undefined in Go and wrap to negative on amd64.
+func saturateInt64(v float64) int64 {
+	if v >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(v)
+}
 
 // BitRate is a data rate in bits per second.
 type BitRate float64
@@ -51,7 +62,7 @@ func (r BitRate) Serialize(n ByteSize) time.Duration {
 		return 0
 	}
 	sec := float64(n) * 8 / float64(r)
-	return time.Duration(sec * float64(time.Second))
+	return time.Duration(saturateInt64(sec * float64(time.Second)))
 }
 
 // BytesIn returns how many whole bytes rate r delivers in duration d.
@@ -59,7 +70,7 @@ func (r BitRate) BytesIn(d time.Duration) ByteSize {
 	if r <= 0 || d <= 0 {
 		return 0
 	}
-	return ByteSize(float64(r) * d.Seconds() / 8)
+	return ByteSize(saturateInt64(float64(r) * d.Seconds() / 8))
 }
 
 // PacketsPerSecond returns the packet rate for back-to-back packets of the
