@@ -173,9 +173,13 @@ func main() {
 	sweep := flag.String("sweep", "", "run a parameter sweep, e.g. loss=1e-6..1e-2:8 or rtt=1ms..100ms:6")
 	trace := flag.String("trace", "", "write a JSONL packet/TCP event trace to this file")
 	metrics := flag.String("metrics", "", "write periodic metrics snapshots (JSON) to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile of the run to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live profiling")
 	flag.IntVar(&parallelWorkers, "parallel", 0, "sweep worker count (0 = GOMAXPROCS); results are identical at any value")
 	flag.Parse()
 
+	finishProfiling := setupProfiling(*cpuprofile, *memprofile, *pprofAddr)
 	finish := setupTelemetry(*trace, *metrics)
 
 	switch {
@@ -216,4 +220,5 @@ func main() {
 		os.Exit(2)
 	}
 	finish()
+	finishProfiling()
 }

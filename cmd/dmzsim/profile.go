@@ -1,0 +1,61 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers on -pprof
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// setupProfiling wires the profiling flags. -pprof starts the standard
+// net/http/pprof endpoint for live inspection of long experiment runs
+// (go tool pprof http://addr/debug/pprof/profile); -cpuprofile and
+// -memprofile write one-shot profiles covering the whole run, for
+// offline analysis of the simulator's hot paths (see README, "Profiling
+// the simulator"). The returned finish func stops the CPU profile and
+// captures the allocation profile; call it after the experiments run.
+func setupProfiling(cpuPath, memPath, pprofAddr string) (finish func()) {
+	if pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof:", err)
+			}
+		}()
+	}
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			// The allocs profile (total allocation sites, not just live
+			// heap) is the one that matters for an allocation-free
+			// kernel: it shows exactly which event paths still allocate.
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}
+}

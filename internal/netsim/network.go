@@ -74,6 +74,11 @@ type Network struct {
 	dropped   uint64
 	transit   uint64
 
+	// Packet free-list (pool.go): consumed packets awaiting reuse, and
+	// the count of NewPacket calls served from the list.
+	pktFree   []*Packet
+	pktReused uint64
+
 	// Telemetry wiring. bus is nil until AttachTelemetry; all emit
 	// sites guard with bus.Enabled(), which is nil-receiver-safe, so a
 	// network without telemetry pays one branch per would-be event.

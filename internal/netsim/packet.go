@@ -159,6 +159,11 @@ type Packet struct {
 	// Hops counts devices traversed; packets exceeding MaxHops are
 	// dropped as routing loops.
 	Hops int
+
+	// pooled marks a packet currently sitting in its network's
+	// free-list (see pool.go); ReleasePacket uses it to catch double
+	// releases, which would alias two live packets.
+	pooled bool
 }
 
 // MaxHops bounds forwarding to catch routing loops in topology bugs.

@@ -1,0 +1,63 @@
+package netsim
+
+// Packet free-list. The TCP hot path creates (and consumes) one Packet
+// per segment and per ACK; at 100G line rates that is millions of heap
+// allocations per simulated second. NewPacket/ReleasePacket recycle
+// packets through a per-network free-list instead.
+//
+// The list is deliberately per-Network (which means per-scheduler) and
+// NOT a sync.Pool:
+//
+//   - Determinism: sync.Pool reuse depends on GC timing and P-local
+//     caches, so two identical runs could see different Packet object
+//     identities. The free-list is owned by one network, used only
+//     from its (single-goroutine) event loop, and recycles in strict
+//     LIFO order — runs stay bit-for-bit reproducible, and parallel
+//     sweep workers (internal/harness) never share packets.
+//   - Ledger integrity: the conservation audit (invariant.go) counts a
+//     packet injected when Host.Send stamps it. A released packet
+//     re-enters through NewPacket as a *new* logical packet — zeroed,
+//     re-stamped with a fresh ID on Send, and counted injected again —
+//     never re-injected while a previous life's delivered/dropped
+//     entry still references it. ReleasePacket itself touches no
+//     ledger counter.
+//
+// Release rules: only release a packet that has fully left the
+// simulation — consumed by the transport handler it was delivered to —
+// and only once (a double release panics; it would alias two live
+// packets). Middleboxes, queues, and holders must never release:
+// structurally in-flight packets are still counted by the audit.
+
+// NewPacket returns a zeroed packet, reusing a released one when
+// available. The Sack backing array survives reuse (length reset to
+// zero) so ACK construction does not reallocate it every segment.
+func (n *Network) NewPacket() *Packet {
+	k := len(n.pktFree)
+	if k == 0 {
+		return &Packet{}
+	}
+	p := n.pktFree[k-1]
+	n.pktFree[k-1] = nil
+	n.pktFree = n.pktFree[:k-1]
+	n.pktReused++
+	sack := p.Sack[:0]
+	*p = Packet{Sack: sack}
+	return p
+}
+
+// ReleasePacket returns a consumed packet to the network's free-list
+// for reuse by NewPacket. See the release rules above; releasing the
+// same packet twice panics, since it would hand one object to two
+// future senders.
+func (n *Network) ReleasePacket(p *Packet) {
+	if p.pooled {
+		panic("netsim: packet released twice")
+	}
+	p.pooled = true
+	n.pktFree = append(n.pktFree, p)
+}
+
+// PacketsReused reports how many NewPacket calls were served from the
+// free-list — the allocation-churn savings, visible to benchmarks and
+// the pool tests.
+func (n *Network) PacketsReused() uint64 { return n.pktReused }

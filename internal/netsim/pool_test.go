@@ -1,0 +1,139 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+// TestPoolReuseIsLIFOAndZeroed pins the free-list mechanics the
+// determinism argument rests on: reuse is strict LIFO (same run, same
+// object identities), the reused packet comes back fully zeroed, and the
+// Sack backing array survives so steady-state ACKs do not reallocate it.
+func TestPoolReuseIsLIFOAndZeroed(t *testing.T) {
+	n := New(1)
+	p1 := n.NewPacket()
+	p2 := n.NewPacket()
+	if n.PacketsReused() != 0 {
+		t.Fatalf("PacketsReused = %d before any release", n.PacketsReused())
+	}
+
+	p1.Size = 1500
+	p1.Seq = 42
+	p1.Sack = append(p1.Sack, [2]int64{1, 2}, [2]int64{3, 4})
+	sackCap := cap(p1.Sack)
+	n.ReleasePacket(p1)
+	n.ReleasePacket(p2)
+
+	r1 := n.NewPacket()
+	r2 := n.NewPacket()
+	if r1 != p2 || r2 != p1 {
+		t.Fatal("reuse is not LIFO")
+	}
+	if n.PacketsReused() != 2 {
+		t.Errorf("PacketsReused = %d, want 2", n.PacketsReused())
+	}
+	if r2.Size != 0 || r2.Seq != 0 || r2.pooled || len(r2.Sack) != 0 {
+		t.Errorf("reused packet not zeroed: %+v", r2)
+	}
+	if cap(r2.Sack) != sackCap {
+		t.Errorf("Sack backing array not preserved: cap %d, want %d", cap(r2.Sack), sackCap)
+	}
+}
+
+func TestPoolDoubleReleasePanics(t *testing.T) {
+	n := New(1)
+	p := n.NewPacket()
+	n.ReleasePacket(p)
+	defer func() {
+		if recover() == nil {
+			t.Error("double release did not panic")
+		}
+	}()
+	n.ReleasePacket(p)
+}
+
+// TestPoolReuseCannotDoubleCountLedger is the conservation-ledger
+// contract for the free-list: ReleasePacket touches no counter, so a
+// released-then-reused packet is a fresh ledger entity — its first life
+// stays counted as delivered, its second life is injected again, and
+// the audit balances at every step.
+func TestPoolReuseCannotDoubleCountLedger(t *testing.T) {
+	n := New(1)
+	a := n.NewHost("a")
+	b := n.NewHost("b")
+	n.Connect(a, b, LinkConfig{Rate: units.Gbps, Delay: time.Millisecond})
+	n.ComputeRoutes()
+
+	var consumed []*Packet
+	b.Bind(ProtoTCP, 9, HandlerFunc(func(p *Packet) {
+		consumed = append(consumed, p)
+		n.ReleasePacket(p) // transport fully consumed the segment
+	}))
+
+	first := n.NewPacket()
+	first.Flow = FlowKey{Src: "a", Dst: "b", SrcPort: 50000, DstPort: 9, Proto: ProtoTCP}
+	first.Size = 1500
+	a.Send(first)
+	n.Run()
+
+	c := n.Conservation()
+	if c.Injected != 1 || c.Delivered != 1 || c.Dropped != 0 || c.InFlight != 0 {
+		t.Fatalf("after first life: %v", c)
+	}
+	firstID := consumed[0].ID
+
+	// Reuse the released packet for a second, independent send. The
+	// ledger must count a second injection and delivery — release+reuse
+	// cannot retroactively unbalance the first life or skip stamping the
+	// second.
+	second := n.NewPacket()
+	if second != first {
+		t.Fatal("expected the released packet back from the free-list")
+	}
+	second.Flow = FlowKey{Src: "a", Dst: "b", SrcPort: 50001, DstPort: 9, Proto: ProtoTCP}
+	second.Size = 1500
+	a.Send(second)
+	n.Run()
+
+	c = n.Conservation()
+	if c.Injected != 2 || c.Delivered != 2 || c.Dropped != 0 || c.InFlight != 0 {
+		t.Fatalf("after second life: %v", c)
+	}
+	if !c.Balanced() {
+		t.Fatalf("ledger unbalanced: %v", c)
+	}
+	if consumed[1].ID == firstID {
+		t.Error("reused packet kept its previous life's ID")
+	}
+	if n.PacketsReused() != 1 {
+		t.Errorf("PacketsReused = %d, want 1", n.PacketsReused())
+	}
+	if errs := n.AuditInvariants(); len(errs) > 0 {
+		t.Fatalf("audit violations: %v", errs)
+	}
+}
+
+// TestPoolReleaseAloneTouchesNoCounter: releasing a delivered packet
+// must not move any ledger column — a release is object recycling, not
+// a packet event.
+func TestPoolReleaseAloneTouchesNoCounter(t *testing.T) {
+	n := New(1)
+	a := n.NewHost("a")
+	b := n.NewHost("b")
+	n.Connect(a, b, LinkConfig{Rate: units.Gbps, Delay: time.Millisecond})
+	n.ComputeRoutes()
+
+	var held *Packet
+	b.Bind(ProtoTCP, 9, HandlerFunc(func(p *Packet) { held = p }))
+	a.Send(pkt("a", "b", 1500))
+	n.Run()
+
+	before := n.Conservation()
+	n.ReleasePacket(held)
+	after := n.Conservation()
+	if before != after {
+		t.Fatalf("release moved the ledger: %v -> %v", before, after)
+	}
+}

@@ -133,11 +133,24 @@ func (p *Port) dropForQueue(pkt *Packet) {
 	p.net.countDrop(pkt, DropQueueOverflow, p.Owner.Name(), "")
 }
 
+// finishTxCall / deliverCall are the static scheduler callbacks for the
+// two per-packet events every forwarded byte pays (serialization done,
+// propagation done). Scheduling through sim.CallFunc with the port and
+// packet as operands keeps the packet hot path closure-free: the kernel
+// stores both pointers inline in the event.
+func finishTxCall(a, b any) { a.(*Port).finishTx(b.(*Packet)) }
+
+func deliverCall(a, b any) {
+	to := a.(*Port)
+	to.net.transit--
+	to.deliver(b.(*Packet))
+}
+
 func (p *Port) startTx(pkt *Packet) {
 	p.transmitting = true
 	d := p.Link.Rate.Serialize(pkt.Size)
 	p.busy += d
-	p.net.Sched.AfterTag(tagPort, d, func() { p.finishTx(pkt) })
+	p.net.Sched.AfterCall(tagPort, d, finishTxCall, p, pkt)
 }
 
 func (p *Port) finishTx(pkt *Packet) {
@@ -220,10 +233,7 @@ func (l *Link) carry(from *Port, pkt *Packet) {
 	}
 	to := from.peer
 	l.net.transit++
-	l.net.Sched.AfterTag(tagLink, l.Delay, func() {
-		l.net.transit--
-		to.deliver(pkt)
-	})
+	l.net.Sched.AfterCall(tagLink, l.Delay, deliverCall, to, pkt)
 }
 
 func (l *Link) describe() string {

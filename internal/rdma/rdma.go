@@ -115,8 +115,8 @@ type Flow struct {
 
 	res       Result
 	onDone    func(*Result)
-	watchdog  *sim.Timer
-	sendTimer *sim.Timer
+	watchdog  sim.Timer
+	sendTimer sim.Timer
 	done      bool
 }
 
@@ -235,17 +235,13 @@ func (f *Flow) rewind(to int64, why string) {
 	}
 	f.res.Rewinds++
 	f.sndNxt = to
-	if f.sendTimer != nil {
-		f.sendTimer.Stop()
-	}
+	f.sendTimer.Stop()
 	f.sendNext()
 	_ = why
 }
 
 func (f *Flow) armWatchdog() {
-	if f.watchdog != nil {
-		f.watchdog.Stop()
-	}
+	f.watchdog.Stop()
 	f.watchdog = f.net.Sched.After(retryTimeout, func() {
 		if f.done {
 			return
@@ -299,12 +295,8 @@ func (f *Flow) complete() {
 	f.done = true
 	f.res.Done = true
 	f.res.End = f.net.Sched.Now()
-	if f.watchdog != nil {
-		f.watchdog.Stop()
-	}
-	if f.sendTimer != nil {
-		f.sendTimer.Stop()
-	}
+	f.watchdog.Stop()
+	f.sendTimer.Stop()
 	f.src.Unbind(netsim.ProtoUDP, f.flow.SrcPort)
 	f.net.Host(f.flow.Dst).Unbind(netsim.ProtoUDP, f.flow.DstPort)
 	if f.onDone != nil {

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// The scheduler benchmarks isolate the three hot shapes the network
+// simulator drives the kernel with (run with -benchmem; CI smoke-runs
+// them and EXPERIMENTS.md records the trajectory):
+//
+//   - ScheduleFire: steady-state schedule->fire flow, the packet path.
+//   - CancelChurn: schedule->cancel->reschedule against a deep queue,
+//     the TCP retransmit-timer pattern (the dominant Timer.Stop source).
+//   - Drain: bulk RunUntil drain of a pre-filled queue.
+//   - Ticker: periodic callbacks, the telemetry-sampler pattern.
+
+// BenchmarkSchedulerScheduleFire measures one schedule plus one
+// (amortized) fire per op, with the queue kept around 1k events.
+func BenchmarkSchedulerScheduleFire(b *testing.B) {
+	s := New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Duration(i%997)*time.Microsecond, fn)
+		if s.Pending() >= 1024 {
+			s.Run()
+		}
+	}
+	s.Run()
+}
+
+// BenchmarkSchedulerCancelChurn measures one Timer.Stop plus one
+// reschedule per op against a queue holding 4096 long-lived events —
+// the shape of a TCP sender resetting its RTO on every ACK.
+func BenchmarkSchedulerCancelChurn(b *testing.B) {
+	s := New()
+	fn := func() {}
+	for i := 0; i < 4096; i++ {
+		s.After(time.Duration(i+1)*time.Second, fn)
+	}
+	tm := s.After(200*time.Millisecond, fn)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm.Stop()
+		tm = s.After(time.Duration(200+i%16)*time.Millisecond, fn)
+	}
+	if !tm.Pending() {
+		b.Fatal("live timer should be pending")
+	}
+}
+
+// BenchmarkSchedulerDrain measures building and fully draining a
+// 1024-event queue per op (RunUntil through all timestamps).
+func BenchmarkSchedulerDrain(b *testing.B) {
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for j := 0; j < 1024; j++ {
+			s.After(time.Duration(j%97)*time.Microsecond, fn)
+		}
+		s.RunUntil(Time(time.Millisecond))
+	}
+}
+
+// BenchmarkSchedulerTicker measures one periodic tick per op.
+func BenchmarkSchedulerTicker(b *testing.B) {
+	s := New()
+	ticks := 0
+	tk := s.Every(time.Millisecond, func() { ticks++ })
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.RunFor(time.Duration(b.N) * time.Millisecond)
+	b.StopTimer()
+	tk.Stop()
+	if ticks != b.N {
+		b.Fatalf("ticks = %d, want %d", ticks, b.N)
+	}
+}

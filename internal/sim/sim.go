@@ -8,14 +8,20 @@
 //
 // Time is modelled as nanoseconds since the start of the run (type Time).
 // Durations are ordinary time.Duration values.
+//
+// The kernel is built for allocation-free steady-state operation (see
+// DESIGN.md, "Event kernel performance model"): the pending queue is a
+// hand-rolled 4-ary min-heap of inline event structs (no per-event
+// pointer, no interface boxing), timer cancellation is lazy
+// (generation-checked skip at pop instead of O(log n) removal), and
+// timer identity lives in a free-listed slot table so a Timer is a
+// plain {scheduler, slot, generation} value.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
-	"sync"
 	"time"
 )
 
@@ -38,96 +44,71 @@ func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
 // String formats the timestamp as a duration, e.g. "1.5s".
 func (t Time) String() string { return time.Duration(t).String() }
 
-// Tag is an interned component handle for scheduler attribution.
-// Components intern their name once at package init with TagFor and
-// schedule through the *Tag variants; attribution then costs a single
-// array increment per executed event, and the event struct stays one
-// machine word smaller than it would with a string tag.
-type Tag uint8
+// CallFunc is the closure-free event callback form: a static function
+// receiving two operands that were stored inline in the event. Hot
+// packet paths (port serialization, wire propagation) use it so that
+// scheduling costs zero heap allocations — a package-level CallFunc
+// plus two pointer operands never escape.
+type CallFunc func(a, b any)
 
-// maxTags bounds the interning table; Tag 0 is reserved for untagged.
-const maxTags = 256
+// event is one pending queue entry, stored inline in the heap slice.
+// Exactly one of fn/call is non-nil. slot/gen tie the event to its
+// timer slot so lazily cancelled events are recognized at pop.
+type event struct {
+	at   Time
+	seq  uint64 // scheduling order; breaks ties deterministically
+	fn   func()
+	call CallFunc
+	a, b any
+	slot uint32
+	gen  uint32
+	tag  Tag // component attribution; 0 = untagged
+}
 
-var (
-	tagMu    sync.Mutex
-	tagNames = []string{""} // index = Tag; 0 = untagged
+// less orders events by (time, seq) — the kernel's total order.
+func (e *event) less(other *event) bool {
+	if e.at != other.at {
+		return e.at < other.at
+	}
+	return e.seq < other.seq
+}
+
+// Timer slot states.
+const (
+	slotFree uint8 = iota
+	slotPending
+	slotCancelled
 )
 
-// TagFor interns a component name, returning its Tag. Interning the
-// same name twice returns the same Tag. Intended for package-level
-// variable initialisation, not per-event calls.
-func TagFor(name string) Tag {
-	if name == "" {
-		return 0
-	}
-	tagMu.Lock()
-	defer tagMu.Unlock()
-	for i, n := range tagNames {
-		if n == name {
-			return Tag(i)
-		}
-	}
-	if len(tagNames) == maxTags {
-		panic("sim: too many distinct scheduler tags")
-	}
-	tagNames = append(tagNames, name)
-	return Tag(len(tagNames) - 1)
-}
-
-// Name returns the component name the tag was interned under.
-func (t Tag) Name() string {
-	tagMu.Lock()
-	defer tagMu.Unlock()
-	if int(t) < len(tagNames) {
-		return tagNames[t]
-	}
-	return ""
-}
-
-type event struct {
-	at  Time
-	seq uint64 // scheduling order; breaks ties deterministically
-	fn  func()
-
-	index int32 // heap index; -1 once popped or cancelled
-	tag   Tag   // component attribution; 0 = untagged
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = int32(i)
-	h[j].index = int32(j)
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = int32(len(*h))
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+// timerSlot is the stable identity of one scheduled event. The heap
+// entry for the event carries (slot index, generation); the generation
+// increments every time the slot is recycled, so stale Timer handles —
+// and lazily cancelled heap entries — are detected by comparison.
+type timerSlot struct {
+	gen   uint32
+	state uint8
+	at    Time // fire time, for Timer.When
 }
 
 // Scheduler owns the simulation clock and the pending event queue.
 // The zero value is not usable; call New.
 type Scheduler struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
+	now Time
+	seq uint64
+
+	// events is a 4-ary min-heap of inline event structs. 4-ary rather
+	// than binary: sift-down does 3/4 fewer levels of (cache-missing)
+	// parent/child hops for this event mix, and the inline structs make
+	// each level one contiguous 4-entry scan. See DESIGN.md.
+	events []event
+
+	// slots / freeSlots implement the timer-identity table. cancelled
+	// counts lazily cancelled events still occupying heap entries; when
+	// they dominate the heap it is compacted in one O(n) pass.
+	slots     []timerSlot
+	freeSlots []uint32
+	cancelled int
+
 	stopped bool
 
 	// Processed counts events executed so far; useful for run statistics
@@ -155,86 +136,259 @@ func New() *Scheduler {
 // Now returns the current simulation time.
 func (s *Scheduler) Now() Time { return s.now }
 
-// Timer is a handle to a scheduled event that can be cancelled or
-// rescheduled. Timers are single-shot.
+// Timer is a handle to a scheduled event that can be cancelled. Timers
+// are single-shot values, cheap to copy and store; the zero Timer is
+// valid and behaves as already-fired (Stop and Pending return false).
+//
+// Cancellation is lazy: Stop marks the timer's slot cancelled and the
+// kernel discards the heap entry when it reaches the top of the queue
+// (or during compaction). A handle held across the slot's recycling is
+// detected by generation mismatch and is inert. (The generation is 32
+// bits; a handle would have to be held across 2^32 reuses of one slot
+// to alias, which no simulation approaches.)
 type Timer struct {
-	s *Scheduler
-	e *event
+	s    *Scheduler
+	slot uint32
+	gen  uint32
+}
+
+// allocSlot takes a slot from the free-list (or grows the table) and
+// marks it pending for an event firing at t.
+func (s *Scheduler) allocSlot(at Time) uint32 {
+	var idx uint32
+	if n := len(s.freeSlots); n > 0 {
+		idx = s.freeSlots[n-1]
+		s.freeSlots = s.freeSlots[:n-1]
+	} else {
+		s.slots = append(s.slots, timerSlot{})
+		idx = uint32(len(s.slots) - 1)
+	}
+	sl := &s.slots[idx]
+	sl.state = slotPending
+	sl.at = at
+	return idx
+}
+
+// freeSlot recycles a slot whose heap entry has been popped or
+// compacted away, invalidating all outstanding handles to it.
+func (s *Scheduler) freeSlot(idx uint32) {
+	sl := &s.slots[idx]
+	sl.gen++
+	sl.state = slotFree
+	s.freeSlots = append(s.freeSlots, idx)
+}
+
+// schedule is the single entry point behind every At/After variant.
+func (s *Scheduler) schedule(tag Tag, t Time, fn func(), call CallFunc, a, b any) Timer {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	s.seq++
+	slot := s.allocSlot(t)
+	s.push(event{
+		at: t, seq: s.seq,
+		fn: fn, call: call, a: a, b: b,
+		slot: slot, gen: s.slots[slot].gen, tag: tag,
+	})
+	return Timer{s: s, slot: slot, gen: s.slots[slot].gen}
 }
 
 // At schedules fn to run at absolute time t. Scheduling in the past (t
 // before Now) panics: it is always a logic error in a simulation model.
-func (s *Scheduler) At(t Time, fn func()) *Timer {
-	return s.AtTag(0, t, fn)
+func (s *Scheduler) At(t Time, fn func()) Timer {
+	return s.schedule(0, t, fn, nil, nil, nil)
 }
 
 // AtTag is At with the executed event attributed to the tagged
 // component in EventCounts. Components that want their scheduler load
 // visible in telemetry schedule through the *Tag variants.
-func (s *Scheduler) AtTag(tag Tag, t Time, fn func()) *Timer {
-	if t < s.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
-	}
-	s.seq++
-	e := &event{at: t, seq: s.seq, fn: fn, tag: tag}
-	heap.Push(&s.events, e)
-	return &Timer{s: s, e: e}
+func (s *Scheduler) AtTag(tag Tag, t Time, fn func()) Timer {
+	return s.schedule(tag, t, fn, nil, nil, nil)
 }
 
 // After schedules fn to run d from now. Negative d is treated as zero.
-func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
+func (s *Scheduler) After(d time.Duration, fn func()) Timer {
 	return s.AfterTag(0, d, fn)
 }
 
 // AfterTag is After with component attribution; see AtTag.
-func (s *Scheduler) AfterTag(tag Tag, d time.Duration, fn func()) *Timer {
+func (s *Scheduler) AfterTag(tag Tag, d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
-	return s.AtTag(tag, s.now.Add(d), fn)
+	return s.schedule(tag, s.now.Add(d), fn, nil, nil, nil)
+}
+
+// AtCall schedules a closure-free event: call(a, b) runs at absolute
+// time t. When call is a package-level CallFunc and the operands are
+// pointers, scheduling allocates nothing. See CallFunc.
+func (s *Scheduler) AtCall(tag Tag, t Time, call CallFunc, a, b any) Timer {
+	return s.schedule(tag, t, nil, call, a, b)
+}
+
+// AfterCall is AtCall relative to now. Negative d is treated as zero.
+func (s *Scheduler) AfterCall(tag Tag, d time.Duration, call CallFunc, a, b any) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.schedule(tag, s.now.Add(d), nil, call, a, b)
 }
 
 // Stop cancels the timer if it has not fired. It reports whether the
 // timer was still pending. Stopping an already-fired or already-stopped
 // timer is a no-op.
-func (t *Timer) Stop() bool {
-	if t == nil || t.e == nil || t.e.index < 0 {
+func (t Timer) Stop() bool {
+	if !t.Pending() {
 		return false
 	}
-	heap.Remove(&t.s.events, int(t.e.index))
-	t.e.fn = nil
-	t.e = nil
+	t.s.slots[t.slot].state = slotCancelled
+	t.s.cancelled++
+	t.s.maybeCompact()
 	return true
 }
 
 // Pending reports whether the timer is still scheduled to fire.
-func (t *Timer) Pending() bool {
-	return t != nil && t.e != nil && t.e.index >= 0
+func (t Timer) Pending() bool {
+	if t.s == nil {
+		return false
+	}
+	sl := &t.s.slots[t.slot]
+	return sl.gen == t.gen && sl.state == slotPending
 }
 
 // When returns the time at which the timer will fire. It is only
 // meaningful while Pending.
-func (t *Timer) When() Time {
+func (t Timer) When() Time {
 	if !t.Pending() {
 		return -1
 	}
-	return t.e.at
+	return t.s.slots[t.slot].at
 }
 
+// --- 4-ary heap ----------------------------------------------------------
+
+// push appends e and restores the heap property by sifting up.
+func (s *Scheduler) push(e event) {
+	s.events = append(s.events, e)
+	i := len(s.events) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !e.less(&s.events[parent]) {
+			break
+		}
+		s.events[i] = s.events[parent]
+		i = parent
+	}
+	s.events[i] = e
+}
+
+// popTop removes and returns the minimum event. The caller guarantees
+// the heap is non-empty.
+func (s *Scheduler) popTop() event {
+	top := s.events[0]
+	n := len(s.events) - 1
+	last := s.events[n]
+	s.events[n] = event{} // drop fn/operand references for the GC
+	s.events = s.events[:n]
+	if n > 0 {
+		s.siftDown(0, last)
+	}
+	return top
+}
+
+// siftDown places e into the hole at index i, moving smaller children up.
+func (s *Scheduler) siftDown(i int, e event) {
+	n := len(s.events)
+	for {
+		first := i*4 + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if s.events[c].less(&s.events[min]) {
+				min = c
+			}
+		}
+		if !s.events[min].less(&e) {
+			break
+		}
+		s.events[i] = s.events[min]
+		i = min
+	}
+	s.events[i] = e
+}
+
+// skim discards lazily cancelled events from the top of the heap so
+// that events[0], when present, is live.
+func (s *Scheduler) skim() {
+	for len(s.events) > 0 {
+		e := &s.events[0]
+		if s.slots[e.slot].state != slotCancelled {
+			return
+		}
+		slot := e.slot
+		s.popTop()
+		s.freeSlot(slot)
+		s.cancelled--
+	}
+}
+
+// maybeCompact rebuilds the heap without its cancelled entries once
+// they outnumber live ones (and are worth the O(n) pass). Timer-churn
+// workloads — a TCP sender resetting its RTO on every ACK — would
+// otherwise grow the heap without bound. Compaction cannot change pop
+// order: (time, seq) is a total order, so any heap layout of the same
+// live events pops identically.
+func (s *Scheduler) maybeCompact() {
+	if s.cancelled < 1024 || s.cancelled*2 < len(s.events) {
+		return
+	}
+	w := 0
+	for r := range s.events {
+		if s.slots[s.events[r].slot].state == slotCancelled {
+			s.freeSlot(s.events[r].slot)
+			continue
+		}
+		s.events[w] = s.events[r]
+		w++
+	}
+	for i := w; i < len(s.events); i++ {
+		s.events[i] = event{}
+	}
+	s.events = s.events[:w]
+	s.cancelled = 0
+	for i := (w - 2) / 4; i >= 0; i-- {
+		s.siftDown(i, s.events[i])
+	}
+}
+
+// --- execution -----------------------------------------------------------
+
 // step executes the earliest pending event. It reports false when no
-// events remain.
+// live events remain.
 func (s *Scheduler) step() bool {
+	s.skim()
 	if len(s.events) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.events).(*event)
+	e := s.popTop()
+	s.freeSlot(e.slot) // handles go stale before the callback runs
 	if e.at < s.now {
 		s.ClockRegressions++
 	}
 	s.now = e.at
 	s.Processed++
 	s.tagCounts[e.tag]++
-	e.fn()
+	if e.call != nil {
+		e.call(e.a, e.b)
+	} else {
+		e.fn()
+	}
 	return true
 }
 
@@ -249,9 +403,7 @@ type TagCount struct {
 // so callers iterate deterministically. Untagged events (Tag 0) are
 // not included; Processed covers everything.
 func (s *Scheduler) EventCounts() []TagCount {
-	tagMu.Lock()
-	names := tagNames[:len(tagNames):len(tagNames)]
-	tagMu.Unlock()
+	names := tagTable()
 	out := make([]TagCount, 0, len(names))
 	for i := 1; i < len(names); i++ {
 		if c := s.tagCounts[i]; c > 0 {
@@ -273,7 +425,11 @@ func (s *Scheduler) Run() {
 // the clock to exactly t. Events scheduled beyond t remain pending.
 func (s *Scheduler) RunUntil(t Time) {
 	s.stopped = false
-	for !s.stopped && len(s.events) > 0 && s.events[0].at <= t {
+	for !s.stopped {
+		s.skim()
+		if len(s.events) == 0 || s.events[0].at > t {
+			break
+		}
 		s.step()
 	}
 	if !s.stopped && s.now < t {
@@ -290,16 +446,19 @@ func (s *Scheduler) RunFor(d time.Duration) {
 // current event completes. Pending events stay queued.
 func (s *Scheduler) Stop() { s.stopped = true }
 
-// Pending returns the number of queued events.
-func (s *Scheduler) Pending() int { return len(s.events) }
+// Pending returns the number of queued live events (lazily cancelled
+// entries awaiting discard are not counted).
+func (s *Scheduler) Pending() int { return len(s.events) - s.cancelled }
 
-// Ticker invokes a function periodically until stopped.
+// Ticker invokes a function periodically until stopped. Each tick
+// reschedules in place through a static CallFunc, so a running ticker
+// allocates nothing after creation.
 type Ticker struct {
 	s        *Scheduler
 	interval time.Duration
 	fn       func()
 	tag      Tag
-	timer    *Timer
+	timer    Timer
 	stopped  bool
 }
 
@@ -315,28 +474,32 @@ func (s *Scheduler) EveryTag(tag Tag, interval time.Duration, fn func()) *Ticker
 		panic("sim: Every requires a positive interval")
 	}
 	t := &Ticker{s: s, interval: interval, fn: fn, tag: tag}
-	t.schedule()
+	t.timer = s.AfterCall(tag, interval, tickerFire, t, nil)
 	return t
 }
 
-func (t *Ticker) schedule() {
-	t.timer = t.s.AfterTag(t.tag, t.interval, func() {
-		if t.stopped {
-			return
-		}
-		t.fn()
-		if !t.stopped {
-			t.schedule()
-		}
-	})
+// tickerFire is the static tick callback: run the user function, then
+// reschedule in place — unless Stop ran, either before this tick was
+// popped (stopped flag) or from inside the callback itself.
+func tickerFire(a, _ any) {
+	t := a.(*Ticker)
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if t.stopped {
+		return
+	}
+	t.timer = t.s.AfterCall(t.tag, t.interval, tickerFire, t, nil)
 }
 
-// Stop cancels future ticks.
+// Stop cancels future ticks. It is safe to call from inside the
+// ticker's own callback (no further tick will be scheduled), and more
+// than once. A stopped ticker never fires again; start a new one with
+// Every to resume ticking.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	if t.timer != nil {
-		t.timer.Stop()
-	}
+	t.timer.Stop()
 }
 
 // NewRand returns a deterministic random number generator for a simulation

@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTickerStopFromTickLeavesNothingPending is the regression test for
+// the stop-from-tick hazard: Stop called inside the tick callback must
+// suppress the in-place reschedule, leaving the scheduler queue truly
+// empty — not holding a pending (or lazily cancelled) tick.
+func TestTickerStopFromTickLeavesNothingPending(t *testing.T) {
+	s := New()
+	count := 0
+	var tk *Ticker
+	tk = s.Every(time.Millisecond, func() {
+		count++
+		tk.Stop()
+	})
+	s.Run() // must terminate: a leaked reschedule would tick forever
+	if count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d after stop-from-tick, want 0", s.Pending())
+	}
+	if s.Now() != Time(time.Millisecond) {
+		t.Errorf("clock = %v, want 1ms", s.Now())
+	}
+	// Idempotent: a second Stop (from outside the callback) is a no-op.
+	tk.Stop()
+	if s.Pending() != 0 {
+		t.Errorf("Pending = %d after double Stop, want 0", s.Pending())
+	}
+}
+
+// TestTickerStopThenImmediateRestart covers the stop-then-restart
+// pattern: stopping a ticker and immediately starting a replacement (at
+// the same simulation instant) must yield exactly one tick per interval
+// — no tick from the old ticker, no doubled tick from overlap.
+func TestTickerStopThenImmediateRestart(t *testing.T) {
+	s := New()
+	var ticks []Time
+	tk := s.Every(10*time.Millisecond, func() { ticks = append(ticks, s.Now()) })
+	s.RunUntil(Time(25 * time.Millisecond)) // ticks at 10ms, 20ms
+
+	tk.Stop()
+	tk2 := s.Every(10*time.Millisecond, func() { ticks = append(ticks, s.Now()) })
+	s.RunUntil(Time(65 * time.Millisecond)) // ticks at 35, 45, 55, 65
+
+	want := []Time{
+		Time(10 * time.Millisecond), Time(20 * time.Millisecond),
+		Time(35 * time.Millisecond), Time(45 * time.Millisecond),
+		Time(55 * time.Millisecond), Time(65 * time.Millisecond),
+	}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("tick %d at %v, want %v (ticks=%v)", i, ticks[i], want[i], ticks)
+		}
+	}
+	tk2.Stop()
+	s.Run()
+	if s.Pending() != 0 {
+		t.Errorf("Pending = %d after final stop, want 0", s.Pending())
+	}
+}
+
+// TestTickerRestartInsideTick: stop-then-restart performed entirely
+// within a tick callback — the old ticker must not fire again and the
+// new one ticks on its own schedule.
+func TestTickerRestartInsideTick(t *testing.T) {
+	s := New()
+	var old, fresh int
+	var tk *Ticker
+	tk = s.Every(10*time.Millisecond, func() {
+		old++
+		tk.Stop()
+		s.Every(3*time.Millisecond, func() { fresh++ })
+	})
+	s.RunUntil(Time(22 * time.Millisecond))
+	if old != 1 {
+		t.Errorf("old ticker ticked %d times, want 1", old)
+	}
+	if fresh != 4 { // 13, 16, 19, 22 ms
+		t.Errorf("replacement ticked %d times, want 4", fresh)
+	}
+}
+
+// TestTickerStopBetweenScheduleAndFire: Stop called from another event
+// at the same timestamp as a pending tick (already popped-adjacent in
+// the heap) must suppress that tick via the stopped flag even though the
+// lazy cancellation may not discard the heap entry before it pops.
+func TestTickerStopBetweenScheduleAndFire(t *testing.T) {
+	s := New()
+	ticked := false
+	tk := s.Every(10*time.Millisecond, func() { ticked = true })
+	s.At(Time(10*time.Millisecond)-1, func() { tk.Stop() })
+	s.Run()
+	if ticked {
+		t.Error("tick fired after Stop from an earlier event")
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending = %d, want 0", s.Pending())
+	}
+}
+
+// TestTagConcurrentInternAndRead exercises the copy-on-write tag table
+// from parallel writers and readers; run with -race this pins the
+// lock-free Name/tagTable contract that parallel sweep workers rely on.
+func TestTagConcurrentInternAndRead(t *testing.T) {
+	names := []string{
+		"cow-a", "cow-b", "cow-c", "cow-d", "cow-e", "cow-f", "cow-g", "cow-h",
+	}
+	var wg sync.WaitGroup
+	got := make([][2]Tag, len(names))
+	for i, n := range names {
+		i, n := i, n
+		// Two racing interners per name must agree on the tag.
+		for k := 0; k < 2; k++ {
+			k := k
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				got[i][k] = TagFor(n)
+			}()
+		}
+		// Readers race with interning: snapshots must always be
+		// well-formed (every entry resolves back through Name).
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				table := tagTable()
+				for idx, name := range table {
+					if Tag(idx).Name() != name {
+						t.Errorf("snapshot entry %d = %q but Name = %q", idx, name, Tag(idx).Name())
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, n := range names {
+		if got[i][0] != got[i][1] {
+			t.Errorf("racing TagFor(%q) returned %d and %d", n, got[i][0], got[i][1])
+		}
+		if got[i][0].Name() != n {
+			t.Errorf("Tag(%q).Name() = %q", n, got[i][0].Name())
+		}
+	}
+}

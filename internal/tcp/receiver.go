@@ -36,7 +36,7 @@ type receiver struct {
 	delivered units.ByteSize
 
 	segsSinceAck int
-	delayedAck   *sim.Timer
+	delayedAck   sim.Timer
 
 	// Auto-tuning state. rttEst starts from the handshake and is then
 	// tracked continuously Linux-style: the time to receive one
@@ -94,15 +94,15 @@ func (r *receiver) handleSyn(pkt *netsim.Packet) {
 	}
 	r.synAckSentAt = r.now()
 	// The window field on the SYN-ACK is unscaled per RFC 1323 §2.2.
-	r.srv.Host.Send(&netsim.Packet{
-		Flow:      r.flow.Reverse(),
-		Size:      HeaderSize,
-		Flags:     netsim.FlagSYN | netsim.FlagACK,
-		WScale:    ws,
-		MSSOpt:    pkt.MSSOpt,
-		SackOK:    r.sackOn,
-		WindowRaw: int(min64(int64(r.rcvBuf), 65535)),
-	})
+	p := r.net().NewPacket()
+	p.Flow = r.flow.Reverse()
+	p.Size = HeaderSize
+	p.Flags = netsim.FlagSYN | netsim.FlagACK
+	p.WScale = ws
+	p.MSSOpt = pkt.MSSOpt
+	p.SackOK = r.sackOn
+	p.WindowRaw = int(min64(int64(r.rcvBuf), 65535))
+	r.srv.Host.Send(p)
 }
 
 func (r *receiver) establish() {
@@ -153,8 +153,8 @@ func (r *receiver) handleData(pkt *netsim.Packet) {
 		r.sendAck()
 		return
 	}
-	if r.delayedAck == nil || !r.delayedAck.Pending() {
-		r.delayedAck = r.net().Sched.AfterTag(tagReceiver, delayedAckTimeout, func() { r.sendAck() })
+	if !r.delayedAck.Pending() {
+		r.delayedAck = r.net().Sched.AfterCall(tagReceiver, delayedAckTimeout, delayedAckCall, r, nil)
 	}
 }
 
@@ -259,10 +259,12 @@ func (r *receiver) measureRcvRTT(payload units.ByteSize) {
 	r.rttWindowBytes = 0
 }
 
+// delayedAckCall is the static delayed-ACK timer callback (closure-free
+// scheduling; see sim.CallFunc).
+var delayedAckCall sim.CallFunc = func(a, _ any) { a.(*receiver).sendAck() }
+
 func (r *receiver) sendAck() {
-	if r.delayedAck != nil {
-		r.delayedAck.Stop()
-	}
+	r.delayedAck.Stop()
 	r.segsSinceAck = 0
 
 	wnd := int64(r.rcvBuf - r.oooBytes)
@@ -278,23 +280,23 @@ func (r *receiver) sendAck() {
 	if raw > 65535 {
 		raw = 65535
 	}
-	var sack [][2]int64
+	p := r.net().NewPacket()
+	p.Flow = r.flow.Reverse()
+	p.Size = HeaderSize
+	p.Flags = netsim.FlagACK
+	p.Ack = r.rcvNxt
+	p.WindowRaw = int(raw)
 	if r.sackOn && len(r.ooo) > 0 {
 		n := len(r.ooo)
 		if n > 3 {
 			n = 3
 		}
-		sack = make([][2]int64, n)
+		// Append into the pooled packet's Sack storage: the backing
+		// array survives packet reuse, so steady-state SACK ACKs do not
+		// allocate.
 		for i := 0; i < n; i++ {
-			sack[i] = [2]int64{r.ooo[i].start, r.ooo[i].end}
+			p.Sack = append(p.Sack, [2]int64{r.ooo[i].start, r.ooo[i].end})
 		}
 	}
-	r.srv.Host.Send(&netsim.Packet{
-		Flow:      r.flow.Reverse(),
-		Size:      HeaderSize,
-		Flags:     netsim.FlagACK,
-		Ack:       r.rcvNxt,
-		Sack:      sack,
-		WindowRaw: int(raw),
-	})
+	r.srv.Host.Send(p)
 }

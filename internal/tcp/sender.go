@@ -63,14 +63,14 @@ type Sender struct {
 	rttSentAt    sim.Time
 	rttValid     bool
 
-	rtoTimer  *sim.Timer
-	synTimer  *sim.Timer
+	rtoTimer  sim.Timer
+	synTimer  sim.Timer
 	synTries  int
 	synSentAt sim.Time
 
 	paceNext  sim.Time // earliest time the next paced segment may leave
-	paceTimer *sim.Timer
-	tsqTimer  *sim.Timer
+	paceTimer sim.Timer
+	tsqTimer  sim.Timer
 
 	// wasCwndLimited records whether, since the last ACK, a transmission
 	// attempt was blocked by cwnd specifically (not by the receive
@@ -258,15 +258,15 @@ func (s *Sender) sendSYN() {
 		ws = DefaultWindowScale
 	}
 	s.synSentAt = s.now()
-	s.host.Send(&netsim.Packet{
-		Flow:      s.flow,
-		Size:      HeaderSize,
-		Flags:     netsim.FlagSYN,
-		WScale:    ws,
-		MSSOpt:    s.mss,
-		SackOK:    !s.opts.NoSACK,
-		WindowRaw: int(min64(int64(s.opts.RcvBuf), 65535)),
-	})
+	p := s.net.NewPacket()
+	p.Flow = s.flow
+	p.Size = HeaderSize
+	p.Flags = netsim.FlagSYN
+	p.WScale = ws
+	p.MSSOpt = s.mss
+	p.SackOK = !s.opts.NoSACK
+	p.WindowRaw = int(min64(int64(s.opts.RcvBuf), 65535))
+	s.host.Send(p)
 	s.synTries++
 	s.synTimer = s.net.Sched.AfterTag(tagSender, time.Second*time.Duration(1<<uint(s.synTries-1)), func() {
 		if !s.established && s.synTries < 6 {
@@ -276,15 +276,17 @@ func (s *Sender) sendSYN() {
 }
 
 func (s *Sender) deliver(pkt *netsim.Packet) {
-	if s.done {
-		return
+	if !s.done {
+		switch {
+		case pkt.Flags.Has(netsim.FlagSYN | netsim.FlagACK):
+			s.handleSynAck(pkt)
+		case pkt.Flags.Has(netsim.FlagACK):
+			s.handleAck(pkt)
+		}
 	}
-	switch {
-	case pkt.Flags.Has(netsim.FlagSYN | netsim.FlagACK):
-		s.handleSynAck(pkt)
-	case pkt.Flags.Has(netsim.FlagACK):
-		s.handleAck(pkt)
-	}
+	// The segment is fully consumed (SACK blocks are copied into the
+	// scoreboard, nothing retains it); recycle it for the next send.
+	s.net.ReleasePacket(pkt)
 }
 
 func (s *Sender) handleSynAck(pkt *netsim.Packet) {
@@ -294,9 +296,7 @@ func (s *Sender) handleSynAck(pkt *netsim.Packet) {
 		return
 	}
 	s.established = true
-	if s.synTimer != nil {
-		s.synTimer.Stop()
-	}
+	s.synTimer.Stop()
 	// Window scaling is on only if we offered it and the (possibly
 	// middlebox-mangled) SYN-ACK still carries the option.
 	s.scalingOn = s.opts.WindowScale && pkt.WScale != netsim.NoWScale
@@ -321,11 +321,11 @@ func (s *Sender) handleSynAck(pkt *netsim.Packet) {
 }
 
 func (s *Sender) sendHandshakeAck() {
-	s.host.Send(&netsim.Packet{
-		Flow:  s.flow,
-		Size:  HeaderSize,
-		Flags: netsim.FlagACK,
-	})
+	p := s.net.NewPacket()
+	p.Flow = s.flow
+	p.Size = HeaderSize
+	p.Flags = netsim.FlagACK
+	s.host.Send(p)
 }
 
 // --- ACK processing ---
@@ -549,12 +549,12 @@ func (s *Sender) sendSegment(seq int64, isRetransmit bool) {
 		s.rttSentAt = s.now()
 		s.rttValid = true
 	}
-	s.host.Send(&netsim.Packet{
-		Flow:  s.flow,
-		Size:  HeaderSize + units.ByteSize(length),
-		Flags: netsim.FlagACK,
-		Seq:   seq,
-	})
+	p := s.net.NewPacket()
+	p.Flow = s.flow
+	p.Size = HeaderSize + units.ByteSize(length)
+	p.Flags = netsim.FlagACK
+	p.Seq = seq
+	s.host.Send(p)
 }
 
 func (s *Sender) retransmitSegment(seq int64) {
@@ -585,12 +585,12 @@ func (s *Sender) tsqAllows() bool {
 	if q <= tsqBytes {
 		return true
 	}
-	if s.tsqTimer == nil || !s.tsqTimer.Pending() {
+	if !s.tsqTimer.Pending() {
 		wait := out.Rate().Serialize(q - tsqBytes)
 		if wait < time.Microsecond {
 			wait = time.Microsecond
 		}
-		s.tsqTimer = s.net.Sched.AfterTag(tagSender, wait, s.trySend)
+		s.tsqTimer = s.net.Sched.AfterCall(tagSender, wait, trySendCall, s, nil)
 	}
 	return false
 }
@@ -695,7 +695,7 @@ func (s *Sender) trySend() {
 		}
 		burst++
 	}
-	if s.sndNxt > s.sndUna && (s.rtoTimer == nil || !s.rtoTimer.Pending()) {
+	if s.sndNxt > s.sndUna && !s.rtoTimer.Pending() {
 		s.armRTO()
 	}
 }
@@ -712,8 +712,8 @@ func (s *Sender) paceAllows(length int) bool {
 	}
 	now := s.now()
 	if now < s.paceNext {
-		if s.paceTimer == nil || !s.paceTimer.Pending() {
-			s.paceTimer = s.net.Sched.AtTag(tagSender, s.paceNext, s.trySend)
+		if !s.paceTimer.Pending() {
+			s.paceTimer = s.net.Sched.AtCall(tagSender, s.paceNext, trySendCall, s, nil)
 		}
 		return false
 	}
@@ -757,14 +757,19 @@ func (s *Sender) updateRTT(sample time.Duration) {
 	}
 }
 
+// trySendCall / onRTOCall are the static forms of the per-ACK timer
+// callbacks: pacing, TSQ resume, and RTO (re)arming happen on nearly
+// every ACK, so scheduling them must not allocate a method-value
+// closure each time (see sim.CallFunc).
+func trySendCall(a, _ any) { a.(*Sender).trySend() }
+func onRTOCall(a, _ any)   { a.(*Sender).onRTO() }
+
 func (s *Sender) armRTO() {
-	s.rtoTimer = s.net.Sched.AfterTag(tagSender, s.rto, s.onRTO)
+	s.rtoTimer = s.net.Sched.AfterCall(tagSender, s.rto, onRTOCall, s, nil)
 }
 
 func (s *Sender) resetRTO() {
-	if s.rtoTimer != nil {
-		s.rtoTimer.Stop()
-	}
+	s.rtoTimer.Stop()
 	if s.sndNxt > s.sndUna {
 		s.armRTO()
 	}
@@ -803,18 +808,10 @@ func (s *Sender) complete(success bool) {
 	s.stats.Done = success
 	s.stats.SRTT = s.srtt
 	s.stats.WScaleOK = s.scalingOn
-	if s.rtoTimer != nil {
-		s.rtoTimer.Stop()
-	}
-	if s.synTimer != nil {
-		s.synTimer.Stop()
-	}
-	if s.paceTimer != nil {
-		s.paceTimer.Stop()
-	}
-	if s.tsqTimer != nil {
-		s.tsqTimer.Stop()
-	}
+	s.rtoTimer.Stop()
+	s.synTimer.Stop()
+	s.paceTimer.Stop()
+	s.tsqTimer.Stop()
 	s.host.Unbind(netsim.ProtoTCP, s.flow.SrcPort)
 	if s.onDone != nil {
 		st := s.stats

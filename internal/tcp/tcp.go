@@ -151,17 +151,17 @@ func (s *Server) Close() { s.Host.Unbind(netsim.ProtoTCP, s.Port) }
 func (s *Server) deliver(pkt *netsim.Packet) {
 	key := pkt.Flow
 	r, ok := s.conns[key]
-	if !ok {
-		if !pkt.Flags.Has(netsim.FlagSYN) {
-			// Stray segment for an unknown flow (e.g., late retransmit
-			// after an RST in some future model); ignore.
-			return
+	if ok || pkt.Flags.Has(netsim.FlagSYN) {
+		if !ok {
+			r = newReceiver(s, key)
+			s.conns[key] = r
+			s.Accepted++
 		}
-		r = newReceiver(s, key)
-		s.conns[key] = r
-		s.Accepted++
+		r.deliver(pkt)
 	}
-	r.deliver(pkt)
+	// Delivered segments (and stray non-SYN segments for unknown flows)
+	// are fully consumed here; recycle them through the free-list.
+	s.Host.Network().ReleasePacket(pkt)
 }
 
 // Received returns total payload bytes sunk across all connections.

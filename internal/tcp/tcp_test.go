@@ -464,3 +464,26 @@ func TestTraceThroughputShowsStep(t *testing.T) {
 		t.Errorf("trace step: early=%.0f late=%.0f, want ~4x jump", early, late)
 	}
 }
+
+func TestLossyTransferReusesPacketsAndAuditsClean(t *testing.T) {
+	// End-to-end free-list check: a lossy transfer (retransmissions, SACK
+	// ACKs, delayed ACKs) must recycle segments through the pool without
+	// unbalancing the conservation ledger.
+	n, c, s := path(7, units.Gbps, time.Millisecond, &netsim.RandomLoss{P: 1e-3}, 1500)
+	srv := NewServer(s, 5001, Tuned())
+	var done *Stats
+	Dial(c, srv, 2*units.MB, Tuned(), func(st *Stats) { done = st })
+	n.Run()
+	if done == nil || !done.Done {
+		t.Fatal("transfer never completed")
+	}
+	if done.Retransmits == 0 {
+		t.Error("lossy path saw no retransmissions; loss model inert?")
+	}
+	if n.PacketsReused() == 0 {
+		t.Error("transfer completed without reusing a single pooled packet")
+	}
+	if errs := n.AuditInvariants(); len(errs) > 0 {
+		t.Fatalf("audit violations after pooled transfer: %v", errs)
+	}
+}
