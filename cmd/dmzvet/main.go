@@ -1,0 +1,111 @@
+// Command dmzvet runs the simulator's contract analyzers
+// (internal/analyzers) over the given packages, in the style of go vet:
+//
+//	go run ./cmd/dmzvet ./...
+//
+// It prints one line per finding and exits nonzero if any analyzer
+// reported a diagnostic, so CI can gate on it. The four analyzers and
+// their directives are documented in DESIGN.md ("Static contracts"):
+//
+//	simclock  wall-clock time / global math/rand in simulation packages
+//	maporder  map iteration with order-sensitive effects
+//	hotpath   allocation sources in //dmz:hotpath functions
+//	pooluse   NewPacket/ReleasePacket contract violations
+//
+// simclock applies only to internal/ packages: wall-clock entropy is
+// legal in cmd/ front-ends and examples. The other analyzers run
+// everywhere.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analyzers"
+)
+
+func main() {
+	tests := flag.Bool("tests", false, "also analyze in-package _test.go files")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dmzvet [-tests] [-only=a,b] packages...\n\n")
+		for _, a := range analyzers.All() {
+			fmt.Fprintf(os.Stderr, "  %-9s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	suite := analyzers.All()
+	if *only != "" {
+		suite = suite[:0]
+		names := strings.Split(*only, ",")
+		for _, name := range names {
+			found := false
+			for _, a := range analyzers.All() {
+				if a.Name == strings.TrimSpace(name) {
+					suite = append(suite, a)
+					found = true
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "dmzvet: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+		}
+	}
+
+	pkgs, err := analyzers.Load("", patterns, analyzers.LoadOptions{Tests: *tests})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dmzvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	wd, _ := os.Getwd()
+	findings := 0
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "dmzvet: %s: type-check: %v (analysis continues with partial types)\n", pkg.Path, terr)
+		}
+		diags, err := analyzers.Run(pkg, suiteFor(pkg, suite))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmzvet: %v\n", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			name := d.Pos.Filename
+			if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+			fmt.Printf("%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "dmzvet: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// suiteFor scopes analyzers per package: simclock only polices
+// simulation code under internal/ — wall-clock reads are legal in the
+// cmd/ front-ends (flag defaults, profiling timestamps) and examples.
+func suiteFor(pkg *analyzers.Package, suite []*analyzers.Analyzer) []*analyzers.Analyzer {
+	internal := strings.Contains(pkg.Path, "internal/")
+	out := make([]*analyzers.Analyzer, 0, len(suite))
+	for _, a := range suite {
+		if a == analyzers.SimClock && !internal {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+// Package analyzers is a suite of static-analysis passes that
+// mechanically enforce the simulator's determinism, hot-path, and
+// packet-pool contracts (DESIGN.md, "Static contracts"):
+//
+//   - SimClock: simulation packages must use sim-clock time and seeded
+//     *rand.Rand only — never wall-clock time or the global math/rand
+//     state, either of which makes runs irreproducible.
+//   - MapOrder: ranging over a map with order-sensitive effects in the
+//     loop body (appends, writer output, event scheduling) leaks Go's
+//     randomized map iteration order into simulation results.
+//   - HotPath: functions marked //dmz:hotpath must stay allocation-free
+//     in steady state — no closures, fmt formatting, or other known
+//     allocation sources the event kernel was rebuilt to eliminate.
+//   - PoolUse: NewPacket results must not be discarded or stored in
+//     unaudited holders, and ReleasePacket must not be reachable twice
+//     on a straight-line path.
+//
+// The types here deliberately mirror golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Diagnostic, pass.Reportf) so the passes could be
+// ported to the real framework mechanically. The repo builds with zero
+// external dependencies, so the driver (cmd/dmzvet) and the fixture
+// runner (analysistest.go) are self-contained reimplementations on the
+// standard library's go/ast, go/types, and go/importer packages.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static-analysis pass. The shape matches
+// x/tools' analysis.Analyzer: a name for diagnostics, a doc string, and
+// a Run function applied to one package at a time.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// All returns the full dmzvet suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{SimClock, MapOrder, HotPath, PoolUse}
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	directives map[*ast.File]fileDirectives
+	report     func(Diagnostic)
+}
+
+// Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a diagnostic at pos unless a suppressing directive
+// was already consulted by the analyzer.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Package is one loaded, parsed, type-checked package ready for
+// analysis. TypeErrors holds soft type-check failures: analysis
+// proceeds with whatever type information was recovered.
+type Package struct {
+	Path       string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+	TypeErrors []error
+}
+
+// Run applies the analyzers to the package and returns their combined
+// diagnostics sorted by position.
+func Run(pkg *Package, as []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, a := range as {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			report:    func(d Diagnostic) { out = append(out, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return out, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}

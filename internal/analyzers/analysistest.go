@@ -1,0 +1,146 @@
+package analyzers
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Fixture testing in the style of x/tools' analysistest: fixture
+// packages live under testdata/src/<name>/, and every line expected to
+// produce a diagnostic carries a trailing comment
+//
+//	// want "regexp"
+//
+// (several quoted regexps for several diagnostics on one line). The
+// runner applies the analyzer, then fails the test for any unmatched
+// want and any unexpected diagnostic — so fixtures prove both that
+// violations are caught and that directive suppressions hold.
+
+// want is one expected diagnostic.
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// RunFixture applies a to the fixture package testdata/src/<name> and
+// checks its diagnostics against the fixture's want comments.
+func RunFixture(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := LoadDir(dir, name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture %s: type error: %v", name, terr)
+	}
+
+	wants := collectWants(t, pkg)
+	diags, err := Run(pkg, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on fixture %s: %v", a.Name, name, err)
+	}
+
+	for _, d := range diags {
+		base := filepath.Base(d.Pos.Filename)
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != base || w.line != d.Pos.Line {
+				continue
+			}
+			if w.pattern.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", base, d.Pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// collectWants extracts `// want "re" ["re"...]` expectations from the
+// fixture's comments.
+func collectWants(t *testing.T, pkg *Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, lit := range scanStringLiterals(text[idx+len("want "):]) {
+					pat, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want literal %s: %v", pos.Filename, pos.Line, lit, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &want{
+						file:    filepath.Base(pos.Filename),
+						line:    pos.Line,
+						pattern: re,
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// scanStringLiterals splits `"a" "b"` (double-quoted or backquoted Go
+// string literals separated by spaces) into raw literal tokens.
+func scanStringLiterals(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if s == "" {
+			return out
+		}
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) {
+				if s[end] == '\\' {
+					end += 2
+					continue
+				}
+				if s[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(s) {
+				return out
+			}
+			out = append(out, s[:end+1])
+			s = s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return out
+			}
+			out = append(out, s[:end+2])
+			s = s[end+2:]
+		default:
+			return out
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Directives are `//dmzvet:<name> [justification]` comments. A
+// directive suppresses a diagnostic when it sits on the flagged line or
+// on the line immediately above it (the //nolint convention), so the
+// justification lives next to the code it excuses:
+//
+//	//dmzvet:ordered releaseLinks is commutative across domains
+//	for svc, links := range c.perDomain {
+//
+// Recognized names:
+//
+//	ordered    suppress maporder: iteration order provably cannot leak
+//	wallclock  suppress simclock: wall-clock use is deliberate (telemetry)
+//	alloc      suppress hotpath: allocation is outside the steady state
+//	holder     on a type declaration: audited packet-holder type (pooluse)
+//
+// The function-marking directive //dmz:hotpath (note: dmz, not dmzvet)
+// is handled separately by the hotpath analyzer.
+const directivePrefix = "//dmzvet:"
+
+type fileDirectives struct {
+	byLine map[int][]string // line -> directive names on that line
+}
+
+// directivesFor lazily extracts the //dmzvet: directives of f.
+func (p *Pass) directivesFor(f *ast.File) fileDirectives {
+	if d, ok := p.directives[f]; ok {
+		return d
+	}
+	d := fileDirectives{byLine: make(map[int][]string)}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+			if !ok {
+				continue
+			}
+			name, _, _ := strings.Cut(rest, " ")
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			line := p.Fset.Position(c.Pos()).Line
+			d.byLine[line] = append(d.byLine[line], name)
+		}
+	}
+	if p.directives == nil {
+		p.directives = make(map[*ast.File]fileDirectives)
+	}
+	p.directives[f] = d
+	return d
+}
+
+// suppressed reports whether a `//dmzvet:<name>` directive covers the
+// node: same line, or the line directly above it.
+func (p *Pass) suppressed(f *ast.File, n ast.Node, name string) bool {
+	d := p.directivesFor(f)
+	line := p.Fset.Position(n.Pos()).Line
+	for _, l := range []int{line, line - 1} {
+		for _, have := range d.byLine[l] {
+			if have == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// docHasMark reports whether a comment group contains a marker comment
+// such as //dmz:hotpath (exact prefix match on its own line).
+func docHasMark(doc *ast.CommentGroup, mark string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == mark || strings.HasPrefix(text, mark+" ") {
+			return true
+		}
+	}
+	return false
+}

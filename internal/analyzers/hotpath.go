@@ -1,0 +1,248 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPath keeps the allocation-free steady state of the event kernel
+// from silently regressing. Functions marked with a `//dmz:hotpath`
+// line in their doc comment — the netsim port/link per-packet path,
+// the tcp timer callbacks, the sim scheduler internals — must not
+// contain the allocation sources the kernel rebuild eliminated
+// (BENCH_3.json records 0 allocs/op for the steady state):
+//
+//   - func literals (closure + captured-variable allocations); in
+//     particular, closures handed to Scheduler.At/After instead of the
+//     closure-free AtCall/AfterCall
+//   - fmt formatting (Sprintf and friends allocate on every call)
+//   - make / new / &composite-literal / slice- or map-literals
+//   - string concatenation and string<->[]byte conversions
+//
+// Escapes: allocations on panic paths are exempt (arguments to the
+// panic builtin never run in steady state), and a deliberate cold-path
+// allocation inside a marked function carries `//dmzvet:alloc <reason>`.
+//
+// The mark also applies to func literals bound in a marked var
+// declaration (`//dmz:hotpath` on the var doc), covering callbacks
+// like `var delayedAckCall sim.CallFunc = func(...)`.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "forbid known allocation sources in //dmz:hotpath functions",
+	Run:  runHotPath,
+}
+
+// HotPathMark is the doc-comment line that opts a function into
+// hot-path enforcement.
+const HotPathMark = "//dmz:hotpath"
+
+// allocFmtFuncs are the fmt functions that allocate per call. Fprintf
+// et al. are listed too: beyond allocating, hot paths have no business
+// doing I/O.
+var allocFmtFuncs = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true,
+	"Errorf": true, "Printf": true, "Print": true, "Println": true,
+	"Fprintf": true, "Fprint": true, "Fprintln": true,
+	"Appendf": true, "Append": true, "Appendln": true,
+}
+
+// closureSchedulerMethods are the sim.Scheduler entry points that take
+// a func() closure; hot paths must use the AtCall/AfterCall forms.
+var closureSchedulerMethods = map[string]bool{
+	"At": true, "After": true, "AtTag": true, "AfterTag": true,
+	"Every": true, "EveryTag": true,
+}
+
+func runHotPath(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if docHasMark(d.Doc, HotPathMark) && d.Body != nil {
+					checkHotBody(pass, f, d.Name.Name, d.Body)
+				}
+			case *ast.GenDecl:
+				// //dmz:hotpath on a var decl marks func literals bound
+				// in it (static CallFunc callbacks).
+				if !docHasMark(d.Doc, HotPathMark) {
+					continue
+				}
+				ast.Inspect(d, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.FuncLit); ok {
+						checkHotBody(pass, f, "func literal", lit.Body)
+						return false
+					}
+					return true
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// checkHotBody reports every known allocation source in a hot-path
+// function body.
+func checkHotBody(pass *Pass, f *ast.File, name string, body *ast.BlockStmt) {
+	var panicRanges []ast.Node // subtrees that only run while panicking
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isBuiltin(pass, call, "panic") {
+			panicRanges = append(panicRanges, call)
+		}
+		return true
+	})
+	inPanic := func(n ast.Node) bool {
+		for _, p := range panicRanges {
+			if n.Pos() >= p.Pos() && n.End() <= p.End() {
+				return true
+			}
+		}
+		return false
+	}
+	report := func(n ast.Node, format string, args ...any) {
+		if inPanic(n) || pass.suppressed(f, n, "alloc") {
+			return
+		}
+		args = append(args, name)
+		pass.Reportf(n.Pos(), format+" in //dmz:hotpath function %s — the steady state must stay 0 allocs/op (see DESIGN.md); move it off the hot path or justify with //dmzvet:alloc", args...)
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			report(e, "func literal allocates a closure")
+			return false // its body is off the table once flagged
+		case *ast.CallExpr:
+			checkHotCall(pass, report, e)
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if lit, ok := e.X.(*ast.CompositeLit); ok {
+					report(lit, "&composite literal allocates")
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					report(e, "slice/map literal allocates")
+				}
+			}
+		case *ast.BinaryExpr:
+			// Constant-folded concatenation ("a"+"b") never allocates.
+			if e.Op == token.ADD && isStringType(pass, e) && !isConstant(pass, e) {
+				report(e, "string concatenation allocates")
+			}
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, report func(ast.Node, string, ...any), call *ast.CallExpr) {
+	if isBuiltin(pass, call, "make") {
+		report(call, "make allocates")
+		return
+	}
+	if isBuiltin(pass, call, "new") {
+		report(call, "new allocates")
+		return
+	}
+	if conv, ok := allocConversion(pass, call); ok {
+		report(call, conv+" allocates")
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && allocFmtFuncs[fn.Name()] {
+		report(call, "fmt."+fn.Name()+" allocates")
+		return
+	}
+	// Scheduler.At/After and friends box a func() closure per call; the
+	// kernel provides AtCall/AfterCall + a package-level CallFunc for
+	// exactly this reason.
+	if closureSchedulerMethods[fn.Name()] && receiverNamed(fn, "Scheduler") {
+		report(call, "Scheduler."+fn.Name()+" schedules a closure (use AtCall/AfterCall with a static sim.CallFunc), which allocates")
+	}
+}
+
+func isBuiltin(pass *Pass, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isB := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isB
+}
+
+// allocConversion detects string([]byte), []byte(string), string([]rune),
+// []rune(string) conversions.
+func allocConversion(pass *Pass, call *ast.CallExpr) (string, bool) {
+	if len(call.Args) != 1 {
+		return "", false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return "", false
+	}
+	to := tv.Type.Underlying()
+	argTv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || argTv.Type == nil {
+		return "", false
+	}
+	from := argTv.Type.Underlying()
+	switch {
+	case isString(to) && isByteOrRuneSlice(from):
+		return "string conversion of a slice", true
+	case isByteOrRuneSlice(to) && isString(from):
+		return "byte/rune-slice conversion of a string", true
+	}
+	return "", false
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func isConstant(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isStringType(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return isString(tv.Type.Underlying())
+}
+
+// receiverNamed reports whether fn is a method on a (pointer to a)
+// named type with the given name.
+func receiverNamed(fn *types.Func, name string) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == name
+}

@@ -1,0 +1,144 @@
+package analyzers
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+)
+
+// Loading. The repo builds with zero external dependencies, so instead
+// of golang.org/x/tools/go/packages the driver enumerates packages with
+// `go list -json` and type-checks them with the standard library's
+// source importer (go/importer "source" mode), which resolves both
+// stdlib and intra-module imports without network access.
+
+// listedPackage is the subset of `go list -json` output we consume.
+type listedPackage struct {
+	ImportPath  string
+	Dir         string
+	GoFiles     []string
+	TestGoFiles []string
+	Standard    bool
+}
+
+// LoadOptions adjusts Load.
+type LoadOptions struct {
+	// Tests includes in-package _test.go files in each package's
+	// analysis unit. External (_test package) files are never loaded.
+	Tests bool
+}
+
+// Load enumerates the packages matching patterns (relative to dir, ""
+// meaning the current directory), parses and type-checks each, and
+// returns them ready for Run. Type-check errors are soft: they are
+// recorded on the package and analysis proceeds with partial type
+// information.
+func Load(dir string, patterns []string, opts LoadOptions) ([]*Package, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+
+	var pkgs []*Package
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		files := lp.GoFiles
+		if opts.Tests {
+			files = append(files[:len(files):len(files)], lp.TestGoFiles...)
+		}
+		pkg, err := checkPackage(fset, imp, lp.ImportPath, lp.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// checkPackage parses the named files and type-checks them as one
+// package.
+func checkPackage(fset *token.FileSet, imp types.Importer, path, dir string, names []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", filepath.Join(dir, name), err)
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{Path: path, Fset: fset, Files: files, TypesInfo: newInfo()}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check(path, fset, files, pkg.TypesInfo)
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// sharedFset/sharedImporter serve LoadDir: one source importer per
+// process so the stdlib is type-checked once across fixture suites.
+var (
+	sharedOnce     sync.Once
+	sharedFset     *token.FileSet
+	sharedImporter types.Importer
+)
+
+// LoadDir parses and type-checks a single directory of Go files as one
+// package (used by the analysistest fixture runner; fixtures import
+// only the standard library).
+func LoadDir(dir, path string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sharedOnce.Do(func() {
+		sharedFset = token.NewFileSet()
+		sharedImporter = importer.ForCompiler(sharedFset, "source", nil)
+	})
+	return checkPackage(sharedFset, sharedImporter, path, dir, names)
+}

@@ -1,0 +1,329 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `range` over a map when the loop body has
+// order-sensitive effects. Go randomizes map iteration order per run,
+// so any such loop injects nondeterminism into whatever the effects
+// touch — exactly the bug class that made internal/topo pass circuit
+// services to the IDC in a different order every process.
+//
+// Order-sensitive effects recognized in the loop body:
+//
+//   - append to a slice (the archetypal key-collection bug)
+//   - calls whose name implies ordered output or event scheduling
+//     (Printf/Fprintf/Write/Emit/Schedule/At/After/AtCall/...)
+//   - variadic pass-through (f(xs...)) and channel sends
+//   - string accumulation (s += ...)
+//
+// Two escapes avoid false positives:
+//
+//   - collect-then-sort: an append whose target is sorted later in the
+//     same statement list (sort.Strings / sort.Slice / slices.Sort...)
+//     is deterministic and not flagged;
+//   - per-key writes: `m2[k] = append(m2[k], ...)` keyed by the loop
+//     variable is commutative across iterations and not flagged;
+//
+// and any remaining intentional site carries a
+// `//dmzvet:ordered <reason>` justification on the loop.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration whose body has order-sensitive effects",
+	Run:  runMapOrder,
+}
+
+// orderSensitiveCalls name functions/methods whose invocation order is
+// observable: formatted or raw output, telemetry emission, and event
+// scheduling. Matching is by name — deliberately heuristic; the
+// directive escape covers the rest.
+var orderSensitiveCalls = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Emit": true, "Schedule": true,
+	"At": true, "After": true, "AtTag": true, "AfterTag": true,
+	"AtCall": true, "AfterCall": true, "Every": true, "EveryTag": true,
+	"Push": true, "Enqueue": true,
+}
+
+// sortCalls are the sort/slices functions that make a collect-then-sort
+// loop deterministic.
+var sortCalls = map[string]bool{
+	"Strings": true, "Ints": true, "Float64s": true, "Sort": true,
+	"Slice": true, "SliceStable": true, "Stable": true,
+	"SortFunc": true, "SortStableFunc": true,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		file := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkStmtList(pass, file, body.List)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkStmtList walks one statement list, analyzing map ranges with
+// visibility into the statements that follow them (for the
+// collect-then-sort escape), and recursing into nested blocks. Func
+// literal bodies are NOT entered: runMapOrder visits them separately.
+func checkStmtList(pass *Pass, f *ast.File, list []ast.Stmt) {
+	for i, stmt := range list {
+		switch s := stmt.(type) {
+		case *ast.RangeStmt:
+			if isMapType(pass, s.X) {
+				checkMapRange(pass, f, s, list[i+1:])
+			}
+			checkStmtList(pass, f, s.Body.List)
+		case *ast.BlockStmt:
+			checkStmtList(pass, f, s.List)
+		case *ast.IfStmt:
+			checkStmtList(pass, f, s.Body.List)
+			if s.Else != nil {
+				checkStmtList(pass, f, []ast.Stmt{s.Else})
+			}
+		case *ast.ForStmt:
+			checkStmtList(pass, f, s.Body.List)
+		case *ast.SwitchStmt:
+			checkStmtList(pass, f, s.Body.List)
+		case *ast.TypeSwitchStmt:
+			checkStmtList(pass, f, s.Body.List)
+		case *ast.SelectStmt:
+			checkStmtList(pass, f, s.Body.List)
+		case *ast.CaseClause:
+			checkStmtList(pass, f, s.Body)
+		case *ast.CommClause:
+			checkStmtList(pass, f, s.Body)
+		case *ast.LabeledStmt:
+			checkStmtList(pass, f, []ast.Stmt{s.Stmt})
+		}
+	}
+}
+
+func isMapType(pass *Pass, x ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// effect is one order-sensitive operation found in a loop body.
+type effect struct {
+	pos  ast.Node
+	desc string
+	// appendTo is the root object of the append target, when the effect
+	// is an append that collect-then-sort could excuse.
+	appendTo types.Object
+}
+
+func checkMapRange(pass *Pass, f *ast.File, rs *ast.RangeStmt, rest []ast.Stmt) {
+	if pass.suppressed(f, rs, "ordered") {
+		return
+	}
+	keyObj := rangeKeyObject(pass, rs)
+	var effects []effect
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // closures run later; analyzed on their own
+		}
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if target, ok := appendTarget(pass, e); ok {
+				if indexedByKey(pass, e.Args[0], keyObj) {
+					return true // m2[k] = append(m2[k], ...): commutative
+				}
+				if declaredWithin(target, rs.Body) {
+					return true // per-iteration local: order cannot leak
+				}
+				effects = append(effects, effect{pos: e, desc: "appends to a slice", appendTo: target})
+				return true
+			}
+			if name, ok := calleeName(e); ok && orderSensitiveCalls[name] {
+				effects = append(effects, effect{pos: e, desc: "calls " + name})
+				return true
+			}
+			if e.Ellipsis.IsValid() {
+				effects = append(effects, effect{pos: e, desc: "passes variadic arguments through"})
+			}
+		case *ast.SendStmt:
+			effects = append(effects, effect{pos: e, desc: "sends on a channel"})
+		case *ast.AssignStmt:
+			if stringConcatAssign(pass, e) {
+				effects = append(effects, effect{pos: e, desc: "accumulates into a string"})
+			}
+		}
+		return true
+	})
+
+	live := effects[:0]
+	for _, ef := range effects {
+		if ef.appendTo != nil && sortedAfter(pass, ef.appendTo, rest) {
+			continue // collect-then-sort: deterministic
+		}
+		live = append(live, ef)
+	}
+	if len(live) == 0 {
+		return
+	}
+	pass.Reportf(rs.Pos(),
+		"iteration over map is order-sensitive: body %s; map order is randomized per run — range over sorted keys, or justify with //dmzvet:ordered",
+		live[0].desc)
+}
+
+// declaredWithin reports whether obj's declaration sits inside node —
+// used to excuse appends to per-iteration locals, which cannot observe
+// iteration order across iterations.
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return obj != nil && obj.Pos().IsValid() &&
+		obj.Pos() >= node.Pos() && obj.Pos() < node.End()
+}
+
+// rangeKeyObject returns the object of the range key variable (for k
+// in `for k, v := range m`), or nil.
+func rangeKeyObject(pass *Pass, rs *ast.RangeStmt) types.Object {
+	id, ok := rs.Key.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// appendTarget reports whether call is builtin append, returning the
+// root object its first argument writes back to (when resolvable).
+func appendTarget(pass *Pass, call *ast.CallExpr) (types.Object, bool) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return nil, false
+	}
+	if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+		return nil, false
+	}
+	if len(call.Args) == 0 {
+		return nil, true
+	}
+	return rootObject(pass, call.Args[0]), true
+}
+
+// indexedByKey reports whether expr is an index expression whose index
+// mentions the loop key — the commutative per-key write pattern.
+func indexedByKey(pass *Pass, expr ast.Expr, key types.Object) bool {
+	ix, ok := expr.(*ast.IndexExpr)
+	if !ok || key == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(ix.Index, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == key {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// rootObject resolves an expression like x, x.f, or x[i] to the object
+// of its base identifier.
+func rootObject(pass *Pass, expr ast.Expr) types.Object {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[e]; obj != nil {
+				return obj
+			}
+			return pass.TypesInfo.Defs[e]
+		case *ast.SelectorExpr:
+			// prefer the field/selection itself as identity
+			if obj := pass.TypesInfo.Uses[e.Sel]; obj != nil {
+				return obj
+			}
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// calleeName extracts the bare called name from f(...) or x.f(...).
+func calleeName(call *ast.CallExpr) (string, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name, true
+	case *ast.SelectorExpr:
+		return fun.Sel.Name, true
+	}
+	return "", false
+}
+
+// stringConcatAssign reports s += expr where s is a string.
+func stringConcatAssign(pass *Pass, as *ast.AssignStmt) bool {
+	if as.Tok != token.ADD_ASSIGN || len(as.Lhs) != 1 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[as.Lhs[0]]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+// sortedAfter reports whether obj is passed to a sort/slices sorting
+// function in the statements following the loop.
+func sortedAfter(pass *Pass, obj types.Object, rest []ast.Stmt) bool {
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !sortCalls[sel.Sel.Name] {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			if rootObject(pass, call.Args[0]) == obj {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

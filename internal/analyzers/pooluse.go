@@ -1,0 +1,304 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolUse enforces the packet free-list contract (internal/netsim/pool.go):
+//
+//   - a NewPacket result must not be discarded (an unconsumed packet
+//     leaks from the pool and skews the reuse accounting);
+//   - *Packet values must not be stored into fields or maps of types
+//     that are not audited packet holders — the conservation invariant
+//     (invariant.go) counts structurally in-flight packets by walking
+//     known holders, so a stash in an arbitrary struct hides packets
+//     from the audit. Holder types are allowlisted with a
+//     `//dmzvet:holder` directive on their type declaration (or listed
+//     in PoolHolderTypes for types outside the analyzed package);
+//   - ReleasePacket must not be reachable twice for the same packet on
+//     a straight-line path — a double release aliases one packet to two
+//     future senders (it panics at runtime; this catches it at vet time).
+var PoolUse = &Analyzer{
+	Name: "pooluse",
+	Doc:  "enforce NewPacket/ReleasePacket pairing and holder allowlisting",
+	Run:  runPoolUse,
+}
+
+// PoolHolderTypes allowlists fully-qualified named types that may hold
+// *Packet values, for holders declared outside the package being
+// analyzed. In-package holders use the //dmzvet:holder directive.
+var PoolHolderTypes = map[string]bool{
+	"repro/internal/netsim.Network": true,
+	"repro/internal/netsim.Port":    true,
+	"repro/internal/netsim.Host":    true,
+}
+
+func runPoolUse(pass *Pass) error {
+	holders := directiveHolderTypes(pass)
+	for _, f := range pass.Files {
+		file := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok && isPoolCall(call, "NewPacket") {
+					pass.Reportf(call.Pos(),
+						"result of NewPacket discarded — the packet leaks from the free-list; consume it or do not allocate it")
+				}
+			case *ast.AssignStmt:
+				checkPoolAssign(pass, file, holders, s)
+			case *ast.FuncDecl:
+				if s.Body != nil {
+					checkDoubleRelease(pass, s.Body.List, map[types.Object]ast.Node{})
+				}
+			case *ast.FuncLit:
+				checkDoubleRelease(pass, s.Body.List, map[types.Object]ast.Node{})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isPoolCall matches x.Name(...) or Name(...) method/function calls by
+// bare name: the pool API is method-shaped (Network.NewPacket) in the
+// simulator and function-shaped in fixtures.
+func isPoolCall(call *ast.CallExpr, name string) bool {
+	got, ok := calleeName(call)
+	return ok && got == name
+}
+
+// isPacketPtr reports whether t is a pointer to a named type "Packet".
+func isPacketPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Packet"
+}
+
+// directiveHolderTypes collects the names of types in this package
+// whose declaration carries //dmzvet:holder.
+func directiveHolderTypes(pass *Pass) map[string]bool {
+	holders := make(map[string]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if docHasMark(gd.Doc, "//dmzvet:holder") || docHasMark(ts.Doc, "//dmzvet:holder") || docHasMark(ts.Comment, "//dmzvet:holder") {
+					holders[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	return holders
+}
+
+// holderAllowed reports whether the named type may hold packets.
+func holderAllowed(pass *Pass, holders map[string]bool, named *types.Named) bool {
+	if holders[named.Obj().Name()] && named.Obj().Pkg() == pass.Pkg {
+		return true
+	}
+	if named.Obj().Pkg() != nil && PoolHolderTypes[named.Obj().Pkg().Path()+"."+named.Obj().Name()] {
+		return true
+	}
+	return false
+}
+
+// checkPoolAssign flags stores of *Packet values into fields or maps of
+// non-holder types. Assignments to plain locals are fine: locals stay
+// visible to the straight-line release check and die with the frame.
+func checkPoolAssign(pass *Pass, f *ast.File, holders map[string]bool, as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) && len(as.Rhs) != 1 {
+			break
+		}
+		rhs := as.Rhs[min(i, len(as.Rhs)-1)]
+		storesPacket := false
+		if tv, ok := pass.TypesInfo.Types[rhs]; ok && tv.Type != nil {
+			if isPacketPtr(tv.Type) {
+				storesPacket = true
+			}
+			// holder.q = append(holder.q, pkt) stores packets too.
+			if call, ok := rhs.(*ast.CallExpr); ok {
+				if _, isAppend := appendTarget(pass, call); isAppend {
+					for _, arg := range call.Args[1:] {
+						if atv, ok := pass.TypesInfo.Types[arg]; ok && atv.Type != nil && isPacketPtr(atv.Type) {
+							storesPacket = true
+						}
+					}
+				}
+			}
+		}
+		if !storesPacket {
+			continue
+		}
+		if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+			if call, ok := rhs.(*ast.CallExpr); ok && isPoolCall(call, "NewPacket") {
+				pass.Reportf(as.Pos(),
+					"result of NewPacket discarded — the packet leaks from the free-list; consume it or do not allocate it")
+			}
+			continue
+		}
+		base, kind := storeBase(pass, lhs)
+		if base == nil {
+			continue
+		}
+		named := namedBase(base)
+		if named == nil || holderAllowed(pass, holders, named) {
+			continue
+		}
+		if pass.suppressed(f, as, "holder") {
+			continue
+		}
+		pass.Reportf(as.Pos(),
+			"*Packet stored in %s of non-holder type %s — the conservation audit cannot see it; mark the type //dmzvet:holder if it is audited, or consume the packet instead",
+			kind, named.Obj().Name())
+	}
+}
+
+// storeBase classifies an order-relevant store destination: a field
+// selector x.f returns x's type, an index expression m[k] returns m's
+// type. Plain identifiers (locals) return nil.
+func storeBase(pass *Pass, lhs ast.Expr) (types.Type, string) {
+	switch e := lhs.(type) {
+	case *ast.SelectorExpr:
+		if tv, ok := pass.TypesInfo.Types[e.X]; ok && tv.Type != nil {
+			return tv.Type, "field " + e.Sel.Name
+		}
+	case *ast.IndexExpr:
+		tv, ok := pass.TypesInfo.Types[e.X]
+		if !ok || tv.Type == nil {
+			break
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			break
+		}
+		// A map field (s.byID[k] = pkt) is a store into s; a named map
+		// type is a store into that type. Bare local/param maps have no
+		// nameable owner and are left to the straight-line rules.
+		if sel, ok := e.X.(*ast.SelectorExpr); ok {
+			if base, _ := storeBase(pass, sel); base != nil {
+				return base, "map field " + sel.Sel.Name
+			}
+		}
+		return tv.Type, "map entry"
+	}
+	return nil, ""
+}
+
+// namedBase unwraps pointers to reach the named type of a store base.
+func namedBase(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			if _, isMap := tt.Underlying().(*types.Map); isMap {
+				return tt
+			}
+			return tt
+		case *types.Map:
+			return nil // anonymous map type: keyed by nothing nameable
+		default:
+			return nil
+		}
+	}
+}
+
+// checkDoubleRelease walks a statement list tracking which packet
+// variables have been released. A second ReleasePacket of the same
+// variable without an intervening reassignment is reported. Branching
+// statements are entered with a copy of the released set: releases on
+// a conditional path do not poison the straight-line path after it,
+// but a release before a branch is still live inside it.
+func checkDoubleRelease(pass *Pass, list []ast.Stmt, released map[types.Object]ast.Node) {
+	clone := func() map[types.Object]ast.Node {
+		c := make(map[types.Object]ast.Node, len(released))
+		for k, v := range released {
+			c[k] = v
+		}
+		return c
+	}
+	for _, stmt := range list {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				noteRelease(pass, call, released)
+			}
+		case *ast.AssignStmt:
+			// Reassigning a variable gives it a fresh packet: clear it.
+			for _, lhs := range s.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Uses[id]; obj != nil {
+						delete(released, obj)
+					} else if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						delete(released, obj)
+					}
+				}
+			}
+		case *ast.BlockStmt:
+			checkDoubleRelease(pass, s.List, released)
+		case *ast.IfStmt:
+			checkDoubleRelease(pass, s.Body.List, clone())
+			if s.Else != nil {
+				checkDoubleRelease(pass, []ast.Stmt{s.Else}, clone())
+			}
+		case *ast.ForStmt:
+			checkDoubleRelease(pass, s.Body.List, clone())
+		case *ast.RangeStmt:
+			checkDoubleRelease(pass, s.Body.List, clone())
+		case *ast.SwitchStmt:
+			for _, cc := range s.Body.List {
+				if c, ok := cc.(*ast.CaseClause); ok {
+					checkDoubleRelease(pass, c.Body, clone())
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, cc := range s.Body.List {
+				if c, ok := cc.(*ast.CaseClause); ok {
+					checkDoubleRelease(pass, c.Body, clone())
+				}
+			}
+		case *ast.SelectStmt:
+			for _, cc := range s.Body.List {
+				if c, ok := cc.(*ast.CommClause); ok {
+					checkDoubleRelease(pass, c.Body, clone())
+				}
+			}
+		case *ast.LabeledStmt:
+			checkDoubleRelease(pass, []ast.Stmt{s.Stmt}, released)
+		}
+	}
+}
+
+// noteRelease records ReleasePacket(ident) calls and reports a repeat.
+func noteRelease(pass *Pass, call *ast.CallExpr, released map[types.Object]ast.Node) {
+	if !isPoolCall(call, "ReleasePacket") || len(call.Args) != 1 {
+		return
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return
+	}
+	if first, done := released[obj]; done {
+		firstPos := pass.Fset.Position(first.Pos())
+		pass.Reportf(call.Pos(),
+			"ReleasePacket(%s) reachable twice on a straight-line path (first released at line %d) — a double release aliases one packet to two future senders and panics at runtime",
+			id.Name, firstPos.Line)
+		return
+	}
+	released[obj] = call
+}

@@ -1,0 +1,76 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SimClock forbids wall-clock time and the global math/rand state in
+// simulation packages. The simulator's reproducibility guarantee —
+// byte-identical runs for a given seed (DESIGN.md) — requires that the
+// only clock is the scheduler's sim.Time and the only entropy comes
+// from seeded *rand.Rand values (sim.NewRand). time.Now and friends
+// read the host clock; rand.Intn and the other math/rand top-level
+// functions share cross-run (and, since Go 1.20, randomly seeded)
+// global state. Either one silently breaks determinism.
+//
+// The driver applies this analyzer only to `internal/` simulation
+// packages: wall-clock entropy is legal in cmd/ front-ends (flag
+// defaults, profiling) and in explicitly allowlisted telemetry code.
+// Deliberate uses are suppressed with `//dmzvet:wallclock <reason>`.
+var SimClock = &Analyzer{
+	Name: "simclock",
+	Doc:  "forbid wall-clock time and global math/rand in simulation packages",
+	Run:  runSimClock,
+}
+
+// forbiddenTimeFuncs are the package time functions that read or wait
+// on the host clock. Pure constructors/formatters (time.Date,
+// time.Parse, time.Duration arithmetic) stay legal.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "After": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+// legalRandFuncs are the math/rand package-level functions that do NOT
+// touch the shared global generator. Everything else at package level
+// (Intn, Float64, Perm, Shuffle, Seed, Read, ...) does.
+var legalRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+func runSimClock(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // method, not a package-level function
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if forbiddenTimeFuncs[fn.Name()] && !pass.suppressed(f, sel, "wallclock") {
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the wall clock; simulation code must use the scheduler's sim-clock (sim.Time) so runs stay reproducible",
+						fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !legalRandFuncs[fn.Name()] && !pass.suppressed(f, sel, "wallclock") {
+					pass.Reportf(sel.Pos(),
+						"rand.%s uses the global math/rand state; simulation code must draw from a seeded *rand.Rand (sim.NewRand) so runs stay reproducible",
+						fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

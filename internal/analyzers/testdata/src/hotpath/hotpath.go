@@ -1,0 +1,76 @@
+// Fixture for the hotpath analyzer: //dmz:hotpath functions must not
+// contain known allocation sources.
+package hotpath
+
+import "fmt"
+
+// Scheduler mirrors the sim.Scheduler closure/closure-free API split.
+type Scheduler struct{}
+
+// CallFunc mirrors sim.CallFunc.
+type CallFunc func(a, b any)
+
+func (s *Scheduler) At(t int64, fn func())                   {}
+func (s *Scheduler) After(d int64, fn func())                {}
+func (s *Scheduler) AtCall(t int64, c CallFunc, a, b any)    {}
+func (s *Scheduler) AfterCall(d int64, c CallFunc, a, b any) {}
+
+type port struct {
+	sched *Scheduler
+	n     int
+	name  string
+}
+
+// send is the per-packet fast path.
+//
+//dmz:hotpath
+func (p *port) send(pkt *int) {
+	p.sched.At(0, func() { p.n++ }) // want `Scheduler\.At schedules a closure` `func literal allocates a closure`
+	_ = fmt.Sprintf("pkt %d", *pkt) // want `fmt\.Sprintf allocates`
+	b := make([]byte, 8)            // want `make allocates`
+	_ = string(b)                   // want `string conversion of a slice allocates`
+	_ = p.name + "!"                // want `string concatenation allocates`
+	q := new(port)                  // want `new allocates`
+	_ = q
+}
+
+// sendFast is the compliant version: closure-free scheduling through a
+// static callback, no formatting, no conversions. No diagnostics.
+//
+//dmz:hotpath
+func (p *port) sendFast(pkt *int) {
+	p.sched.AfterCall(0, fire, p, pkt)
+}
+
+// fire is a static callback marked through its var declaration.
+//
+//dmz:hotpath
+var fire CallFunc = func(a, b any) {
+	_ = fmt.Sprint(a) // want `fmt\.Sprint allocates`
+}
+
+// panicPath: allocations that only run while panicking are exempt, and
+// a justified cold-path allocation is suppressed by //dmzvet:alloc.
+//
+//dmz:hotpath
+func (p *port) panicPath() {
+	if p.n < 0 {
+		panic(fmt.Sprintf("bad n %d", p.n)) // ok: panic argument
+	}
+	//dmzvet:alloc first-use initialization, not steady state
+	buf := make([]byte, 64)
+	_ = buf
+}
+
+// unmarked functions are not subject to hot-path rules.
+func unmarked() string {
+	return fmt.Sprintf("%d", 42)
+}
+
+// Constant-folded concatenation never allocates. No diagnostics.
+//
+//dmz:hotpath
+func constConcat() string {
+	const prefix = "a"
+	return prefix + "b"
+}

@@ -1,0 +1,99 @@
+// Fixture for the maporder analyzer: ranging over a map with
+// order-sensitive effects leaks randomized iteration order.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+type service struct{ name string }
+
+// dynesBug replicates the real bug this analyzer was built to catch:
+// internal/topo/dynes.go:104 (pre-fix) ranged over the Domains map and
+// passed the services to circuit.NewIDC in map-iteration order.
+func dynesBug(domains map[string]*service) []*service {
+	var services []*service
+	for _, s := range domains { // want `iteration over map is order-sensitive: body appends to a slice`
+		services = append(services, s)
+	}
+	return services
+}
+
+func printer(m map[string]int) {
+	for k, v := range m { // want `iteration over map is order-sensitive: body calls Printf`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func sink(xs ...string) {}
+
+func variadic(m map[string][]string) {
+	for _, vs := range m { // want `iteration over map is order-sensitive: body passes variadic arguments`
+		sink(vs...)
+	}
+}
+
+func channelSend(m map[string]int, ch chan int) {
+	for _, v := range m { // want `iteration over map is order-sensitive: body sends on a channel`
+		ch <- v
+	}
+}
+
+func stringAccum(m map[string]string) string {
+	s := ""
+	for _, v := range m { // want `iteration over map is order-sensitive: body accumulates into a string`
+		s += v
+	}
+	return s
+}
+
+// collectThenSort is the deterministic key-collection idiom: the
+// append target is sorted before use, so no diagnostic.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// perKey writes keyed by the loop variable are commutative across
+// iterations, so no diagnostic.
+func perKey(src, dst map[string][]int) {
+	for k, vs := range src {
+		dst[k] = append(dst[k], vs...)
+	}
+}
+
+// localTarget appends only to a slice scoped to one iteration; order
+// cannot leak, so no diagnostic.
+func localTarget(m map[string][]string) int {
+	total := 0
+	for _, vs := range m {
+		var tmp []string
+		tmp = append(tmp, vs...)
+		total += len(tmp)
+	}
+	return total
+}
+
+// Commutative accumulation (no append, no output) is always fine.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// justified carries the escape-hatch directive: suppressed.
+func justified(m map[string]int) []int {
+	var out []int
+	//dmzvet:ordered the collected values are re-sorted by the caller
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

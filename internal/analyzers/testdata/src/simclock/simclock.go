@@ -1,0 +1,45 @@
+// Fixture for the simclock analyzer: simulation code must use
+// sim-clock time and seeded *rand.Rand only.
+package simclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()          // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+	return time.Since(start)     // want `time\.Since reads the wall clock`
+}
+
+func timers() {
+	_ = time.After(time.Second)    // want `time\.After reads the wall clock`
+	_ = time.NewTimer(time.Second) // want `time\.NewTimer reads the wall clock`
+}
+
+// Taking the function value (not just calling it) is caught too.
+var clockFunc = time.Now // want `time\.Now reads the wall clock`
+
+func globalRand() int {
+	rand.Shuffle(3, func(i, j int) {}) // want `rand\.Shuffle uses the global math/rand state`
+	return rand.Intn(10)               // want `rand\.Intn uses the global math/rand state`
+}
+
+// Seeded generators are the sanctioned entropy source: rand.New and
+// rand.NewSource never touch global state.
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// Pure time constructors and arithmetic stay legal.
+func pure() time.Time {
+	return time.Date(2013, time.November, 17, 0, 0, 0, 0, time.UTC)
+}
+
+// Allowlisted telemetry code justifies wall-clock use with a directive.
+func allowlisted() time.Time {
+	//dmzvet:wallclock telemetry export stamps records with host time by design
+	return time.Now()
+}

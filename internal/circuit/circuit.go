@@ -285,6 +285,17 @@ func NewIDC(net *netsim.Network, domains ...*Service) *IDC {
 	return &IDC{net: net, domains: domains}
 }
 
+// DomainNames returns the controller's domains in admission order —
+// the order services were handed to NewIDC. Exposed so callers (and
+// determinism regression tests) can observe that the order is stable.
+func (idc *IDC) DomainNames() []string {
+	names := make([]string, 0, len(idc.domains))
+	for _, d := range idc.domains {
+		names = append(names, d.Name)
+	}
+	return names
+}
+
 // owner returns the domain owning a link, preferring explicit ownership.
 func (idc *IDC) owner(l *netsim.Link) *Service {
 	for _, d := range idc.domains {
@@ -315,8 +326,17 @@ func (idc *IDC) Reserve(id, src, dst string, rate units.BitRate) (*Circuit, erro
 		}
 		perDomain[d] = append(perDomain[d], l)
 	}
+	// Commit in the controller's domain order, not map order: which
+	// domain admits first decides which error surfaces on conflicting
+	// reservations and how far rollback unwinds, so iterating perDomain
+	// directly made those outcomes differ between identical runs
+	// (caught by dmzvet's maporder analyzer).
 	var committed []*Service
-	for d, ls := range perDomain {
+	for _, d := range idc.domains {
+		ls, ok := perDomain[d]
+		if !ok {
+			continue
+		}
 		if err := d.reserveLinks(ls, rate); err != nil {
 			for _, rb := range committed {
 				rb.releaseLinks(perDomain[rb], rate)

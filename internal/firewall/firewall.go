@@ -86,6 +86,11 @@ type Counters struct {
 	OptionsFixed uint64 // SYN options rewritten by sequence checking
 }
 
+// processor is one firewall engine's input queue and service state.
+// Queued packets are audited: Firewall.HeldPackets reports them to the
+// conservation invariant as structurally in-flight.
+//
+//dmzvet:holder
 type processor struct {
 	fw        *Firewall
 	queue     []*netsim.Packet

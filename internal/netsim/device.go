@@ -63,6 +63,11 @@ type DeviceConfig struct {
 // Device is a router or switch: it forwards packets between ports using a
 // destination-based routing table, subject to filters and an optional
 // forwarder override.
+//
+// Device is an audited packet holder: sfQueue packets are counted as
+// structurally in-flight by Network.Conservation.
+//
+//dmzvet:holder
 type Device struct {
 	NodeBase
 

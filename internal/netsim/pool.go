@@ -31,9 +31,12 @@ package netsim
 // NewPacket returns a zeroed packet, reusing a released one when
 // available. The Sack backing array survives reuse (length reset to
 // zero) so ACK construction does not reallocate it every segment.
+//
+//dmz:hotpath
 func (n *Network) NewPacket() *Packet {
 	k := len(n.pktFree)
 	if k == 0 {
+		//dmzvet:alloc pool-miss path: steady state is served from the free-list
 		return &Packet{}
 	}
 	p := n.pktFree[k-1]
@@ -49,6 +52,8 @@ func (n *Network) NewPacket() *Packet {
 // for reuse by NewPacket. See the release rules above; releasing the
 // same packet twice panics, since it would hand one object to two
 // future senders.
+//
+//dmz:hotpath
 func (n *Network) ReleasePacket(p *Packet) {
 	if p.pooled {
 		panic("netsim: packet released twice")

@@ -82,6 +82,8 @@ func (p *Port) BusyTime() time.Duration { return p.busy }
 
 // Send transmits the packet out this port, queueing it if the port is
 // busy and dropping it if the egress buffer is full.
+//
+//dmz:hotpath
 func (p *Port) Send(pkt *Packet) {
 	if pkt.Hops >= MaxHops {
 		p.net.countDrop(pkt, DropMaxHops, p.Owner.Name(), "")
@@ -138,14 +140,18 @@ func (p *Port) dropForQueue(pkt *Packet) {
 // propagation done). Scheduling through sim.CallFunc with the port and
 // packet as operands keeps the packet hot path closure-free: the kernel
 // stores both pointers inline in the event.
+//
+//dmz:hotpath
 func finishTxCall(a, b any) { a.(*Port).finishTx(b.(*Packet)) }
 
+//dmz:hotpath
 func deliverCall(a, b any) {
 	to := a.(*Port)
 	to.net.transit--
 	to.deliver(b.(*Packet))
 }
 
+//dmz:hotpath
 func (p *Port) startTx(pkt *Packet) {
 	p.transmitting = true
 	d := p.Link.Rate.Serialize(pkt.Size)
@@ -153,6 +159,7 @@ func (p *Port) startTx(pkt *Packet) {
 	p.net.Sched.AfterCall(tagPort, d, finishTxCall, p, pkt)
 }
 
+//dmz:hotpath
 func (p *Port) finishTx(pkt *Packet) {
 	p.Counters.TxPackets++
 	p.Counters.TxBytes += pkt.Size
@@ -179,6 +186,7 @@ func (p *Port) finishTx(pkt *Packet) {
 	}
 }
 
+//dmz:hotpath
 func (p *Port) deliver(pkt *Packet) {
 	p.Counters.RxPackets++
 	p.Counters.RxBytes += pkt.Size
@@ -221,6 +229,8 @@ func (l *Link) Down() bool { return l.down }
 
 // carry moves a fully serialized packet across the wire from one port to
 // its peer, applying corruption loss and propagation delay.
+//
+//dmz:hotpath
 func (l *Link) carry(from *Port, pkt *Packet) {
 	if l.down {
 		l.net.countDrop(pkt, DropLinkDown, l.describe(), "")

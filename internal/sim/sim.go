@@ -154,6 +154,8 @@ type Timer struct {
 
 // allocSlot takes a slot from the free-list (or grows the table) and
 // marks it pending for an event firing at t.
+//
+//dmz:hotpath
 func (s *Scheduler) allocSlot(at Time) uint32 {
 	var idx uint32
 	if n := len(s.freeSlots); n > 0 {
@@ -171,6 +173,8 @@ func (s *Scheduler) allocSlot(at Time) uint32 {
 
 // freeSlot recycles a slot whose heap entry has been popped or
 // compacted away, invalidating all outstanding handles to it.
+//
+//dmz:hotpath
 func (s *Scheduler) freeSlot(idx uint32) {
 	sl := &s.slots[idx]
 	sl.gen++
@@ -179,6 +183,8 @@ func (s *Scheduler) freeSlot(idx uint32) {
 }
 
 // schedule is the single entry point behind every At/After variant.
+//
+//dmz:hotpath
 func (s *Scheduler) schedule(tag Tag, t Time, fn func(), call CallFunc, a, b any) Timer {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
@@ -268,6 +274,8 @@ func (t Timer) When() Time {
 // --- 4-ary heap ----------------------------------------------------------
 
 // push appends e and restores the heap property by sifting up.
+//
+//dmz:hotpath
 func (s *Scheduler) push(e event) {
 	s.events = append(s.events, e)
 	i := len(s.events) - 1
@@ -284,6 +292,8 @@ func (s *Scheduler) push(e event) {
 
 // popTop removes and returns the minimum event. The caller guarantees
 // the heap is non-empty.
+//
+//dmz:hotpath
 func (s *Scheduler) popTop() event {
 	top := s.events[0]
 	n := len(s.events) - 1
@@ -297,6 +307,8 @@ func (s *Scheduler) popTop() event {
 }
 
 // siftDown places e into the hole at index i, moving smaller children up.
+//
+//dmz:hotpath
 func (s *Scheduler) siftDown(i int, e event) {
 	n := len(s.events)
 	for {
@@ -325,6 +337,8 @@ func (s *Scheduler) siftDown(i int, e event) {
 
 // skim discards lazily cancelled events from the top of the heap so
 // that events[0], when present, is live.
+//
+//dmz:hotpath
 func (s *Scheduler) skim() {
 	for len(s.events) > 0 {
 		e := &s.events[0]
@@ -344,6 +358,8 @@ func (s *Scheduler) skim() {
 // otherwise grow the heap without bound. Compaction cannot change pop
 // order: (time, seq) is a total order, so any heap layout of the same
 // live events pops identically.
+//
+//dmz:hotpath
 func (s *Scheduler) maybeCompact() {
 	if s.cancelled < 1024 || s.cancelled*2 < len(s.events) {
 		return
@@ -371,6 +387,8 @@ func (s *Scheduler) maybeCompact() {
 
 // step executes the earliest pending event. It reports false when no
 // live events remain.
+//
+//dmz:hotpath
 func (s *Scheduler) step() bool {
 	s.skim()
 	if len(s.events) == 0 {
@@ -481,6 +499,8 @@ func (s *Scheduler) EveryTag(tag Tag, interval time.Duration, fn func()) *Ticker
 // tickerFire is the static tick callback: run the user function, then
 // reschedule in place — unless Stop ran, either before this tick was
 // popped (stopped flag) or from inside the callback itself.
+//
+//dmz:hotpath
 func tickerFire(a, _ any) {
 	t := a.(*Ticker)
 	if t.stopped {

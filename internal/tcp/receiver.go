@@ -261,6 +261,8 @@ func (r *receiver) measureRcvRTT(payload units.ByteSize) {
 
 // delayedAckCall is the static delayed-ACK timer callback (closure-free
 // scheduling; see sim.CallFunc).
+//
+//dmz:hotpath
 var delayedAckCall sim.CallFunc = func(a, _ any) { a.(*receiver).sendAck() }
 
 func (r *receiver) sendAck() {

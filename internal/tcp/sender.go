@@ -761,8 +761,12 @@ func (s *Sender) updateRTT(sample time.Duration) {
 // callbacks: pacing, TSQ resume, and RTO (re)arming happen on nearly
 // every ACK, so scheduling them must not allocate a method-value
 // closure each time (see sim.CallFunc).
+//
+//dmz:hotpath
 func trySendCall(a, _ any) { a.(*Sender).trySend() }
-func onRTOCall(a, _ any)   { a.(*Sender).onRTO() }
+
+//dmz:hotpath
+func onRTOCall(a, _ any) { a.(*Sender).onRTO() }
 
 func (s *Sender) armRTO() {
 	s.rtoTimer = s.net.Sched.AfterCall(tagSender, s.rto, onRTOCall, s, nil)

@@ -2,6 +2,7 @@ package topo
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/circuit"
@@ -100,27 +101,30 @@ func NewDYNES(seed int64, cfg DYNESConfig) *DYNES {
 	d.Domains["backbone"] = circuit.NewService(n, "backbone", backboneLinks...)
 	n.ComputeRoutes()
 
-	var services []*circuit.Service
-	for _, s := range d.Domains {
-		services = append(services, s)
+	// Hand the services to the IDC in sorted-name order: ranging over
+	// the Domains map here passed them in randomized map order, which
+	// leaked into the IDC's commit order and made multi-domain admission
+	// behavior differ between identically seeded runs (caught by
+	// dmzvet's maporder analyzer).
+	names := make([]string, 0, len(d.Domains))
+	for name := range d.Domains {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	services := make([]*circuit.Service, 0, len(names))
+	for _, name := range names {
+		services = append(services, d.Domains[name])
 	}
 	d.IDC = circuit.NewIDC(n, services...)
 	return d
 }
 
-// CampusNames returns campus names in creation order.
+// CampusNames returns campus names in sorted order.
 func (d *DYNES) CampusNames() []string {
-	var out []string
+	out := make([]string, 0, len(d.Campuses))
 	for name := range d.Campuses {
 		out = append(out, name)
 	}
-	// Deterministic order.
-	for i := 0; i < len(out); i++ {
-		for j := i + 1; j < len(out); j++ {
-			if out[j] < out[i] {
-				out[i], out[j] = out[j], out[i]
-			}
-		}
-	}
+	sort.Strings(out)
 	return out
 }

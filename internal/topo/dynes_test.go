@@ -1,6 +1,7 @@
 package topo
 
 import (
+	"sort"
 	"testing"
 	"time"
 
@@ -30,6 +31,38 @@ func TestDYNESTopology(t *testing.T) {
 	// 4 campuses + 2 regionals + backbone = 7 domains.
 	if len(d.Domains) != 7 {
 		t.Errorf("domains = %d, want 7", len(d.Domains))
+	}
+}
+
+// TestDYNESServiceOrderDeterministic is the regression test for the
+// map-iteration bug at the IDC hand-off: NewDYNES used to pass the
+// per-domain services to circuit.NewIDC in map order, so two builds of
+// the same topology gave the controller different admission orders.
+// Services must now arrive sorted by name, identically on every build.
+func TestDYNESServiceOrderDeterministic(t *testing.T) {
+	a := NewDYNES(1, DYNESConfig{})
+	b := NewDYNES(1, DYNESConfig{})
+	an, bn := a.IDC.DomainNames(), b.IDC.DomainNames()
+	if len(an) != 7 || len(bn) != 7 {
+		t.Fatalf("domain counts = %d, %d, want 7", len(an), len(bn))
+	}
+	if !sort.StringsAreSorted(an) {
+		t.Errorf("service order not sorted: %v", an)
+	}
+	for i := range an {
+		if an[i] != bn[i] {
+			t.Fatalf("two builds produced different service order:\n  %v\n  %v", an, bn)
+		}
+	}
+	// CampusNames must be sorted and identical across builds too.
+	ac, bc := a.CampusNames(), b.CampusNames()
+	if !sort.StringsAreSorted(ac) {
+		t.Errorf("campus names not sorted: %v", ac)
+	}
+	for i := range ac {
+		if ac[i] != bc[i] {
+			t.Fatalf("two builds produced different campus order:\n  %v\n  %v", ac, bc)
+		}
 	}
 }
 
