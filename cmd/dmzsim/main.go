@@ -8,6 +8,8 @@
 //	dmzsim -run all
 //	dmzsim -sweep loss=1e-6..1e-2:8 -parallel 4
 //	dmzsim -sweep rtt=1ms..100ms:6
+//	dmzsim -faults scenario.json
+//	dmzsim -faults scenario.json -fault-periods 15s,30s,60s,120s -parallel 4
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/netsim"
 	"repro/internal/telemetry"
 )
@@ -167,6 +170,54 @@ func parseAxisValue(s string) (float64, error) {
 	return 0, fmt.Errorf("bad axis value %q (want a number or duration)", s)
 }
 
+// runFaults handles -faults: a single scenario run, or — when
+// -fault-periods is set — a detection campaign sweeping BWCTL test
+// cadence (and optionally -fault-severities) on the parallel harness.
+func runFaults(path, periods, severities string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	sc, err := fault.ParseScenario(data)
+	if err != nil {
+		return err
+	}
+	if periods == "" {
+		if severities != "" {
+			return fmt.Errorf("-fault-severities requires -fault-periods (a campaign)")
+		}
+		rep, err := fault.Run(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.Render())
+		return nil
+	}
+	cfg := fault.CampaignConfig{Base: sc, Parallel: parallelWorkers}
+	for _, p := range strings.Split(periods, ",") {
+		d, err := time.ParseDuration(strings.TrimSpace(p))
+		if err != nil {
+			return fmt.Errorf("-fault-periods: %v", err)
+		}
+		cfg.Periods = append(cfg.Periods, d)
+	}
+	if severities != "" {
+		for _, s := range strings.Split(severities, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				return fmt.Errorf("-fault-severities: %v", err)
+			}
+			cfg.Severities = append(cfg.Severities, v)
+		}
+	}
+	res, err := fault.RunCampaign(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Render())
+	return nil
+}
+
 func main() {
 	list := flag.Bool("list", false, "list experiments")
 	run := flag.String("run", "", "experiment to run (or 'all')")
@@ -176,6 +227,9 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile of the run to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live profiling")
+	faults := flag.String("faults", "", "run a fault-injection scenario from this JSON file")
+	faultPeriods := flag.String("fault-periods", "", "with -faults: comma-separated BWCTL test periods (e.g. 15s,30s,60s) to sweep as a detection campaign")
+	faultSevs := flag.String("fault-severities", "", "with -fault-periods: comma-separated loss severities for the campaign's second axis")
 	flag.IntVar(&parallelWorkers, "parallel", 0, "sweep worker count (0 = GOMAXPROCS); results are identical at any value")
 	flag.Parse()
 
@@ -183,6 +237,11 @@ func main() {
 	finish := setupTelemetry(*trace, *metrics)
 
 	switch {
+	case *faults != "":
+		if err := runFaults(*faults, *faultPeriods, *faultSevs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	case *sweep != "":
 		if *trace != "" || *metrics != "" {
 			fmt.Fprintln(os.Stderr, "warning: -trace/-metrics are ignored by -sweep: sweep workers run isolated from the shared telemetry plane")

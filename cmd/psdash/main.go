@@ -1,7 +1,9 @@
 // Command psdash reproduces Figure 2: it simulates a perfSONAR
 // measurement mesh across several sites with one soft-failing path, runs
 // scheduled throughput tests, and renders the dashboard grid and alert
-// log.
+// log. With -faults it instead runs a fault-injection scenario (see
+// internal/fault) and renders the mesh's view of it plus the monitor's
+// detection report.
 package main
 
 import (
@@ -11,13 +13,45 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/netsim"
+	"repro/internal/perfsonar"
 	"repro/internal/telemetry"
+	"repro/internal/units"
 )
+
+// runFaults executes a scenario file and renders the operator's view:
+// the dashboard grid built from the scenario's own measurement archive,
+// then the closed loop's verdict table.
+func runFaults(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	sc, err := fault.ParseScenario(data)
+	if err != nil {
+		return err
+	}
+	rep, err := fault.Run(sc)
+	if err != nil {
+		return err
+	}
+	rate := units.BitRate(sc.Topology.RateMbps) * units.Mbps
+	if sc.Topology.RateMbps == 0 {
+		rate = 1000 * units.Mbps
+	}
+	fmt.Printf("Fault scenario %q dashboard\n", sc.Name)
+	fmt.Print(perfsonar.Dashboard(rep.Archive, perfsonar.DashboardConfig{
+		Good: rate / 2, Warn: rate / 10,
+	}, rep.Sites))
+	fmt.Println(rep.Render())
+	return nil
+}
 
 func main() {
 	trace := flag.String("trace", "", "write a JSONL packet/TCP event trace to this file")
 	metrics := flag.String("metrics", "", "write periodic metrics snapshots (JSON) to this file")
+	faults := flag.String("faults", "", "run a fault-injection scenario from this JSON file instead of Figure 2")
 	flag.Parse()
 
 	var tele *telemetry.Telemetry
@@ -41,10 +75,17 @@ func main() {
 		netsim.DefaultTelemetry = tele
 	}
 
-	r := experiments.Fig2()
-	fmt.Println(r.Render())
-	for _, a := range r.Alerts {
-		fmt.Println(" ", a)
+	if *faults != "" {
+		if err := runFaults(*faults); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		r := experiments.Fig2()
+		fmt.Println(r.Render())
+		for _, a := range r.Alerts {
+			fmt.Println(" ", a)
+		}
 	}
 
 	if traceWriter != nil {

@@ -1,0 +1,79 @@
+// Soft failure (§2.1): a line card starts dropping roughly one packet
+// in 22,000 — far too little for SNMP error counters, but enough to
+// collapse TCP throughput over a 16 ms RTT path. This example injects
+// exactly that fault into a four-site measurement mesh and shows the
+// paper's core argument about test-and-measurement cadence: the same
+// fault that hides for months without regular testing is caught in
+// about one test period once scheduled BWCTL runs are in place, and
+// on-demand OWAMP probing then localizes it to the guilty link.
+//
+// Run with: go run ./examples/soft-failure
+package main
+
+import (
+	_ "embed"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/fault"
+)
+
+//go:embed scenario.json
+var scenarioJSON []byte
+
+func main() {
+	sc, err := fault.ParseScenario(scenarioJSON)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f := sc.Faults[0]
+	fmt.Printf("Scenario %q: %d-site mesh at %g Mbps.\n", sc.Name, sc.Topology.Sites, sc.Topology.RateMbps)
+	fmt.Printf("At t=%s the %s link starts dropping 1 packet in %d; the optic\n",
+		f.Onset, f.Link, f.Loss.N)
+	fmt.Println("reports clean SNMP counters throughout. How fast the NOC notices is")
+	fmt.Println("purely a function of how often it tests:")
+	fmt.Println()
+
+	res, err := fault.RunCampaign(fault.CampaignConfig{
+		Base: sc,
+		Periods: []time.Duration{
+			120 * time.Second, 60 * time.Second, 30 * time.Second, 15 * time.Second,
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(res.Render())
+
+	// The example doubles as a regression check: the paper's claim only
+	// reproduces if every cadence detects, localizes, and recovers, and
+	// detection time shrinks monotonically with the test period.
+	prev := time.Duration(-1)
+	for _, row := range res.Rows {
+		v := row.Verdict
+		if !v.Detected || !v.Recovered {
+			fmt.Fprintf(os.Stderr, "period %v: fault not caught (detected=%v recovered=%v)\n",
+				row.Period, v.Detected, v.Recovered)
+			os.Exit(1)
+		}
+		if !v.Localized {
+			fmt.Fprintf(os.Stderr, "period %v: localization picked %q, want the injected link\n",
+				row.Period, v.TopSuspect)
+			os.Exit(1)
+		}
+		if prev >= 0 && v.MTTD >= prev {
+			fmt.Fprintf(os.Stderr, "MTTD did not shrink with cadence: %v then %v\n", prev, v.MTTD)
+			os.Exit(1)
+		}
+		prev = v.MTTD
+	}
+
+	fmt.Println("Every cadence caught the fault and OWAMP probing pinned it to the")
+	fmt.Printf("injected link; detection time fell from %v to %v as the test\n",
+		res.Rows[0].Verdict.MTTD.Round(time.Second), res.Rows[len(res.Rows)-1].Verdict.MTTD.Round(time.Second))
+	fmt.Println("period shortened. Without scheduled testing the paper reports this")
+	fmt.Println("class of failure surviving for months.")
+}

@@ -29,12 +29,13 @@ func TestSuiteCleanOnSimulatorCore(t *testing.T) {
 		"repro/internal/netsim",
 		"repro/internal/firewall",
 		"repro/internal/sim",
+		"repro/internal/fault",
 	}, LoadOptions{})
 	if err != nil {
 		t.Fatalf("loading simulator core: %v", err)
 	}
-	if len(pkgs) != 5 {
-		t.Fatalf("loaded %d packages, want 5", len(pkgs))
+	if len(pkgs) != 6 {
+		t.Fatalf("loaded %d packages, want 6", len(pkgs))
 	}
 	for _, pkg := range pkgs {
 		for _, terr := range pkg.TypeErrors {

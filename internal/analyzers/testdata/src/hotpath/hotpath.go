@@ -74,3 +74,47 @@ func constConcat() string {
 	const prefix = "a"
 	return prefix + "b"
 }
+
+// injector mirrors the fault-injection pattern: onset/clear actions are
+// scheduled objects, and the per-packet loss overlay sits on the hot
+// path.
+type injector struct {
+	sched  *Scheduler
+	armed  bool
+	target *port
+}
+
+// scheduleBad is the anti-pattern: wrapping each fault action in a
+// closure at schedule time.
+//
+//dmz:hotpath
+func (in *injector) scheduleBad(onset int64) {
+	in.sched.At(onset, func() { in.armed = true })  // want `Scheduler\.At schedules a closure` `func literal allocates a closure`
+	in.sched.After(10, func() { in.armed = false }) // want `Scheduler\.After schedules a closure` `func literal allocates a closure`
+}
+
+// schedule is the sanctioned shape: static callbacks through
+// AtCall/AfterCall with the injector as the receiver argument. No
+// diagnostics.
+//
+//dmz:hotpath
+func (in *injector) schedule(onset int64) {
+	in.sched.AtCall(onset, onsetFire, in, nil)
+	in.sched.AfterCall(10, clearFire, in, nil)
+}
+
+func onsetFire(a, b any) { a.(*injector).armed = true }
+func clearFire(a, b any) { a.(*injector).armed = false }
+
+// drop is the wrapped loss model's per-packet decision. It must stay
+// allocation-free: formatting a trace label here would allocate once
+// per packet.
+//
+//dmz:hotpath
+func (in *injector) drop(pkt *int) bool {
+	if !in.armed {
+		return false
+	}
+	_ = fmt.Sprintf("fault drop %d", *pkt) // want `fmt\.Sprintf allocates`
+	return true
+}

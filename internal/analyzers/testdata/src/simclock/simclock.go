@@ -43,3 +43,26 @@ func allowlisted() time.Time {
 	//dmzvet:wallclock telemetry export stamps records with host time by design
 	return time.Now()
 }
+
+// faultOverlay mirrors the fault-injection loss wrapper: each fault
+// owns a *rand.Rand derived from the campaign seed so that injecting a
+// fault never perturbs any other component's random sequence.
+type faultOverlay struct {
+	rng *rand.Rand
+	p   float64
+}
+
+// dropBad reaches for ambient entropy — nondeterministic across runs
+// and forbidden.
+func (o *faultOverlay) dropBad() bool {
+	return rand.Float64() < o.p // want `rand\.Float64 uses the global math/rand state`
+}
+
+// drop consumes only the fault's own seeded stream. No diagnostics.
+func (o *faultOverlay) drop() bool {
+	return o.rng.Float64() < o.p
+}
+
+func newFaultOverlay(seed int64, p float64) *faultOverlay {
+	return &faultOverlay{rng: rand.New(rand.NewSource(seed)), p: p}
+}

@@ -1,0 +1,64 @@
+// Package fault is the deterministic fault-injection subsystem and the
+// closed-loop soft-failure detector built on top of it.
+//
+// The paper's operational core (§2.1, §3.3) is the *lifecycle* of a
+// soft failure: a line card starts dropping 1 in 22,000 packets,
+// transfers silently collapse, and only regular perfSONAR testing plus
+// loss localization finds the component — in minutes once the test
+// cadence is high enough, in days or months when it is not. Static loss
+// models (internal/netsim/loss.go) and manual Link.SetDown can set up a
+// broken network, but cannot make failures onset, evolve, and clear
+// *during* a run. This package closes that gap:
+//
+//   - Scenario (scenario.go) is a small JSON schema describing a
+//     topology, a measurement deployment, and a list of timed faults.
+//   - Injector (inject.go) schedules fault onset/clear through the
+//     closure-free sim kernel API and applies them to the live network,
+//     emitting a telemetry trace event for every transition.
+//   - Monitor (monitor.go) is the NOC side: it watches the perfSONAR
+//     archive, detects loss/throughput regressions against a learned
+//     baseline, launches localization probes, and scores itself —
+//     MTTD, MTTR, and whether the top suspect matched the injected
+//     link.
+//   - Execute/Run (runner.go) wire the three together, and RunCampaign
+//     (campaign.go) sweeps fault severity × test cadence on the
+//     parallel harness, reproducing the paper's time-to-detection
+//     claim quantitatively.
+//
+// Determinism: every random stream an injected fault consumes is
+// derived from (scenario name, fault key) via the harness's FNV-1a
+// seed derivation, never taken from a shared sequence — so campaigns
+// are byte-identical at any -parallel level, and adding a fault to a
+// scenario does not perturb the random streams of anything else.
+package fault
+
+// Fault type names as they appear in scenario JSON.
+const (
+	// KindSoftFailure installs a loss model on a link at onset and
+	// removes it at clear — the §2.1 failing line card. Invisible to
+	// device counters; only end-to-end measurement sees it.
+	KindSoftFailure = "soft-failure"
+	// KindDegradingOptic installs a loss model whose drop probability
+	// ramps linearly from zero at onset to Peak at onset+duration — a
+	// transceiver slowly dying rather than stepping.
+	KindDegradingOptic = "degrading-optic"
+	// KindLinkFlap takes a link hard-down for duration, Count times,
+	// Period apart — the §3.3 "hard failure", which unlike the soft
+	// kinds IS visible to device monitoring via Link.Down.
+	KindLinkFlap = "link-flap"
+	// KindBufferShrink scales a device's egress buffers by Factor for
+	// the duration — §5's "inadequate buffering" appearing at runtime,
+	// e.g. a firmware fault or a buffer-carving misconfiguration.
+	KindBufferShrink = "buffer-shrink"
+	// KindMonitorOutage takes every link of a host down for the
+	// duration — a measurement host failing, which the OWAMP blackout
+	// accounting reports as 100% loss rather than silence.
+	KindMonitorOutage = "monitor-outage"
+)
+
+// Loss model names accepted in a soft-failure's loss spec.
+const (
+	LossRandom   = "random"   // netsim.RandomLoss
+	LossPeriodic = "periodic" // netsim.PeriodicLoss (1 in N, §2.1)
+	LossGilbert  = "gilbert"  // netsim.GilbertElliott bursty loss
+)

@@ -1,0 +1,244 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+// tagFault attributes injector events in scheduler telemetry.
+var tagFault = sim.TagFor("fault")
+
+// Injected is the ground-truth record of one fault: what was injected
+// where, and when it actually fired. The monitor never sees it; Score
+// compares the monitor's episodes against it after the run.
+type Injected struct {
+	Key    string // "type#index" within the scenario
+	Type   string
+	Target string // "a<->b" (link Ends order) or node name
+
+	// LinkA/LinkB are the resolved link endpoints for link faults,
+	// empty for node faults.
+	LinkA, LinkB string
+
+	// OnsetAt / ClearedAt are the first onset and final clear as they
+	// fired, or -1 while pending.
+	OnsetAt   sim.Time
+	ClearedAt sim.Time
+}
+
+// active is one fault's runtime state.
+type active struct {
+	spec FaultSpec
+	rec  Injected
+
+	link    *netsim.Link
+	node    netsim.Node
+	overlay *overlay // soft-failure / degrading-optic, prebuilt
+	rampMdl *ramp    // degrading-optic, to stamp the onset time
+
+	// Saved pre-fault state for restore-on-clear.
+	savedLoss  netsim.LossModel
+	savedCaps  []units.ByteSize
+	savedDown  []bool
+	ports      []*netsim.Port
+	links      []*netsim.Link // monitor-outage: all attached links
+	clearsLeft int
+}
+
+// Injector owns a scenario's faults on one network and schedules their
+// transitions through the closure-free kernel API.
+type Injector struct {
+	net     *netsim.Network
+	sc      *Scenario
+	faults  []*active
+	started bool
+}
+
+// NewInjector resolves every fault in the scenario against the network
+// and derives each fault's private RNG from (scenario name, fault key)
+// with the harness seed derivation — pass ctx.Seed from a harness run,
+// or nil for the standalone default.
+func NewInjector(n *netsim.Network, sc *Scenario, seed func(stream string) int64) (*Injector, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if seed == nil {
+		seed = func(stream string) int64 { return harness.Seed("fault", sc.Name, stream) }
+	}
+	inj := &Injector{net: n, sc: sc}
+	for i := range sc.Faults {
+		spec := sc.Faults[i]
+		f := &active{spec: spec}
+		f.rec = Injected{
+			Key:       fmt.Sprintf("%s#%d", spec.Type, i),
+			Type:      spec.Type,
+			OnsetAt:   -1,
+			ClearedAt: -1,
+		}
+		f.clearsLeft = spec.Count
+		if f.clearsLeft < 1 {
+			f.clearsLeft = 1
+		}
+		if spec.Link != "" {
+			a, b, ok := strings.Cut(spec.Link, "<->")
+			if !ok {
+				return nil, fmt.Errorf("fault %s: link %q: want \"a<->b\"", f.rec.Key, spec.Link)
+			}
+			l := n.LinkBetween(a, b)
+			if l == nil {
+				return nil, fmt.Errorf("fault %s: no link %q in the topology", f.rec.Key, spec.Link)
+			}
+			f.link = l
+			f.rec.LinkA, f.rec.LinkB = l.Ends()
+			f.rec.Target = f.rec.LinkA + "<->" + f.rec.LinkB
+		}
+		if spec.Node != "" {
+			node := n.Node(spec.Node)
+			if node == nil {
+				return nil, fmt.Errorf("fault %s: no node %q in the topology", f.rec.Key, spec.Node)
+			}
+			f.node = node
+			f.rec.Target = spec.Node
+		}
+		rng := sim.NewRand(seed("fault/" + f.rec.Key))
+		switch spec.Type {
+		case KindSoftFailure:
+			var mdl netsim.LossModel
+			switch spec.Loss.Model {
+			case LossRandom:
+				mdl = netsim.RandomLoss{P: spec.Loss.P}
+			case LossPeriodic:
+				mdl = &netsim.PeriodicLoss{N: spec.Loss.N}
+			case LossGilbert:
+				mdl = &netsim.GilbertElliott{
+					PGood: spec.Loss.PGood, PBad: spec.Loss.PBad,
+					GoodToBad: spec.Loss.GoodToBad, BadToGood: spec.Loss.BadToGood,
+				}
+			}
+			f.overlay = &overlay{inject: mdl, rng: rng}
+		case KindDegradingOptic:
+			f.rampMdl = &ramp{sched: n.Sched, rise: sim.Time(spec.Duration), peak: spec.Peak}
+			f.overlay = &overlay{inject: f.rampMdl, rng: rng}
+		case KindBufferShrink:
+			if _, ok := f.node.(*netsim.Device); !ok {
+				return nil, fmt.Errorf("fault %s: buffer-shrink target %q is not a device", f.rec.Key, spec.Node)
+			}
+		}
+		inj.faults = append(inj.faults, f)
+	}
+	return inj, nil
+}
+
+// Start schedules every onset and clear, relative to the current
+// simulation time. Call once, before running the scheduler.
+func (inj *Injector) Start() {
+	if inj.started {
+		panic("fault: Injector.Start called twice")
+	}
+	inj.started = true
+	for _, f := range inj.faults {
+		count := f.spec.Count
+		if count < 1 {
+			count = 1
+		}
+		for k := 0; k < count; k++ {
+			at := f.spec.Onset.D() + time.Duration(k)*f.spec.Period.D()
+			inj.net.Sched.AfterCall(tagFault, at, onsetCall, inj, f)
+			inj.net.Sched.AfterCall(tagFault, at+f.spec.Duration.D(), clearCall, inj, f)
+		}
+	}
+}
+
+// onsetCall / clearCall are the static scheduler callbacks for fault
+// transitions — the injector schedules no closures.
+func onsetCall(a, b any) { a.(*Injector).onset(b.(*active)) }
+func clearCall(a, b any) { a.(*Injector).clear(b.(*active)) }
+
+func (inj *Injector) onset(f *active) {
+	now := inj.net.Sched.Now()
+	switch f.spec.Type {
+	case KindSoftFailure, KindDegradingOptic:
+		f.savedLoss = f.link.Loss
+		f.overlay.base = f.savedLoss
+		if f.rampMdl != nil {
+			f.rampMdl.start = now
+		}
+		f.link.Loss = f.overlay
+	case KindLinkFlap:
+		f.link.SetDown(true)
+	case KindBufferShrink:
+		d := f.node.(*netsim.Device)
+		f.ports = d.Ports()
+		f.savedCaps = f.savedCaps[:0]
+		for _, p := range f.ports {
+			f.savedCaps = append(f.savedCaps, p.QueueCap)
+			p.QueueCap = units.ByteSize(float64(p.QueueCap) * f.spec.Factor)
+		}
+	case KindMonitorOutage:
+		f.links = f.links[:0]
+		f.savedDown = f.savedDown[:0]
+		for _, p := range f.node.Ports() {
+			f.links = append(f.links, p.Link)
+			f.savedDown = append(f.savedDown, p.Link.Down())
+			p.Link.SetDown(true)
+		}
+	}
+	if f.rec.OnsetAt < 0 {
+		f.rec.OnsetAt = now
+	}
+	inj.emit(telemetry.EvFaultOnset, f, now)
+}
+
+func (inj *Injector) clear(f *active) {
+	now := inj.net.Sched.Now()
+	switch f.spec.Type {
+	case KindSoftFailure, KindDegradingOptic:
+		f.link.Loss = f.savedLoss
+		f.overlay.base = nil
+	case KindLinkFlap:
+		f.link.SetDown(false)
+	case KindBufferShrink:
+		for i, p := range f.ports {
+			p.QueueCap = f.savedCaps[i]
+		}
+	case KindMonitorOutage:
+		for i, l := range f.links {
+			l.SetDown(f.savedDown[i])
+		}
+	}
+	f.clearsLeft--
+	if f.clearsLeft == 0 {
+		f.rec.ClearedAt = now
+	}
+	inj.emit(telemetry.EvFaultClear, f, now)
+}
+
+func (inj *Injector) emit(kind telemetry.EventKind, f *active, now sim.Time) {
+	bus := inj.net.TelemetryBus()
+	if !bus.Enabled() {
+		return
+	}
+	bus.Emit(telemetry.Event{
+		At:     now,
+		Kind:   kind,
+		Node:   f.rec.Target,
+		Reason: f.rec.Type,
+		Detail: f.rec.Key,
+	})
+}
+
+// Injected returns the ground-truth fault records in scenario order.
+func (inj *Injector) Injected() []Injected {
+	out := make([]Injected, len(inj.faults))
+	for i, f := range inj.faults {
+		out[i] = f.rec
+	}
+	return out
+}

@@ -1,0 +1,330 @@
+package fault
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/perfsonar"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// MonitorConfig tunes the NOC monitor's detection loop.
+type MonitorConfig struct {
+	// LossThreshold: an archived loss fraction above this is a
+	// regression. Default 1e-4 — TCP throughput suffers far below 1%
+	// loss, so a NOC alerts well under it.
+	LossThreshold float64
+
+	// ThroughputFactor: a throughput measurement below
+	// factor × learned baseline is a regression. Default 0.5.
+	ThroughputFactor float64
+
+	// BaselineSamples: how many healthy throughput samples per path to
+	// average into the baseline before judging against it. Default 1.
+	BaselineSamples int
+
+	// LocalizeThreshold is passed to perfsonar.LocalizeLoss: the mean
+	// loss above which a path counts lossy for localization. Default 0
+	// — in the simulator a clean path measures exactly zero probe
+	// loss, so any loss at all is evidence.
+	LocalizeThreshold float64
+
+	// ProbeInterval / ProbeWindow control probe-on-detect: when a
+	// regression opens an episode, the monitor starts full-mesh OWAMP
+	// probing at ProbeInterval and runs localization once ProbeWindow
+	// of evidence has accumulated (and again as further loss arrives
+	// and at episode close). ProbeInterval 0 defaults to 1ms; negative
+	// disables probe-on-detect (use it when continuous OWAMP already
+	// runs — duplicate probe streams would corrupt receiver state).
+	ProbeInterval time.Duration
+	ProbeWindow   time.Duration
+
+	// CloseHold is close hysteresis: an episode may only close after
+	// this long with no bad measurement at all. Sparse loss (a periodic
+	// drop every few seconds) flickers individual path flags healthy
+	// between drops; without a hold, one well-timed healthy test would
+	// close the episode mid-fault and a fresh regression would open a
+	// second one, splitting the record. Default 15s; negative disables
+	// the hold.
+	CloseHold time.Duration
+}
+
+func (c MonitorConfig) withDefaults() MonitorConfig {
+	if c.LossThreshold == 0 {
+		c.LossThreshold = 1e-4
+	}
+	if c.ThroughputFactor == 0 {
+		c.ThroughputFactor = 0.5
+	}
+	if c.BaselineSamples == 0 {
+		c.BaselineSamples = 1
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = time.Millisecond
+	}
+	if c.ProbeWindow == 0 {
+		c.ProbeWindow = 30 * time.Second
+	}
+	if c.CloseHold == 0 {
+		c.CloseHold = 15 * time.Second
+	}
+	return c
+}
+
+// Episode is one detected service regression, from first bad
+// measurement to the measurement that showed everything healthy again.
+type Episode struct {
+	OpenedAt    sim.Time
+	ClosedAt    sim.Time // -1 while open
+	TriggerPath perfsonar.PathKey
+	TriggerKind string // "loss" or "throughput"
+
+	// Suspects is the most recent localization result, best first.
+	Suspects []perfsonar.Suspect
+}
+
+// pathState is the monitor's per-path memory.
+type pathState struct {
+	baseSum float64 // healthy throughput sum (bits/s)
+	baseN   int
+	lossBad bool
+	tputBad bool
+}
+
+// Monitor is the NOC side of the closed loop (§3.3): it consumes the
+// perfSONAR archive as measurements arrive, compares them against
+// learned baselines, and — on regression — opens an episode, starts
+// localization probing, and runs LocalizeLoss. It knows nothing about
+// the injector; Score correlates its episodes with the injected ground
+// truth afterwards.
+type Monitor struct {
+	cfg  MonitorConfig
+	net  *netsim.Network
+	mesh *perfsonar.Mesh
+
+	paths map[perfsonar.PathKey]*pathState
+	order []perfsonar.PathKey // paths in first-seen order, for determinism
+
+	// Episodes in detection order. The last one is open iff its
+	// ClosedAt is -1.
+	Episodes []*Episode
+
+	probing   bool
+	lastBadAt sim.Time // most recent bad measurement, for CloseHold
+}
+
+// NewMonitor attaches a monitor to a measurement mesh.
+func NewMonitor(n *netsim.Network, mesh *perfsonar.Mesh, cfg MonitorConfig) *Monitor {
+	mon := &Monitor{
+		cfg:   cfg.withDefaults(),
+		net:   n,
+		mesh:  mesh,
+		paths: make(map[perfsonar.PathKey]*pathState),
+	}
+	mesh.Archive.Subscribe(mon.onMeasurement)
+	return mon
+}
+
+func (mon *Monitor) state(p perfsonar.PathKey) *pathState {
+	st := mon.paths[p]
+	if st == nil {
+		st = &pathState{}
+		mon.paths[p] = st
+		mon.order = append(mon.order, p)
+	}
+	return st
+}
+
+// open returns the current open episode, or nil.
+func (mon *Monitor) open() *Episode {
+	if n := len(mon.Episodes); n > 0 && mon.Episodes[n-1].ClosedAt < 0 {
+		return mon.Episodes[n-1]
+	}
+	return nil
+}
+
+func (mon *Monitor) onMeasurement(m perfsonar.Measurement) {
+	st := mon.state(m.Path)
+	switch m.Kind {
+	case perfsonar.KindLoss:
+		if m.Loss > mon.cfg.LossThreshold {
+			st.lossBad = true
+			mon.regression(m, "loss")
+		} else {
+			st.lossBad = false
+			mon.maybeClose(m)
+		}
+	case perfsonar.KindThroughput:
+		if st.baseN < mon.cfg.BaselineSamples {
+			// Still learning. Never learn from samples taken during an
+			// open episode: a degraded path must not become the norm.
+			if mon.open() == nil {
+				st.baseSum += float64(m.Throughput)
+				st.baseN++
+			}
+			return
+		}
+		base := st.baseSum / float64(st.baseN)
+		if float64(m.Throughput) < mon.cfg.ThroughputFactor*base {
+			st.tputBad = true
+			mon.regression(m, "throughput")
+		} else {
+			st.tputBad = false
+			if mon.open() == nil {
+				st.baseSum += float64(m.Throughput)
+				st.baseN++
+			}
+			mon.maybeClose(m)
+		}
+	}
+}
+
+// regression handles one bad measurement: open an episode if none is,
+// and refresh localization as loss evidence arrives.
+func (mon *Monitor) regression(m perfsonar.Measurement, kind string) {
+	mon.lastBadAt = m.At
+	ep := mon.open()
+	if ep == nil {
+		ep = &Episode{
+			OpenedAt:    m.At,
+			ClosedAt:    -1,
+			TriggerPath: m.Path,
+			TriggerKind: kind,
+		}
+		mon.Episodes = append(mon.Episodes, ep)
+		mon.startProbes(ep)
+	}
+	if kind == "loss" {
+		mon.localize(ep)
+	}
+}
+
+// startProbes launches full-mesh OWAMP probing — the on-demand
+// divide-and-conquer measurement of §3.3 — and schedules the first
+// localization pass once a window of evidence exists. Probe sessions
+// run to the end of the simulation once started: tearing a stream down
+// would be indistinguishable from a blackout to the receiver's
+// schedule-based loss accounting.
+func (mon *Monitor) startProbes(ep *Episode) {
+	if mon.cfg.ProbeInterval < 0 || mon.probing {
+		return
+	}
+	mon.probing = true
+	mon.mesh.StartOWAMP(mon.cfg.ProbeInterval)
+	mon.net.Sched.AfterCall(tagFault, mon.cfg.ProbeWindow, localizeCall, mon, ep)
+}
+
+// localizeCall is the static callback for the scheduled localization
+// pass, keeping the monitor closure-free like the injector.
+func localizeCall(a, b any) {
+	mon, ep := a.(*Monitor), b.(*Episode)
+	if ep.ClosedAt >= 0 {
+		return // close already ran the final localization
+	}
+	mon.localize(ep)
+}
+
+func (mon *Monitor) localize(ep *Episode) {
+	ep.Suspects = perfsonar.LocalizeLoss(mon.net, mon.mesh.Archive, ep.OpenedAt, mon.cfg.LocalizeThreshold)
+}
+
+// maybeClose closes the open episode when no path is regressed any
+// more and the CloseHold quiet period has elapsed since the last bad
+// measurement, then runs the final localization over the whole episode
+// window.
+func (mon *Monitor) maybeClose(m perfsonar.Measurement) {
+	ep := mon.open()
+	if ep == nil {
+		return
+	}
+	for _, p := range mon.order {
+		st := mon.paths[p]
+		if st.lossBad || st.tputBad {
+			return
+		}
+	}
+	if mon.cfg.CloseHold > 0 && m.At-mon.lastBadAt < sim.Time(mon.cfg.CloseHold) {
+		return
+	}
+	ep.ClosedAt = m.At
+	mon.localize(ep)
+}
+
+// Verdict scores the monitor against one injected fault.
+type Verdict struct {
+	Fault Injected
+
+	Detected bool
+	MTTD     time.Duration // episode open − fault onset
+
+	Recovered bool
+	MTTR      time.Duration // episode close − fault clear
+
+	// Localized reports whether the top suspect named exactly the
+	// injected link. Always false for node faults, which have no
+	// single guilty link.
+	Localized  bool
+	TopSuspect string
+}
+
+// Score correlates the monitor's episodes with the injected ground
+// truth: each fault is charged to the first episode that opened at or
+// after its onset. With overlapping faults the attribution is
+// approximate — the campaign scenarios inject one fault per run.
+func (mon *Monitor) Score(inj *Injector) []Verdict {
+	out := make([]Verdict, 0, len(inj.faults))
+	for _, rec := range inj.Injected() {
+		v := Verdict{Fault: rec}
+		if rec.OnsetAt >= 0 {
+			for _, ep := range mon.Episodes {
+				if ep.OpenedAt < rec.OnsetAt {
+					continue
+				}
+				v.Detected = true
+				v.MTTD = time.Duration(ep.OpenedAt - rec.OnsetAt)
+				if len(ep.Suspects) > 0 {
+					top := ep.Suspects[0]
+					v.TopSuspect = top.A + "<->" + top.B
+					v.Localized = rec.LinkA != "" &&
+						((top.A == rec.LinkA && top.B == rec.LinkB) ||
+							(top.A == rec.LinkB && top.B == rec.LinkA))
+				}
+				if ep.ClosedAt >= 0 && rec.ClearedAt >= 0 && ep.ClosedAt >= rec.ClearedAt {
+					v.Recovered = true
+					v.MTTR = time.Duration(ep.ClosedAt - rec.ClearedAt)
+				}
+				break
+			}
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// BindRegistry exposes the closed loop's self-assessment — detection,
+// MTTD/MTTR, and localization accuracy per fault — as registry metrics,
+// computed at snapshot time.
+func (mon *Monitor) BindRegistry(reg *telemetry.Registry, inj *Injector) {
+	reg.RegisterCollector("fault", func(emit telemetry.EmitFunc) {
+		emit("fault_episodes", nil, float64(len(mon.Episodes)))
+		for _, v := range mon.Score(inj) {
+			l := telemetry.Labels{"fault": v.Fault.Key, "target": v.Fault.Target}
+			emit("fault_detected", l, b2f(v.Detected))
+			emit("fault_localized", l, b2f(v.Localized))
+			if v.Detected {
+				emit("fault_mttd_seconds", l, v.MTTD.Seconds())
+			}
+			if v.Recovered {
+				emit("fault_mttr_seconds", l, v.MTTR.Seconds())
+			}
+		}
+	})
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

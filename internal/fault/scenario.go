@@ -1,0 +1,310 @@
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Dur is a time.Duration that marshals as a Go duration string
+// ("90s", "1m30s"), keeping scenario files human-readable and the
+// parse→format→parse round trip exact.
+type Dur time.Duration
+
+// D returns the wrapped time.Duration.
+func (d Dur) D() time.Duration { return time.Duration(d) }
+
+func (d Dur) String() string { return time.Duration(d).String() }
+
+// MarshalJSON writes the duration string.
+func (d Dur) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts only duration strings: a bare number would be
+// ambiguous (ns? s?) and would not round-trip through Format.
+func (d *Dur) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("duration must be a string like \"30s\": %w", err)
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return err
+	}
+	*d = Dur(v)
+	return nil
+}
+
+// Topology describes the network a scenario runs on. Only the "star"
+// kind exists: Sites hosts named site1..siteN around a device named
+// "backbone", every access link identical. Links are referenced from
+// fault specs as "siteK<->backbone" (either orientation).
+type Topology struct {
+	Kind     string  `json:"kind"`
+	Sites    int     `json:"sites,omitempty"`     // default 4
+	RateMbps float64 `json:"rate_mbps,omitempty"` // access link rate, default 1000
+	Delay    Dur     `json:"delay,omitempty"`     // access link one-way delay, default 8ms
+	MTU      int     `json:"mtu,omitempty"`       // default 1500
+}
+
+// Measurement describes the perfSONAR deployment and the monitor's
+// detection thresholds.
+type Measurement struct {
+	// OwampInterval, when positive, runs continuous full-mesh OWAMP at
+	// this probe interval from t=0 — the always-on deployment of §3.3.
+	// When zero, probes start only after the monitor detects a
+	// regression (probe-on-detect), which is what makes detection time
+	// a function of the BWCTL cadence.
+	OwampInterval Dur `json:"owamp_interval,omitempty"`
+
+	// BWCTLPeriod schedules regular throughput tests between BWCTLSrc
+	// and BWCTLDst every period (first test after one period... see
+	// runner). Zero disables scheduled testing.
+	BWCTLPeriod   Dur    `json:"bwctl_period,omitempty"`
+	BWCTLDuration Dur    `json:"bwctl_duration,omitempty"` // default 1s
+	BWCTLSrc      string `json:"bwctl_src,omitempty"`      // default site1
+	BWCTLDst      string `json:"bwctl_dst,omitempty"`      // default site2
+
+	// LossThreshold is the archived loss fraction above which a path
+	// counts as regressed (default 1e-4: TCP suffers far below 1%).
+	LossThreshold float64 `json:"loss_threshold,omitempty"`
+	// ThroughputFactor: a throughput measurement below factor×baseline
+	// is a regression (default 0.5).
+	ThroughputFactor float64 `json:"throughput_factor,omitempty"`
+	// ProbeInterval / ProbeWindow control probe-on-detect localization:
+	// probe spacing (default 1ms) and how long to accumulate loss data
+	// before running localization (default 30s).
+	ProbeInterval Dur `json:"probe_interval,omitempty"`
+	ProbeWindow   Dur `json:"probe_window,omitempty"`
+	// CloseHold: an episode closes only after this long with no bad
+	// measurement (default 15s) — hysteresis against sparse loss
+	// flickering an episode shut mid-fault.
+	CloseHold Dur `json:"close_hold,omitempty"`
+}
+
+// LossSpec selects a loss model for a soft failure.
+type LossSpec struct {
+	Model string  `json:"model"`
+	P     float64 `json:"p,omitempty"` // random: per-packet drop probability
+	N     int     `json:"n,omitempty"` // periodic: drop 1 in N
+
+	// Gilbert–Elliott parameters.
+	PGood     float64 `json:"p_good,omitempty"`
+	PBad      float64 `json:"p_bad,omitempty"`
+	GoodToBad float64 `json:"good_to_bad,omitempty"`
+	BadToGood float64 `json:"bad_to_good,omitempty"`
+}
+
+// FaultSpec is one timed fault. Link faults name their target as
+// "a<->b"; node faults (buffer-shrink, monitor-outage) name a node.
+type FaultSpec struct {
+	Type     string `json:"type"`
+	Link     string `json:"link,omitempty"`
+	Node     string `json:"node,omitempty"`
+	Onset    Dur    `json:"onset"`
+	Duration Dur    `json:"duration"`
+
+	Loss   *LossSpec `json:"loss,omitempty"`   // soft-failure
+	Peak   float64   `json:"peak,omitempty"`   // degrading-optic: loss at onset+duration
+	Count  int       `json:"count,omitempty"`  // link-flap: flap count, default 1
+	Period Dur       `json:"period,omitempty"` // link-flap: onset-to-onset spacing
+	Factor float64   `json:"factor,omitempty"` // buffer-shrink: buffer multiplier
+}
+
+// Scenario is one fault-injection run: a topology, a measurement
+// deployment, a run length, and the faults to inject.
+type Scenario struct {
+	Name     string      `json:"name"`
+	Topology Topology    `json:"topology"`
+	Duration Dur         `json:"duration"`
+	Monitor  Measurement `json:"monitor"`
+	Faults   []FaultSpec `json:"faults"`
+}
+
+// ParseScenario decodes and validates a scenario. Decoding is strict:
+// unknown fields are errors, so a typo'd key fails instead of silently
+// becoming a default.
+func ParseScenario(data []byte) (*Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("fault scenario: %w", err)
+	}
+	// A second document in the stream is a malformed file, not data to
+	// ignore.
+	if dec.More() {
+		return nil, fmt.Errorf("fault scenario: trailing data after scenario object")
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}
+
+// Format renders the scenario canonically (indented JSON, trailing
+// newline). Format output re-parses to an identical scenario; the
+// FuzzFaultScenario round-trip enforces this.
+func (sc *Scenario) Format() ([]byte, error) {
+	b, err := json.MarshalIndent(sc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Clone deep-copies the scenario so campaigns can vary one point's
+// parameters without aliasing the base.
+func (sc *Scenario) Clone() *Scenario {
+	out := *sc
+	out.Faults = make([]FaultSpec, len(sc.Faults))
+	for i, f := range sc.Faults {
+		out.Faults[i] = f
+		if f.Loss != nil {
+			loss := *f.Loss
+			out.Faults[i].Loss = &loss
+		}
+	}
+	return &out
+}
+
+// Validate checks structural invariants that hold for any topology;
+// target names are resolved against the actual network by NewInjector.
+func (sc *Scenario) Validate() error {
+	if sc.Name == "" {
+		return fmt.Errorf("fault scenario: name is required")
+	}
+	if sc.Topology.Kind != "star" {
+		return fmt.Errorf("fault scenario %s: unknown topology kind %q (only \"star\")", sc.Name, sc.Topology.Kind)
+	}
+	if sc.Topology.Sites < 0 || sc.Topology.Sites == 1 || sc.Topology.Sites > 64 {
+		return fmt.Errorf("fault scenario %s: sites must be 2..64 (or 0 for the default)", sc.Name)
+	}
+	if sc.Topology.RateMbps < 0 || sc.Topology.MTU < 0 || sc.Topology.Delay < 0 {
+		return fmt.Errorf("fault scenario %s: negative topology parameter", sc.Name)
+	}
+	if sc.Duration <= 0 {
+		return fmt.Errorf("fault scenario %s: duration must be positive", sc.Name)
+	}
+	m := sc.Monitor
+	if m.OwampInterval < 0 || m.BWCTLPeriod < 0 || m.BWCTLDuration < 0 ||
+		m.ProbeInterval < 0 || m.ProbeWindow < 0 {
+		return fmt.Errorf("fault scenario %s: negative monitor duration", sc.Name)
+	}
+	if m.LossThreshold < 0 || m.LossThreshold >= 1 {
+		return fmt.Errorf("fault scenario %s: loss_threshold must be in [0,1)", sc.Name)
+	}
+	if m.ThroughputFactor < 0 || m.ThroughputFactor >= 1 {
+		return fmt.Errorf("fault scenario %s: throughput_factor must be in [0,1)", sc.Name)
+	}
+	if len(sc.Faults) == 0 {
+		return fmt.Errorf("fault scenario %s: at least one fault is required", sc.Name)
+	}
+	for i := range sc.Faults {
+		if err := sc.Faults[i].validate(); err != nil {
+			return fmt.Errorf("fault scenario %s: fault #%d: %w", sc.Name, i, err)
+		}
+	}
+	return nil
+}
+
+func (f *FaultSpec) validate() error {
+	if f.Onset < 0 {
+		return fmt.Errorf("%s: onset must be non-negative", f.Type)
+	}
+	if f.Duration <= 0 {
+		return fmt.Errorf("%s: duration must be positive", f.Type)
+	}
+	needLink := func() error {
+		if f.Link == "" || f.Node != "" {
+			return fmt.Errorf("%s targets a link (\"a<->b\"), not a node", f.Type)
+		}
+		return nil
+	}
+	needNode := func() error {
+		if f.Node == "" || f.Link != "" {
+			return fmt.Errorf("%s targets a node, not a link", f.Type)
+		}
+		return nil
+	}
+	switch f.Type {
+	case KindSoftFailure:
+		if err := needLink(); err != nil {
+			return err
+		}
+		if f.Loss == nil {
+			return fmt.Errorf("soft-failure requires a loss spec")
+		}
+		return f.Loss.validate()
+	case KindDegradingOptic:
+		if err := needLink(); err != nil {
+			return err
+		}
+		if f.Peak <= 0 || f.Peak > 1 {
+			return fmt.Errorf("degrading-optic peak must be in (0,1]")
+		}
+		return nil
+	case KindLinkFlap:
+		if err := needLink(); err != nil {
+			return err
+		}
+		if f.Count < 0 {
+			return fmt.Errorf("link-flap count must be non-negative")
+		}
+		if f.Count > 1 && f.Period < f.Duration {
+			return fmt.Errorf("link-flap period must be at least the flap duration")
+		}
+		if f.Count <= 1 && f.Period != 0 {
+			return fmt.Errorf("link-flap period requires count > 1")
+		}
+		return nil
+	case KindBufferShrink:
+		if err := needNode(); err != nil {
+			return err
+		}
+		if f.Factor <= 0 || f.Factor >= 1 {
+			return fmt.Errorf("buffer-shrink factor must be in (0,1)")
+		}
+		return nil
+	case KindMonitorOutage:
+		return needNode()
+	default:
+		return fmt.Errorf("unknown fault type %q", f.Type)
+	}
+}
+
+func (l *LossSpec) validate() error {
+	switch l.Model {
+	case LossRandom:
+		if l.P <= 0 || l.P > 1 {
+			return fmt.Errorf("random loss p must be in (0,1]")
+		}
+		if l.N != 0 || l.PGood != 0 || l.PBad != 0 || l.GoodToBad != 0 || l.BadToGood != 0 {
+			return fmt.Errorf("random loss takes only p")
+		}
+	case LossPeriodic:
+		if l.N < 2 {
+			return fmt.Errorf("periodic loss n must be at least 2")
+		}
+		if l.P != 0 || l.PGood != 0 || l.PBad != 0 || l.GoodToBad != 0 || l.BadToGood != 0 {
+			return fmt.Errorf("periodic loss takes only n")
+		}
+	case LossGilbert:
+		for _, p := range []float64{l.PGood, l.PBad, l.GoodToBad, l.BadToGood} {
+			if p < 0 || p > 1 {
+				return fmt.Errorf("gilbert probabilities must be in [0,1]")
+			}
+		}
+		if l.PBad <= 0 {
+			return fmt.Errorf("gilbert p_bad must be positive")
+		}
+		if l.P != 0 || l.N != 0 {
+			return fmt.Errorf("gilbert loss does not take p or n")
+		}
+	default:
+		return fmt.Errorf("unknown loss model %q", l.Model)
+	}
+	return nil
+}

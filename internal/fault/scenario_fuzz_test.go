@@ -1,0 +1,50 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzFaultScenario checks the parser's round-trip contract on
+// arbitrary input: anything that parses must format canonically —
+// reparsing the formatted form yields a deeply equal scenario and a
+// byte-identical second format. Invalid inputs must fail cleanly (an
+// error, never a panic).
+func FuzzFaultScenario(f *testing.F) {
+	f.Add([]byte(exampleScenario))
+	f.Add([]byte(`{"name":"flap","topology":{"kind":"star","sites":2},"duration":"30s","monitor":{},
+		"faults":[{"type":"link-flap","link":"site1<->backbone","onset":"5s","duration":"1s","count":3,"period":"4s"}]}`))
+	f.Add([]byte(`{"name":"shrink","topology":{"kind":"star"},"duration":"10s","monitor":{"owamp_interval":"10ms"},
+		"faults":[{"type":"buffer-shrink","node":"backbone","onset":"2s","duration":"4s","factor":0.25},
+		          {"type":"monitor-outage","node":"site1","onset":"1s","duration":"2s"},
+		          {"type":"degrading-optic","link":"site3<->backbone","onset":"1s","duration":"8s","peak":0.02},
+		          {"type":"soft-failure","link":"site2<->backbone","onset":"1s","duration":"2s",
+		           "loss":{"model":"gilbert","p_bad":0.3,"good_to_bad":0.001,"bad_to_good":0.1}}]}`))
+	f.Add([]byte(`{"name":""}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := ParseScenario(data)
+		if err != nil {
+			return
+		}
+		out, err := sc.Format()
+		if err != nil {
+			t.Fatalf("valid scenario failed to format: %v", err)
+		}
+		sc2, err := ParseScenario(out)
+		if err != nil {
+			t.Fatalf("formatted scenario failed to reparse: %v\n%s", err, out)
+		}
+		if !reflect.DeepEqual(sc, sc2) {
+			t.Fatalf("round trip changed the scenario:\nin:  %+v\nout: %+v", sc, sc2)
+		}
+		out2, err := sc2.Format()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(out) != string(out2) {
+			t.Fatalf("format not canonical:\n%s\n%s", out, out2)
+		}
+	})
+}

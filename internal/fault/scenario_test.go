@@ -1,0 +1,126 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+const exampleScenario = `{
+  "name": "linecard",
+  "topology": {"kind": "star", "sites": 4, "rate_mbps": 1000, "delay": "8ms"},
+  "duration": "6m20s",
+  "monitor": {
+    "bwctl_period": "60s",
+    "bwctl_duration": "2s",
+    "probe_interval": "2ms",
+    "probe_window": "20s"
+  },
+  "faults": [
+    {
+      "type": "soft-failure",
+      "link": "site2<->backbone",
+      "onset": "2m4s",
+      "duration": "3m",
+      "loss": {"model": "periodic", "n": 22000}
+    }
+  ]
+}`
+
+func TestParseScenario(t *testing.T) {
+	sc, err := ParseScenario([]byte(exampleScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "linecard" || sc.Topology.Sites != 4 {
+		t.Fatalf("bad parse: %+v", sc)
+	}
+	if got := sc.Faults[0].Onset.D(); got != 2*time.Minute+4*time.Second {
+		t.Fatalf("onset = %v", got)
+	}
+	if sc.Faults[0].Loss.N != 22000 {
+		t.Fatalf("loss n = %d", sc.Faults[0].Loss.N)
+	}
+}
+
+func TestParseScenarioRoundTrip(t *testing.T) {
+	sc, err := ParseScenario([]byte(exampleScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sc.Format()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc2, err := ParseScenario(out)
+	if err != nil {
+		t.Fatalf("reparsing formatted scenario: %v\n%s", err, out)
+	}
+	if !reflect.DeepEqual(sc, sc2) {
+		t.Fatalf("round trip changed the scenario:\n%+v\n%+v", sc, sc2)
+	}
+	out2, err := sc2.Format()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != string(out2) {
+		t.Fatalf("format is not canonical:\n%s\n%s", out, out2)
+	}
+}
+
+func TestParseScenarioErrors(t *testing.T) {
+	cases := []struct {
+		name, body, want string
+	}{
+		{"unknown field", `{"name":"x","topologyy":{}}`, "unknown field"},
+		{"no faults", `{"name":"x","topology":{"kind":"star"},"duration":"10s","monitor":{},"faults":[]}`, "at least one fault"},
+		{"bad kind", `{"name":"x","topology":{"kind":"ring"},"duration":"10s","monitor":{},"faults":[]}`, "topology kind"},
+		{"numeric duration", `{"name":"x","topology":{"kind":"star"},"duration":10}`, "must be a string"},
+		{"bad fault type", `{"name":"x","topology":{"kind":"star"},"duration":"10s","monitor":{},
+			"faults":[{"type":"meteor","link":"a<->b","onset":"1s","duration":"1s"}]}`, "unknown fault type"},
+		{"soft failure without loss", `{"name":"x","topology":{"kind":"star"},"duration":"10s","monitor":{},
+			"faults":[{"type":"soft-failure","link":"a<->b","onset":"1s","duration":"1s"}]}`, "requires a loss spec"},
+		{"link fault on node", `{"name":"x","topology":{"kind":"star"},"duration":"10s","monitor":{},
+			"faults":[{"type":"link-flap","node":"a","onset":"1s","duration":"1s"}]}`, "targets a link"},
+		{"node fault on link", `{"name":"x","topology":{"kind":"star"},"duration":"10s","monitor":{},
+			"faults":[{"type":"buffer-shrink","link":"a<->b","onset":"1s","duration":"1s","factor":0.5}]}`, "targets a node"},
+		{"negative onset", `{"name":"x","topology":{"kind":"star"},"duration":"10s","monitor":{},
+			"faults":[{"type":"monitor-outage","node":"a","onset":"-1s","duration":"1s"}]}`, "onset must be non-negative"},
+		{"flap period too short", `{"name":"x","topology":{"kind":"star"},"duration":"10s","monitor":{},
+			"faults":[{"type":"link-flap","link":"a<->b","onset":"1s","duration":"2s","count":3,"period":"1s"}]}`, "period must be at least"},
+		{"bad loss model", `{"name":"x","topology":{"kind":"star"},"duration":"10s","monitor":{},
+			"faults":[{"type":"soft-failure","link":"a<->b","onset":"1s","duration":"1s","loss":{"model":"cosmic"}}]}`, "unknown loss model"},
+		{"periodic with p", `{"name":"x","topology":{"kind":"star"},"duration":"10s","monitor":{},
+			"faults":[{"type":"soft-failure","link":"a<->b","onset":"1s","duration":"1s","loss":{"model":"periodic","n":10,"p":0.1}}]}`, "takes only n"},
+		{"trailing data", exampleScenario + `{"name":"again"}`, "trailing data"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseScenario([]byte(tc.body))
+			if err == nil {
+				t.Fatalf("expected an error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestScenarioCloneIsDeep(t *testing.T) {
+	sc, err := ParseScenario([]byte(exampleScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := sc.Clone()
+	cl.Faults[0].Loss.N = 7
+	cl.Faults[0].Onset = Dur(time.Second)
+	cl.Monitor.BWCTLPeriod = Dur(time.Second)
+	if sc.Faults[0].Loss.N != 22000 || sc.Faults[0].Onset.D() != 2*time.Minute+4*time.Second {
+		t.Fatal("Clone aliased the base scenario's faults")
+	}
+	if sc.Monitor.BWCTLPeriod.D() != time.Minute {
+		t.Fatal("Clone aliased the base scenario's monitor settings")
+	}
+}

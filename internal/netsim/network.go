@@ -268,6 +268,19 @@ func (n *Network) Hosts() []*Host {
 // Links returns all links in creation order.
 func (n *Network) Links() []*Link { return n.links }
 
+// LinkBetween returns the first link joining the two named nodes, in
+// either orientation, or nil when none exists. Fault scenarios use it to
+// resolve link references by endpoint names.
+func (n *Network) LinkBetween(a, b string) *Link {
+	for _, l := range n.links {
+		la, lb := l.Ends()
+		if (la == a && lb == b) || (la == b && lb == a) {
+			return l
+		}
+	}
+	return nil
+}
+
 // Connect joins two nodes with a full-duplex link and returns it.
 func (n *Network) Connect(a, b Node, cfg LinkConfig) *Link {
 	if cfg.MTU == 0 {

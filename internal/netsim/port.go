@@ -227,6 +227,13 @@ func (l *Link) SetDown(down bool) { l.down = down }
 // Down reports link status — the signal an SNMP poller sees immediately.
 func (l *Link) Down() bool { return l.down }
 
+// Ends returns the names of the nodes at the link's two ends, in the
+// A, B order they were passed to Connect. Fault injection and loss
+// localization use it to name links without reaching into ports.
+func (l *Link) Ends() (a, b string) {
+	return l.A.Owner.Name(), l.B.Owner.Name()
+}
+
 // carry moves a fully serialized packet across the wire from one port to
 // its peer, applying corruption loss and propagation delay.
 //

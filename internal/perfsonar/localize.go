@@ -83,7 +83,9 @@ func LocalizeLoss(net *netsim.Network, a *Archive, since sim.Time, lossThreshold
 }
 
 // HardFailures scans the topology for links reporting loss-of-link — the
-// §3.3 "hard failures" that ordinary monitoring catches directly.
+// §3.3 "hard failures" that ordinary monitoring catches directly. The
+// result is sorted by endpoint names (like DropSites), not creation
+// order, so renderings are stable however the topology was assembled.
 func HardFailures(net *netsim.Network) []*netsim.Link {
 	var out []*netsim.Link
 	for _, l := range net.Links() {
@@ -91,5 +93,13 @@ func HardFailures(net *netsim.Network) []*netsim.Link {
 			out = append(out, l)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool {
+		ia, ib := out[i].Ends()
+		ja, jb := out[j].Ends()
+		if ia != ja {
+			return ia < ja
+		}
+		return ib < jb
+	})
 	return out
 }

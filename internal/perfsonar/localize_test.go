@@ -102,3 +102,73 @@ func TestHardFailureVisibleAndCutsTraffic(t *testing.T) {
 		t.Errorf("loss after restore = %v, want ~0", loss)
 	}
 }
+
+func TestLocalizeLossTwoSimultaneousFaults(t *testing.T) {
+	// Two failing optics at once: psa's and psd's access links. Every
+	// path touching either host is lossy (6 ordered paths each, zero
+	// clean), so both links must take the top two suspect slots —
+	// in deterministic lexicographic order — while the trunk, which
+	// still carries the clean psb<->psc paths, ranks strictly below.
+	n, hosts, _ := meshedBackbone(nil)
+	for _, tgt := range []struct {
+		a, b string
+		p    float64
+	}{{"psa", "bb1", 0.02}, {"psd", "bb2", 0.01}} {
+		l := n.LinkBetween(tgt.a, tgt.b)
+		if l == nil {
+			t.Fatalf("no %s<->%s link", tgt.a, tgt.b)
+		}
+		l.Loss = netsim.RandomLoss{P: tgt.p}
+	}
+	m := NewMesh(hosts...)
+	m.StartOWAMP(5 * time.Millisecond)
+	n.RunFor(30 * time.Second)
+
+	suspects := LocalizeLoss(n, m.Archive, 0, 0.001)
+	if len(suspects) < 3 {
+		t.Fatalf("want the two faulty links plus the implicated trunk, got %v", suspects)
+	}
+	if !(suspects[0].A == "bb1" && suspects[0].B == "psa") {
+		t.Errorf("top suspect = %v, want bb1<->psa (all: %v)", suspects[0], suspects)
+	}
+	if !(suspects[1].A == "bb2" && suspects[1].B == "psd") {
+		t.Errorf("second suspect = %v, want bb2<->psd (all: %v)", suspects[1], suspects)
+	}
+	// Each faulty access link: 3 peers × 2 directions, no clean path.
+	for i := 0; i < 2; i++ {
+		if suspects[i].LossyPaths != 6 || suspects[i].CleanPaths != 0 {
+			t.Errorf("suspect %d paths = %d lossy/%d clean, want 6/0",
+				i, suspects[i].LossyPaths, suspects[i].CleanPaths)
+		}
+	}
+	// The trunk sees loss on paths to psa and psd but is exonerated by
+	// the clean psb<->psc pair, so it must score strictly lower.
+	for _, s := range suspects[2:] {
+		if s.Score >= suspects[1].Score {
+			t.Errorf("suspect %v must rank below the faulty access links", s)
+		}
+		if s.A == "bb1" && s.B == "bb2" && s.CleanPaths == 0 {
+			t.Errorf("trunk should have clean exonerating paths: %v", s)
+		}
+	}
+}
+
+func TestHardFailuresSortedDeterministically(t *testing.T) {
+	n, _, trunk := meshedBackbone(nil)
+	psa := n.LinkBetween("psa", "bb1")
+	psd := n.LinkBetween("psd", "bb2")
+	for _, l := range []*netsim.Link{psd, trunk, psa} {
+		l.SetDown(true)
+	}
+	want := [][2]string{{"bb1", "bb2"}, {"psa", "bb1"}, {"psd", "bb2"}}
+	down := HardFailures(n)
+	if len(down) != 3 {
+		t.Fatalf("hard failures = %v, want 3", down)
+	}
+	for i, l := range down {
+		a, b := l.Ends()
+		if a != want[i][0] || b != want[i][1] {
+			t.Errorf("failure %d = %s<->%s, want %s<->%s", i, a, b, want[i][0], want[i][1])
+		}
+	}
+}

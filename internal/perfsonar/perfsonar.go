@@ -245,15 +245,20 @@ func NewMesh(hosts ...*netsim.Host) *Mesh {
 	return m
 }
 
-// StartOWAMP begins probe streams on every ordered pair.
-func (m *Mesh) StartOWAMP(interval time.Duration) {
+// StartOWAMP begins probe streams on every ordered pair and returns the
+// sessions in deployment order. The closed-loop fault monitor starts
+// probing on demand and needs the handles; Figure 2-style deployments
+// may ignore them.
+func (m *Mesh) StartOWAMP(interval time.Duration) []*OwampSession {
+	var out []*OwampSession
 	for _, a := range m.Toolkits {
 		for _, b := range m.Toolkits {
 			if a != b {
-				a.StartOWAMP(b, interval)
+				out = append(out, a.StartOWAMP(b, interval))
 			}
 		}
 	}
+	return out
 }
 
 // StartBWCTL schedules staggered throughput tests on every ordered pair:

@@ -487,3 +487,44 @@ func TestLossyTransferReusesPacketsAndAuditsClean(t *testing.T) {
 		t.Fatalf("audit violations after pooled transfer: %v", errs)
 	}
 }
+
+func TestLinkFlapMidTransferRecovers(t *testing.T) {
+	// Flap the WAN link mid-transfer: take it down for 400 ms, then
+	// restore. The sender must survive on RTOs, resume after the link
+	// returns, and the packet-conservation ledger must still balance.
+	n, c, s := path(5, units.Gbps, time.Millisecond, nil, 1500)
+	link := n.LinkBetween("r1", "r2")
+	if link == nil {
+		t.Fatal("no r1<->r2 link")
+	}
+	srv := NewServer(s, 5001, Tuned())
+	var done *Stats
+	conn := Dial(c, srv, 20*units.MB, Tuned(), func(st *Stats) { done = st })
+
+	var ackedAtRestore units.ByteSize
+	n.Sched.After(5*time.Millisecond, func() { link.SetDown(true) })
+	n.Sched.After(405*time.Millisecond, func() {
+		link.SetDown(false)
+		ackedAtRestore = conn.Stats().BytesAcked
+	})
+	n.RunFor(30 * time.Second)
+
+	if done == nil {
+		t.Fatal("transfer did not finish after the flap")
+	}
+	if done.RTOs == 0 {
+		t.Error("a 400ms outage should have forced at least one RTO")
+	}
+	if done.BytesAcked != 20*units.MB {
+		t.Errorf("acked %v, want 20MB", done.BytesAcked)
+	}
+	if done.BytesAcked <= ackedAtRestore {
+		t.Errorf("no forward progress after restore: %v then %v", ackedAtRestore, done.BytesAcked)
+	}
+	if srv.Received() != 20*units.MB {
+		t.Errorf("server received %v, want 20MB", srv.Received())
+	}
+	if errs := n.AuditInvariants(); len(errs) > 0 {
+		t.Fatalf("invariants violated after flap: %v", errs)
+	}
+}

@@ -41,6 +41,11 @@ const (
 	// EvTCPWScale: window-scaling negotiation outcome at handshake
 	// completion (Value=1 negotiated, 0 stripped/declined).
 	EvTCPWScale
+	// EvFaultOnset / EvFaultClear: an injected fault (internal/fault)
+	// became active / was reverted. Node=target, Reason=fault type,
+	// Detail=fault key.
+	EvFaultOnset
+	EvFaultClear
 
 	numEventKinds // sentinel
 )
@@ -57,6 +62,8 @@ var eventKindNames = [numEventKinds]string{
 	EvTCPRecoveryEnter: "tcp_recovery_enter",
 	EvTCPRecoveryExit:  "tcp_recovery_exit",
 	EvTCPWScale:        "tcp_wscale",
+	EvFaultOnset:       "fault_onset",
+	EvFaultClear:       "fault_clear",
 }
 
 func (k EventKind) String() string {
