@@ -10,6 +10,8 @@
 //	dmzsim -sweep rtt=1ms..100ms:6
 //	dmzsim -faults scenario.json
 //	dmzsim -faults scenario.json -fault-periods 15s,30s,60s,120s -parallel 4
+//	dmzsim -faults scenario.json -serve localhost:8080
+//	dmzsim -faults scenario.json -trace-spans spans.json
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/netsim"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // renderer is any experiment result.
@@ -79,12 +82,15 @@ func names() []string {
 	return out
 }
 
-// setupTelemetry wires the --trace / --metrics flags: every network the
-// selected experiments build attaches to one shared telemetry instance,
-// and the returned finish func writes the outputs after the run.
-func setupTelemetry(tracePath, metricsPath string) (finish func()) {
-	if tracePath == "" && metricsPath == "" {
-		return func() {}
+// setupTelemetry wires the --trace / --metrics / --serve / --trace-spans
+// flags: every network the selected experiments build attaches to one
+// shared telemetry instance. The returned finish func writes the
+// outputs after the run; wait blocks holding the -serve endpoint up
+// until interrupted (a no-op otherwise).
+func setupTelemetry(tracePath, metricsPath, serveAddr, spansPath string) (finish, wait func()) {
+	noop := func() {}
+	if tracePath == "" && metricsPath == "" && serveAddr == "" && spansPath == "" {
+		return noop, noop
 	}
 	tele := telemetry.New()
 	var traceFile *os.File
@@ -102,8 +108,31 @@ func setupTelemetry(tracePath, metricsPath string) (finish func()) {
 	if metricsPath != "" {
 		tele.SampleInterval = 100 * time.Millisecond
 	}
+
+	var col *trace.Collector
+	if serveAddr != "" || spansPath != "" {
+		col = trace.NewCollector()
+		col.Attach(tele.Bus)
+	}
+	var srv *trace.Server
+	if serveAddr != "" {
+		if tele.SampleInterval <= 0 {
+			tele.SampleInterval = 100 * time.Millisecond
+		}
+		var err error
+		srv, err = trace.NewServer(serveAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "serving live observability on %s (/metrics /spans /healthz)\n", srv.URL())
+		tele.OnSample(func(snap *telemetry.Snapshot) {
+			srv.Publish(trace.BuildPublished(tele, col, snap.At, "running"))
+		})
+	}
+
 	netsim.DefaultTelemetry = tele
-	return func() {
+	finish = func() {
 		if traceWriter != nil {
 			if err := traceWriter.Flush(); err != nil {
 				fmt.Fprintln(os.Stderr, "trace:", err)
@@ -121,7 +150,38 @@ func setupTelemetry(tracePath, metricsPath string) (finish func()) {
 				fmt.Fprintln(os.Stderr, "metrics:", err)
 			}
 		}
+		if spansPath != "" {
+			f, err := os.Create(spansPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "trace-spans:", err)
+				os.Exit(1)
+			}
+			err = trace.WriteChromeTrace(f, col)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "trace-spans:", err)
+				os.Exit(1)
+			}
+			// The span file is for Perfetto; the "why was it slow"
+			// ranking goes to stdout, one report per transfer.
+			for _, ft := range col.Flows() {
+				trace.Analyze(ft, 0, col.Faults()).Render(os.Stdout)
+			}
+		}
+		if srv != nil {
+			srv.Publish(trace.BuildPublished(tele, col, col.Now(), "done"))
+		}
 	}
+	wait = noop
+	if srv != nil {
+		wait = func() {
+			fmt.Fprintf(os.Stderr, "run complete; final state stays up on %s (interrupt to exit)\n", srv.URL())
+			select {}
+		}
+	}
+	return finish, wait
 }
 
 // parseSweep parses a -sweep spec of the form axis=min..max[:points],
@@ -222,8 +282,10 @@ func main() {
 	list := flag.Bool("list", false, "list experiments")
 	run := flag.String("run", "", "experiment to run (or 'all')")
 	sweep := flag.String("sweep", "", "run a parameter sweep, e.g. loss=1e-6..1e-2:8 or rtt=1ms..100ms:6")
-	trace := flag.String("trace", "", "write a JSONL packet/TCP event trace to this file")
+	tracePath := flag.String("trace", "", "write a JSONL packet/TCP event trace to this file")
 	metrics := flag.String("metrics", "", "write periodic metrics snapshots (JSON) to this file")
+	serve := flag.String("serve", "", "serve live observability (/metrics /spans /healthz) on this address, e.g. localhost:8080")
+	traceSpans := flag.String("trace-spans", "", "write a Chrome/Perfetto trace of per-transfer spans to this file and print critical-path reports")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile of the run to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live profiling")
@@ -234,7 +296,7 @@ func main() {
 	flag.Parse()
 
 	finishProfiling := setupProfiling(*cpuprofile, *memprofile, *pprofAddr)
-	finish := setupTelemetry(*trace, *metrics)
+	finish, wait := setupTelemetry(*tracePath, *metrics, *serve, *traceSpans)
 
 	switch {
 	case *faults != "":
@@ -243,8 +305,8 @@ func main() {
 			os.Exit(1)
 		}
 	case *sweep != "":
-		if *trace != "" || *metrics != "" {
-			fmt.Fprintln(os.Stderr, "warning: -trace/-metrics are ignored by -sweep: sweep workers run isolated from the shared telemetry plane")
+		if *tracePath != "" || *metrics != "" || *serve != "" || *traceSpans != "" {
+			fmt.Fprintln(os.Stderr, "warning: -trace/-metrics/-serve/-trace-spans are ignored by -sweep: sweep workers run isolated from the shared telemetry plane")
 		}
 		cfg, err := parseSweep(*sweep)
 		if err != nil {
@@ -280,4 +342,5 @@ func main() {
 	}
 	finish()
 	finishProfiling()
+	wait()
 }

@@ -3,7 +3,8 @@
 // scheduled throughput tests, and renders the dashboard grid and alert
 // log. With -faults it instead runs a fault-injection scenario (see
 // internal/fault) and renders the mesh's view of it plus the monitor's
-// detection report.
+// detection report. With -live it polls a running dmzsim -serve
+// endpoint and renders a live dashboard of that simulation.
 package main
 
 import (
@@ -52,7 +53,19 @@ func main() {
 	trace := flag.String("trace", "", "write a JSONL packet/TCP event trace to this file")
 	metrics := flag.String("metrics", "", "write periodic metrics snapshots (JSON) to this file")
 	faults := flag.String("faults", "", "run a fault-injection scenario from this JSON file instead of Figure 2")
+	live := flag.String("live", "", "poll a dmzsim -serve endpoint (URL or host:port) and render a live dashboard instead of simulating")
+	refresh := flag.Duration("refresh", time.Second, "with -live: poll interval")
+	pollCount := flag.Int("count", 0, "with -live: number of polls (0 = until the run reports done)")
+	liveFilter := flag.String("live-filter", defaultLiveFilter, "with -live: regexp selecting metric series to display")
 	flag.Parse()
+
+	if *live != "" {
+		if err := runLive(*live, *refresh, *pollCount, *liveFilter); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var tele *telemetry.Telemetry
 	var traceFile *os.File

@@ -118,3 +118,56 @@ func (in *injector) drop(pkt *int) bool {
 	_ = fmt.Sprintf("fault drop %d", *pkt) // want `fmt\.Sprintf allocates`
 	return true
 }
+
+// Span emission mirrors the tcp.Sender phase machine: per-ACK state
+// transitions emit telemetry events, so the emission path is marked
+// hot and must stay allocation-free when no bus is attached.
+
+// bus mirrors telemetry.Bus's enable/emit surface.
+type bus struct{ subs int }
+
+type event struct {
+	at    int64
+	kind  int
+	flow  string
+	label string
+}
+
+func (b *bus) Enabled() bool { return b != nil && b.subs > 0 }
+func (b *bus) Emit(ev event) {}
+
+type sender struct {
+	bus    *bus
+	flow   string
+	phase  string
+	sndUna int64
+	acked  int64
+}
+
+// setPhase is the sanctioned shape: one Enabled/no-change guard up
+// front, pre-interned constant labels, and a by-value event literal —
+// nothing allocates, so an untelemetered run pays a single branch. No
+// diagnostics.
+//
+//dmz:hotpath
+func (s *sender) setPhase(phase string) {
+	if !s.bus.Enabled() || s.phase == phase {
+		return
+	}
+	s.phase = phase
+	s.bus.Emit(event{at: 0, kind: 1, flow: s.flow, label: phase})
+}
+
+// setPhaseBad is the anti-pattern: building the label dynamically puts
+// an allocation on every phase transition, bus or no bus.
+//
+//dmz:hotpath
+func (s *sender) setPhaseBad(phase string, seq int64) {
+	label := fmt.Sprintf("%s@%d", phase, seq) // want `fmt\.Sprintf allocates`
+	key := s.flow + "/" + phase               // want `string concatenation allocates` `string concatenation allocates`
+	if !s.bus.Enabled() || s.phase == phase {
+		return
+	}
+	s.phase = phase
+	s.bus.Emit(event{at: 0, kind: 1, flow: key, label: label})
+}

@@ -50,6 +50,10 @@ type active struct {
 	ports      []*netsim.Port
 	links      []*netsim.Link // monitor-outage: all attached links
 	clearsLeft int
+
+	// applied counts onsets minus clears: > 0 while the fault's effect
+	// is currently in force (a periodic flap toggles it).
+	applied int
 }
 
 // Injector owns a scenario's faults on one network and schedules their
@@ -193,6 +197,7 @@ func (inj *Injector) onset(f *active) {
 	if f.rec.OnsetAt < 0 {
 		f.rec.OnsetAt = now
 	}
+	f.applied++
 	inj.emit(telemetry.EvFaultOnset, f, now)
 }
 
@@ -217,6 +222,9 @@ func (inj *Injector) clear(f *active) {
 	if f.clearsLeft == 0 {
 		f.rec.ClearedAt = now
 	}
+	if f.applied > 0 {
+		f.applied--
+	}
 	inj.emit(telemetry.EvFaultClear, f, now)
 }
 
@@ -231,6 +239,27 @@ func (inj *Injector) emit(kind telemetry.EventKind, f *active, now sim.Time) {
 		Node:   f.rec.Target,
 		Reason: f.rec.Type,
 		Detail: f.rec.Key,
+	})
+}
+
+// BindRegistry exposes the injector's ground truth as registry
+// metrics: a fault_active gauge per fault (1 while its effect is in
+// force) plus first-onset/final-clear timestamps once known. The
+// monitor never reads these — they exist for operators watching a
+// live run (dmzsim -serve), where fault_active racing the monitor's
+// fault_detected shows the closed loop in action.
+func (inj *Injector) BindRegistry(reg *telemetry.Registry) {
+	reg.RegisterCollector("fault.injector", func(emit telemetry.EmitFunc) {
+		for _, f := range inj.faults {
+			l := telemetry.Labels{"fault": f.rec.Key, "target": f.rec.Target}
+			emit("fault_active", l, b2f(f.applied > 0))
+			if f.rec.OnsetAt >= 0 {
+				emit("fault_onset_seconds", l, f.rec.OnsetAt.Seconds())
+			}
+			if f.rec.ClearedAt >= 0 {
+				emit("fault_cleared_seconds", l, f.rec.ClearedAt.Seconds())
+			}
+		}
 	})
 }
 

@@ -36,6 +36,15 @@ type Report struct {
 // streams — pass ctx.Seed under the harness, or nil for the standalone
 // default.
 func Execute(n *netsim.Network, sc *Scenario, seed func(stream string) int64) (*Report, error) {
+	return ExecuteWith(n, sc, seed, nil)
+}
+
+// ExecuteWith is Execute with a ready hook: when non-nil, ready runs
+// after the topology, measurement mesh, and monitor are built but
+// before the injector starts and the clock advances — the place to
+// schedule extra instrumented traffic (a reference transfer for span
+// analysis) or wire additional observers onto the network.
+func ExecuteWith(n *netsim.Network, sc *Scenario, seed func(stream string) int64, ready func(*netsim.Network)) (*Report, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -108,8 +117,12 @@ func Execute(n *netsim.Network, sc *Scenario, seed func(stream string) int64) (*
 
 	if tele := n.Telemetry(); tele != nil {
 		mon.BindRegistry(tele.Registry, inj)
+		inj.BindRegistry(tele.Registry)
 	}
 
+	if ready != nil {
+		ready(n)
+	}
 	inj.Start()
 	n.RunFor(sc.Duration.D())
 

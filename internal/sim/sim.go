@@ -35,6 +35,10 @@ func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
 // Duration returns the timestamp as an offset from time zero.
 func (t Time) Duration() time.Duration { return time.Duration(t) }
 
+// Micros returns the timestamp as fractional microseconds — the unit
+// the Chrome trace-event format expects for ts/dur fields.
+func (t Time) Micros() float64 { return float64(t) / float64(time.Microsecond) }
+
 // Add returns the timestamp shifted by d.
 func (t Time) Add(d time.Duration) Time { return t + Time(d) }
 

@@ -49,6 +49,13 @@ type Sender struct {
 
 	inRecovery bool
 	recover    int64
+	// repairHi is the highest sequence sent before the most recent loss
+	// signal (fast retransmit, resumed episode, or RTO). Until sndUna
+	// passes it the transfer is still repairing lost data, so the span
+	// layer attributes elapsed time to recovery even in the post-RTO
+	// window where inRecovery is false. Tracked unconditionally: it is
+	// two compares per loss event and never feeds back into behaviour.
+	repairHi int64
 	// recoverHi is the loss-episode high-water mark (RFC 6582): loss
 	// signals for data at or below it belong to an episode that already
 	// took its multiplicative decrease, so recovery resumes without
@@ -95,6 +102,11 @@ type Sender struct {
 	bus     *telemetry.Bus
 	flowStr string
 	rttHist *telemetry.Histogram
+
+	// phase is the last binding-constraint phase published as an
+	// EvTCPPhase event (see telemetry.Phase*). Empty until the first
+	// transition; only maintained while the bus is enabled.
+	phase string
 }
 
 func newSender(net *netsim.Network, host *netsim.Host, flow netsim.FlowKey,
@@ -155,6 +167,52 @@ func (s *Sender) emit(kind telemetry.EventKind, reason string, seq int64, value 
 		Seq:    seq,
 		Value:  value,
 	})
+}
+
+// emitLifecycle publishes a transfer lifecycle event (tcp_start /
+// tcp_done), which carries a byte count rather than a seq/value pair.
+func (s *Sender) emitLifecycle(kind telemetry.EventKind, reason string, bytes int64, value float64) {
+	if !s.bus.Enabled() {
+		return
+	}
+	if s.flowStr == "" {
+		s.flowStr = s.flow.String()
+	}
+	s.bus.Emit(telemetry.Event{
+		At:     s.now(),
+		Kind:   kind,
+		Node:   s.flow.Src,
+		Flow:   s.flowStr,
+		Reason: reason,
+		Bytes:  bytes,
+		Value:  value,
+	})
+}
+
+// setPhase publishes a binding-constraint transition as an EvTCPPhase
+// event. It sits on every transmission-loop exit, so the disabled-bus
+// and no-change cases must stay branch-only (the span layer pays; an
+// untraced run does not).
+//
+//dmz:hotpath
+func (s *Sender) setPhase(phase string) {
+	if !s.bus.Enabled() || s.phase == phase {
+		return
+	}
+	s.phase = phase
+	s.emit(telemetry.EvTCPPhase, phase, s.sndUna, float64(s.stats.BytesAcked))
+}
+
+// phaseFor maps the constraint that stopped the transmission loop onto
+// the published phase: while lost data is still being repaired the
+// episode is "recovery" regardless of which gate happened to bind.
+//
+//dmz:hotpath
+func (s *Sender) phaseFor(constraint string) string {
+	if s.inRecovery || s.sndUna < s.repairHi {
+		return telemetry.PhaseRecovery
+	}
+	return constraint
 }
 
 // MSS returns the negotiated maximum segment size in bytes.
@@ -257,6 +315,9 @@ func (s *Sender) sendSYN() {
 	if s.opts.WindowScale {
 		ws = DefaultWindowScale
 	}
+	if s.synTries == 0 {
+		s.emitLifecycle(telemetry.EvTCPStart, "", s.total, 0)
+	}
 	s.synSentAt = s.now()
 	p := s.net.NewPacket()
 	p.Flow = s.flow
@@ -315,8 +376,10 @@ func (s *Sender) handleSynAck(pkt *netsim.Packet) {
 	s.rwnd = int64(pkt.WindowRaw)
 	// Handshake RTT seeds the estimator.
 	s.updateRTT(s.now().Sub(s.synSentAt))
+	s.emitLifecycle(telemetry.EvTCPEstablished, "", 0, s.now().Sub(s.synSentAt).Seconds())
 	s.sendHandshakeAck()
 	s.cc.Start(s)
+	s.setPhase(telemetry.PhaseSlowStart)
 	s.trySend()
 }
 
@@ -368,9 +431,13 @@ func (s *Sender) handleAck(pkt *netsim.Packet) {
 // to an episode that already backed off — no additional decrease.
 func (s *Sender) resumeRecovery() {
 	s.recover = s.recoverHi
+	if s.recover > s.repairHi {
+		s.repairHi = s.recover
+	}
 	s.inRecovery = true
 	s.rexmit = make(map[int64]bool)
 	s.emit(telemetry.EvTCPRecoveryEnter, "resume", s.recover, s.Cwnd)
+	s.setPhase(telemetry.PhaseRecovery)
 	s.resetRTO()
 }
 
@@ -500,8 +567,12 @@ func (s *Sender) enterRecovery() {
 	if s.recover > s.recoverHi {
 		s.recoverHi = s.recover
 	}
+	if s.recover > s.repairHi {
+		s.repairHi = s.recover
+	}
 	s.inRecovery = true
 	s.emit(telemetry.EvTCPRecoveryEnter, "fast-retransmit", s.recover, s.ssthresh)
+	s.setPhase(telemetry.PhaseRecovery)
 	s.emit(telemetry.EvTCPCwnd, "backoff", s.sndUna, s.ssthresh)
 	if s.sackOK {
 		// Pipe accounting governs transmission; no NewReno inflation.
@@ -655,6 +726,7 @@ func (s *Sender) trySend() {
 		length := s.segmentLen(s.sndNxt)
 		if length == 0 {
 			s.Limited.Data++
+			s.setPhase(s.phaseFor(telemetry.PhaseAppLimited))
 			break
 		}
 		inflight := s.sndNxt - s.sndUna
@@ -670,8 +742,14 @@ func (s *Sender) trySend() {
 			if int64(s.Cwnd) <= s.rwnd {
 				s.wasCwndLimited = true
 				s.Limited.Cwnd++
+				if s.Cwnd < s.ssthresh {
+					s.setPhase(s.phaseFor(telemetry.PhaseSlowStart))
+				} else {
+					s.setPhase(s.phaseFor(telemetry.PhaseCwndLimited))
+				}
 			} else {
 				s.Limited.Rwnd++
+				s.setPhase(s.phaseFor(telemetry.PhaseRwndLimited))
 			}
 			break
 		}
@@ -679,12 +757,14 @@ func (s *Sender) trySend() {
 		// with it RFC 2861 growth) still sees the true constraint.
 		if !s.tsqAllows() {
 			s.Limited.Tsq++
+			s.setPhase(s.phaseFor(telemetry.PhaseQueueLimited))
 			break
 		}
 		// Pacing last: tokens are only consumed for segments that all
 		// other gates have already admitted.
 		if !s.paceAllows(length) {
 			s.Limited.Pace++
+			s.setPhase(s.phaseFor(telemetry.PhaseQueueLimited))
 			break
 		}
 		isRetx := s.sndNxt < s.maxSent
@@ -785,6 +865,10 @@ func (s *Sender) onRTO() {
 	}
 	s.stats.RTOs++
 	s.emit(telemetry.EvTCPRTO, "", s.sndUna, s.rto.Seconds())
+	if s.sndNxt > s.repairHi {
+		s.repairHi = s.sndNxt
+	}
+	s.setPhase(telemetry.PhaseRecovery)
 	s.ssthresh = s.Cwnd / 2
 	if s.ssthresh < float64(2*s.mss) {
 		s.ssthresh = float64(2 * s.mss)
@@ -808,6 +892,11 @@ func (s *Sender) onRTO() {
 
 func (s *Sender) complete(success bool) {
 	s.done = true
+	reason := "abort"
+	if success {
+		reason = "success"
+	}
+	s.emitLifecycle(telemetry.EvTCPDone, reason, int64(s.stats.BytesAcked), 0)
 	s.stats.End = s.now()
 	s.stats.Done = success
 	s.stats.SRTT = s.srtt

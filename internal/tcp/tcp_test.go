@@ -8,6 +8,7 @@ import (
 	"repro/internal/analytic"
 	"repro/internal/netsim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -526,5 +527,135 @@ func TestLinkFlapMidTransferRecovers(t *testing.T) {
 	}
 	if errs := n.AuditInvariants(); len(errs) > 0 {
 		t.Fatalf("invariants violated after flap: %v", errs)
+	}
+}
+
+// collectEvents subscribes a capture buffer to a fresh telemetry plane
+// attached to n, returning the captured slice (filled during the run).
+func collectEvents(n *netsim.Network) (*[]telemetry.Event, *telemetry.Telemetry) {
+	tele := telemetry.New()
+	n.AttachTelemetry(tele)
+	evs := &[]telemetry.Event{}
+	tele.Bus.Subscribe(func(e *telemetry.Event) { *evs = append(*evs, *e) })
+	return evs, tele
+}
+
+func TestPhaseEventStreamCleanTransfer(t *testing.T) {
+	// A loss-free transfer emits the full lifecycle — start, established,
+	// phases, done(success) — and never enters the recovery phase.
+	n, c, s := path(1, units.Gbps, time.Millisecond, nil, 1500)
+	evs, _ := collectEvents(n)
+	srv := NewServer(s, 5001, Tuned())
+	Dial(c, srv, 5*units.MB, Tuned(), nil)
+	n.Run()
+
+	var phases []string
+	var sawStart, sawEst, sawDone bool
+	lastAcked := -1.0
+	for _, e := range *evs {
+		switch e.Kind {
+		case telemetry.EvTCPStart:
+			sawStart = true
+			if e.Bytes != int64(5*units.MB) {
+				t.Errorf("tcp_start bytes = %d, want 5MB", e.Bytes)
+			}
+		case telemetry.EvTCPEstablished:
+			sawEst = true
+			if e.Value <= 0 {
+				t.Errorf("tcp_established handshake RTT = %v, want > 0", e.Value)
+			}
+			if !sawStart {
+				t.Error("tcp_established before tcp_start")
+			}
+		case telemetry.EvTCPPhase:
+			phases = append(phases, e.Reason)
+			if e.Value < lastAcked {
+				t.Errorf("phase event bytes-acked went backwards: %v after %v", e.Value, lastAcked)
+			}
+			lastAcked = e.Value
+		case telemetry.EvTCPDone:
+			sawDone = true
+			if e.Reason != "success" {
+				t.Errorf("tcp_done reason = %q, want success", e.Reason)
+			}
+			if e.Bytes != int64(5*units.MB) {
+				t.Errorf("tcp_done bytes = %d, want 5MB", e.Bytes)
+			}
+		}
+	}
+	if !sawStart || !sawEst || !sawDone {
+		t.Fatalf("lifecycle incomplete: start=%v est=%v done=%v", sawStart, sawEst, sawDone)
+	}
+	if len(phases) == 0 || phases[0] != telemetry.PhaseSlowStart {
+		t.Fatalf("phases = %v, want slow-start first", phases)
+	}
+	for i := 1; i < len(phases); i++ {
+		if phases[i] == phases[i-1] {
+			t.Errorf("consecutive duplicate phase %q at %d", phases[i], i)
+		}
+		if phases[i] == telemetry.PhaseRecovery {
+			t.Errorf("clean transfer entered recovery phase")
+		}
+	}
+	// The transfer ends waiting on the final ACKs: app-limited last.
+	if phases[len(phases)-1] != telemetry.PhaseAppLimited {
+		t.Errorf("final phase = %q, want app-limited", phases[len(phases)-1])
+	}
+}
+
+func TestPhaseEventStreamLossEntersRecovery(t *testing.T) {
+	// A mid-flow loss must surface as a recovery phase interval that
+	// ends (a later event carries a different phase) once repaired.
+	n, c, s := path(1, units.Gbps, time.Millisecond, nil, 1500)
+	evs, _ := collectEvents(n)
+	srv := NewServer(s, 5001, Tuned())
+	dropped := false
+	n.Node("r1").(*netsim.Device).AddFilter(dropOnce{when: func(p *netsim.Packet) bool {
+		if !dropped && p.IsTCPData(HeaderSize) && p.Seq > 500_000 {
+			dropped = true
+			return true
+		}
+		return false
+	}})
+	var done *Stats
+	Dial(c, srv, 5*units.MB, Tuned(), func(st *Stats) { done = st })
+	n.RunFor(30 * time.Second)
+	if done == nil || !done.Done {
+		t.Fatal("transfer did not finish")
+	}
+	recoveryAt := -1
+	var after []string
+	for _, e := range *evs {
+		if e.Kind != telemetry.EvTCPPhase {
+			continue
+		}
+		if e.Reason == telemetry.PhaseRecovery && recoveryAt < 0 {
+			recoveryAt = 1
+			continue
+		}
+		if recoveryAt > 0 {
+			after = append(after, e.Reason)
+		}
+	}
+	if recoveryAt < 0 {
+		t.Fatal("loss never produced a recovery phase event")
+	}
+	if len(after) == 0 {
+		t.Fatal("recovery phase never ended")
+	}
+}
+
+func TestPhaseEventsFreeWithoutTelemetry(t *testing.T) {
+	// With no telemetry attached the phase machinery must not publish
+	// anything and must not perturb behaviour: same Stats as ever.
+	n, c, s := path(1, units.Gbps, time.Millisecond, nil, 1500)
+	srv := NewServer(s, 5001, Tuned())
+	conn := Dial(c, srv, 100*units.KB, Tuned(), nil)
+	n.Run()
+	if conn.phase != "" {
+		t.Errorf("phase tracked without a bus: %q", conn.phase)
+	}
+	if !conn.Done() {
+		t.Error("transfer did not complete")
 	}
 }

@@ -46,8 +46,49 @@ const (
 	// Detail=fault key.
 	EvFaultOnset
 	EvFaultClear
+	// EvTCPStart: a transfer began (the first SYN left the sender).
+	// Bytes=total payload to send (-1 unbounded).
+	EvTCPStart
+	// EvTCPEstablished: the handshake completed and data flow began.
+	// Value=handshake RTT in seconds.
+	EvTCPEstablished
+	// EvTCPPhase: the sender's binding constraint changed (see the
+	// Phase* constants). Reason=new phase, Seq=snd_una at transition,
+	// Value=cumulative payload bytes acknowledged. internal/trace folds
+	// these into per-transfer span trees.
+	EvTCPPhase
+	// EvTCPDone: the transfer ended. Reason="success" (all data acked)
+	// or "abort" (fixed-duration test expiry / operator kill),
+	// Bytes=payload bytes acknowledged.
+	EvTCPDone
 
 	numEventKinds // sentinel
+)
+
+// Transfer phase names carried in EvTCPPhase events. Each names the
+// constraint that stopped the sender's transmission loop — the thing
+// the transfer is currently waiting on — so downstream span assembly
+// (internal/trace) can attribute wall-clock time to causes.
+const (
+	// PhaseSlowStart: cwnd binds and the window is still below ssthresh
+	// — the exponential ramp.
+	PhaseSlowStart = "slow-start"
+	// PhaseCwndLimited: cwnd binds in congestion avoidance — the
+	// post-loss linear-growth regime the paper's Figure 1 is about.
+	PhaseCwndLimited = "cwnd-limited"
+	// PhaseRwndLimited: the receiver's advertised window binds (§6.2's
+	// untuned-host pathology).
+	PhaseRwndLimited = "rwnd-limited"
+	// PhaseQueueLimited: the local egress queue (TSQ budget) or the
+	// pacing schedule binds — self-queueing, not the network.
+	PhaseQueueLimited = "queue-limited"
+	// PhaseRecovery: a loss episode is being repaired — fast recovery,
+	// or the go-back-N retransmission period after an RTO, until the
+	// pre-loss high-water mark is acknowledged.
+	PhaseRecovery = "recovery"
+	// PhaseAppLimited: all queued application data has been sent; the
+	// sender is waiting for the final ACKs (or for more data).
+	PhaseAppLimited = "app-limited"
 )
 
 var eventKindNames = [numEventKinds]string{
@@ -64,6 +105,10 @@ var eventKindNames = [numEventKinds]string{
 	EvTCPWScale:        "tcp_wscale",
 	EvFaultOnset:       "fault_onset",
 	EvFaultClear:       "fault_clear",
+	EvTCPStart:         "tcp_start",
+	EvTCPEstablished:   "tcp_established",
+	EvTCPPhase:         "tcp_phase",
+	EvTCPDone:          "tcp_done",
 }
 
 func (k EventKind) String() string {

@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders one registry snapshot in the Prometheus text
+// exposition format (version 0.0.4) — the live-observability export
+// behind the dmzsim -serve /metrics endpoint, so a running simulation
+// can be scraped (or just curled) like any production service.
+//
+// Output is deterministic: samples are already sorted by series
+// identity in the snapshot, label keys are emitted in sorted order, and
+// values are formatted with strconv's shortest-roundtrip formatting.
+// Histograms expand to the conventional _bucket/_sum/_count triplet
+// with a trailing +Inf bucket.
+//
+// The snapshot's simulation timestamp is exported as its own series,
+// sim_now_seconds, rather than as Prometheus per-sample timestamps:
+// simulation time is data here, not scrape metadata.
+func WritePrometheus(w io.Writer, snap *Snapshot) error {
+	bw := bufio.NewWriter(w)
+	writeProm(bw, "sim_now_seconds", nil, "", snap.At.Seconds())
+	var lastHist string
+	for i := range snap.Samples {
+		s := &snap.Samples[i]
+		if s.Buckets == nil {
+			writeProm(bw, s.Name, s.Labels, "", s.Value)
+			continue
+		}
+		if s.Name != lastHist {
+			bw.WriteString("# TYPE ")
+			bw.WriteString(s.Name)
+			bw.WriteString(" histogram\n")
+			lastHist = s.Name
+		}
+		for _, b := range s.Buckets {
+			writeProm(bw, s.Name+"_bucket", s.Labels,
+				formatLabel("le", strconv.FormatFloat(b.LE, 'g', -1, 64)), float64(b.Count))
+		}
+		writeProm(bw, s.Name+"_bucket", s.Labels, formatLabel("le", "+Inf"), float64(s.Count))
+		writeProm(bw, s.Name+"_sum", s.Labels, "", s.Sum)
+		writeProm(bw, s.Name+"_count", s.Labels, "", float64(s.Count))
+	}
+	return bw.Flush()
+}
+
+// writeProm emits one sample line: name{labels,extra} value. extra, when
+// non-empty, is a preformatted label pair appended after the sorted
+// label set (the histogram le bound).
+func writeProm(bw *bufio.Writer, name string, labels Labels, extra string, value float64) {
+	bw.WriteString(sanitizeMetricName(name))
+	if len(labels) > 0 || extra != "" {
+		bw.WriteByte('{')
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for i, k := range keys {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(formatLabel(k, labels[k]))
+		}
+		if extra != "" {
+			if len(keys) > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(extra)
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatFloat(value, 'g', -1, 64))
+	bw.WriteByte('\n')
+}
+
+// formatLabel renders one label pair with Prometheus value escaping
+// (backslash, double quote, newline).
+func formatLabel(key, value string) string {
+	var b strings.Builder
+	b.WriteString(sanitizeLabelName(key))
+	b.WriteString(`="`)
+	for _, r := range value {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// sanitizeMetricName maps a series name onto the Prometheus metric-name
+// charset [a-zA-Z_:][a-zA-Z0-9_:]*, replacing anything else with '_'.
+// Registry names are already conventional; this is a safety net for
+// collector-emitted names.
+func sanitizeMetricName(name string) string {
+	return sanitize(name, true)
+}
+
+func sanitizeLabelName(name string) string {
+	return sanitize(name, false)
+}
+
+func sanitize(name string, allowColon bool) string {
+	ok := func(i int, r rune) bool {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			return true
+		case r == ':':
+			return allowColon
+		case r >= '0' && r <= '9':
+			return i > 0
+		}
+		return false
+	}
+	clean := true
+	for i, r := range name {
+		if !ok(i, r) {
+			clean = false
+			break
+		}
+	}
+	if clean && name != "" {
+		return name
+	}
+	var b strings.Builder
+	for i, r := range name {
+		if ok(i, r) {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}

@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func promSnapshot(t *testing.T) string {
+	t.Helper()
+	r := NewRegistry()
+	r.Counter("netsim_drops_total", Labels{"reason": "queue-overflow", "node": "fw"}).Add(3)
+	r.Gauge("tcp_cwnd_bytes", Labels{"flow": `h1:40000>h2:5001`}).Set(145600)
+	r.Histogram("tcp_srtt_seconds", Labels{"flow": "f"}, []float64{0.01, 0.1}).Observe(0.05)
+	r.GaugeFunc("sim_queue_depth", nil, func() float64 { return 2 })
+	snap := r.Snapshot(sim.Time(90 * time.Second))
+	var b strings.Builder
+	if err := WritePrometheus(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestWritePrometheus(t *testing.T) {
+	out := promSnapshot(t)
+	for _, want := range []string{
+		"sim_now_seconds 90\n",
+		`netsim_drops_total{node="fw",reason="queue-overflow"} 3` + "\n",
+		`tcp_cwnd_bytes{flow="h1:40000>h2:5001"} 145600` + "\n",
+		"# TYPE tcp_srtt_seconds histogram\n",
+		`tcp_srtt_seconds_bucket{flow="f",le="0.01"} 0` + "\n",
+		`tcp_srtt_seconds_bucket{flow="f",le="0.1"} 1` + "\n",
+		`tcp_srtt_seconds_bucket{flow="f",le="+Inf"} 1` + "\n",
+		`tcp_srtt_seconds_sum{flow="f"} 0.05` + "\n",
+		`tcp_srtt_seconds_count{flow="f"} 1` + "\n",
+		"sim_queue_depth 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	if a, b := promSnapshot(t), promSnapshot(t); a != b {
+		t.Fatalf("two identical snapshots rendered differently:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestPromEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge(`weird metric`, Labels{"k": "a\"b\\c\nd"}).Set(1)
+	snap := r.Snapshot(0)
+	var b strings.Builder
+	if err := WritePrometheus(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	want := `weird_metric{k="a\"b\\c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("escaping: got %q, want contains %q", b.String(), want)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"ok_name":    "ok_name",
+		"9starts":    "_starts",
+		"has space":  "has_space",
+		"uni·code":   "uni_code",
+		"":           "_",
+		"sim:metric": "sim:metric",
+	}
+	for in, want := range cases {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := sanitizeLabelName("a:b"); got != "a_b" {
+		t.Errorf("label colon not replaced: %q", got)
+	}
+}

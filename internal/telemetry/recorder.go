@@ -50,6 +50,28 @@ func (r *FlightRecorder) Len() int {
 // already evicted.
 func (r *FlightRecorder) Total() uint64 { return r.total }
 
+// Dropped returns the number of events that have been overwritten by
+// newer ones — the recorder's truncation, made visible. A post-mortem
+// reading a Dump should check it: a nonzero value means the window
+// begins mid-story.
+func (r *FlightRecorder) Dropped() uint64 {
+	if r.total <= uint64(len(r.buf)) {
+		return 0
+	}
+	return r.total - uint64(len(r.buf))
+}
+
+// BindRegistry exposes the recorder's truncation as a dropped_events
+// series (labeled by component), so metric snapshots and the /metrics
+// endpoint show when the ring has wrapped — silent overwrite was the
+// one thing the bounded recorder could not previously report.
+func (r *FlightRecorder) BindRegistry(reg *Registry) {
+	reg.GaugeFunc("dropped_events", Labels{"component": "flight_recorder"},
+		func() float64 { return float64(r.Dropped()) })
+	reg.GaugeFunc("flight_recorder_total_events", Labels{"component": "flight_recorder"},
+		func() float64 { return float64(r.total) })
+}
+
 // Events returns the retained events, oldest first, as a fresh slice.
 func (r *FlightRecorder) Events() []Event {
 	n := r.Len()

@@ -73,6 +73,49 @@ func TestFlightRecorderDump(t *testing.T) {
 	}
 }
 
+func TestFlightRecorderDropped(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	if fr.Dropped() != 0 {
+		t.Errorf("empty recorder dropped = %d", fr.Dropped())
+	}
+	for i := 0; i < 4; i++ {
+		fr.Record(&Event{Packet: uint64(i)})
+	}
+	// Exactly full: nothing has been overwritten yet.
+	if fr.Dropped() != 0 {
+		t.Errorf("full recorder dropped = %d, want 0", fr.Dropped())
+	}
+	for i := 0; i < 7; i++ {
+		fr.Record(&Event{Packet: uint64(4 + i)})
+	}
+	if fr.Dropped() != 7 {
+		t.Errorf("dropped = %d, want 7", fr.Dropped())
+	}
+	if fr.Dropped()+uint64(fr.Len()) != fr.Total() {
+		t.Errorf("dropped+len = %d, total = %d", fr.Dropped()+uint64(fr.Len()), fr.Total())
+	}
+}
+
+func TestFlightRecorderBindRegistry(t *testing.T) {
+	fr := NewFlightRecorder(2)
+	r := NewRegistry()
+	fr.BindRegistry(r)
+	l := Labels{"component": "flight_recorder"}
+	if s, ok := r.Snapshot(0).Get("dropped_events", l); !ok || s.Value != 0 {
+		t.Errorf("dropped_events before wrap = %+v ok=%v, want 0", s, ok)
+	}
+	for i := 0; i < 5; i++ {
+		fr.Record(&Event{Packet: uint64(i)})
+	}
+	snap := r.Snapshot(0)
+	if s, _ := snap.Get("dropped_events", l); s.Value != 3 {
+		t.Errorf("dropped_events = %v, want 3", s.Value)
+	}
+	if s, _ := snap.Get("flight_recorder_total_events", l); s.Value != 5 {
+		t.Errorf("flight_recorder_total_events = %v, want 5", s.Value)
+	}
+}
+
 func TestFlightRecorderBadCapacityPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

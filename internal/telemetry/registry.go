@@ -1,6 +1,8 @@
 package telemetry
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -12,6 +14,44 @@ import (
 // an unlabeled series. Label sets are canonicalized (sorted) at
 // registration, so registration order never affects identity.
 type Labels map[string]string
+
+// MarshalJSON writes the label set with keys in sorted order. This is
+// deliberate belt-and-braces: encoding/json happens to sort map keys
+// today, but byte-identical metrics export is a contract here (golden
+// files diff exports across runs), so series identity must not lean on
+// another package's unspecified behaviour — and the maporder analyzer
+// cannot see through encoding/json to prove it. A regression test
+// asserts two identical runs marshal byte-identically.
+func (l Labels) MarshalJSON() ([]byte, error) {
+	if l == nil {
+		return []byte("null"), nil
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b bytes.Buffer
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		kj, err := json.Marshal(k)
+		if err != nil {
+			return nil, err
+		}
+		vj, err := json.Marshal(l[k])
+		if err != nil {
+			return nil, err
+		}
+		b.Write(kj)
+		b.WriteByte(':')
+		b.Write(vj)
+	}
+	b.WriteByte('}')
+	return b.Bytes(), nil
+}
 
 func (l Labels) canonical() string {
 	if len(l) == 0 {
@@ -228,12 +268,12 @@ type Bucket struct {
 // Sample is one series' value at snapshot time. Scalar series use
 // Value; histograms use Count/Sum/Buckets.
 type Sample struct {
-	Name    string            `json:"name"`
-	Labels  map[string]string `json:"labels,omitempty"`
-	Value   float64           `json:"value"`
-	Count   uint64            `json:"count,omitempty"`
-	Sum     float64           `json:"sum,omitempty"`
-	Buckets []Bucket          `json:"buckets,omitempty"`
+	Name    string   `json:"name"`
+	Labels  Labels   `json:"labels,omitempty"`
+	Value   float64  `json:"value"`
+	Count   uint64   `json:"count,omitempty"`
+	Sum     float64  `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
 }
 
 // Snapshot is the registry's full state at one simulation instant,

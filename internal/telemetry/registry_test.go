@@ -115,6 +115,51 @@ func TestCollectorLastWriterWins(t *testing.T) {
 	}
 }
 
+// buildMetricsDoc runs one identical instrumented mini-"run" and
+// returns the full metrics JSON export.
+func buildMetricsDoc(t *testing.T) []byte {
+	t.Helper()
+	sched := sim.New()
+	tele := New()
+	// Multi-key label sets exercise the sorted-key marshaling; several
+	// series exercise snapshot ordering.
+	tele.Registry.Counter("pkts", Labels{"node": "r1", "port": "0", "dir": "tx"}).Add(12)
+	tele.Registry.Gauge("depth", Labels{"b": "2", "a": "1", "c": "3"}).Set(7)
+	tele.Registry.Histogram("lat", Labels{"flow": "h1:1>h2:2"}, []float64{0.1, 1}).Observe(0.5)
+	tele.StartSampler(sched, time.Second)
+	sched.RunFor(2500 * time.Millisecond)
+	var buf strings.Builder
+	if err := tele.WriteMetricsJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return []byte(buf.String())
+}
+
+// TestMetricsJSONByteIdentical is the regression gate behind
+// Labels.MarshalJSON: two identical runs must export byte-identical
+// metrics JSON, with label keys in sorted order — not because
+// encoding/json happens to sort map keys, but by explicit contract.
+func TestMetricsJSONByteIdentical(t *testing.T) {
+	a, b := buildMetricsDoc(t), buildMetricsDoc(t)
+	if string(a) != string(b) {
+		t.Fatalf("two identical runs exported different metrics JSON:\n%s\n---\n%s", a, b)
+	}
+	if !strings.Contains(string(a), `"labels":{"a":"1","b":"2","c":"3"}`) {
+		t.Errorf("labels not emitted in sorted key order:\n%s", a)
+	}
+	if !strings.Contains(string(a), `"labels":{"dir":"tx","node":"r1","port":"0"}`) {
+		t.Errorf("multi-key labels not sorted:\n%s", a)
+	}
+}
+
+func TestLabelsMarshalNil(t *testing.T) {
+	var l Labels
+	got, err := l.MarshalJSON()
+	if err != nil || string(got) != "null" {
+		t.Errorf("nil labels marshal = %s, %v", got, err)
+	}
+}
+
 func TestSamplerOnSimClock(t *testing.T) {
 	sched := sim.New()
 	tele := New()

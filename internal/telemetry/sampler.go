@@ -24,6 +24,9 @@ type Sampler struct {
 }
 
 func newSampler(t *Telemetry, sched *sim.Scheduler, interval time.Duration) *Sampler {
+	if interval <= 0 {
+		panic("telemetry: sampler interval must be positive")
+	}
 	s := &Sampler{tele: t, sched: sched, interval: interval}
 	s.ticker = sched.EveryTag(tagSampler, interval, s.sample)
 	return s
@@ -36,6 +39,9 @@ func (s *Sampler) sample() {
 	snap := s.tele.Registry.Snapshot(s.sched.Now())
 	s.tele.Snapshots = append(s.tele.Snapshots, snap)
 	for _, fn := range s.onSample {
+		fn(snap)
+	}
+	for _, fn := range s.tele.onSample {
 		fn(snap)
 	}
 }

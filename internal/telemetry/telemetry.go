@@ -51,6 +51,11 @@ type Telemetry struct {
 	// Snapshots accumulates every registry snapshot taken by samplers
 	// created through StartSampler, in sample order.
 	Snapshots []*Snapshot
+
+	// onSample hooks run on every snapshot from any sampler started
+	// through StartSampler — including samplers created later (CLIs
+	// register hooks before the experiment builds its networks).
+	onSample []func(*Snapshot)
 }
 
 // New returns an empty telemetry plane: fresh registry, enabled bus
@@ -66,6 +71,15 @@ func New() *Telemetry {
 func (t *Telemetry) StartSampler(sched *sim.Scheduler, interval time.Duration) *Sampler {
 	s := newSampler(t, sched, interval)
 	return s
+}
+
+// OnSample registers fn to run on every snapshot taken by any sampler
+// started through StartSampler, present or future. Samplers created
+// per-network (netsim.AttachTelemetry) come and go with their
+// networks; telemetry-level hooks outlive them, which is what the
+// live-observability publisher needs.
+func (t *Telemetry) OnSample(fn func(*Snapshot)) {
+	t.onSample = append(t.onSample, fn)
 }
 
 // WriteMetricsJSON writes all accumulated snapshots as one JSON

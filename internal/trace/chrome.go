@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// Chrome trace-event export: renders a Collector's span trees in the
+// Chrome trace-event JSON format, loadable in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing. Layout:
+//
+//   - process 1 "flows":  one thread per transfer, complete ("X")
+//     events per phase interval, instant ("i") markers for
+//     retransmits/RTOs/recovery boundaries.
+//   - process 2 "queues": one counter ("C") track per node, sampled
+//     egress queue depth in bytes.
+//   - process 3 "faults": one thread per faulted element, a complete
+//     event per fault activation window.
+//
+// Timestamps are microseconds of simulation time (the format's native
+// unit); output is deterministic for a deterministic run.
+
+const (
+	pidFlows  = 1
+	pidQueues = 2
+	pidFaults = 3
+)
+
+// chromeEvent is one trace-event record; fields follow the Chrome
+// trace-event format spec.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Cat  string         `json:"cat,omitempty"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the collector's current state as a Chrome
+// trace JSON document.
+func WriteChromeTrace(w io.Writer, c *Collector) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	first := true
+	put := func(ev chromeEvent) {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		b, _ := json.Marshal(ev)
+		bw.Write(b)
+	}
+
+	meta := func(pid int, name string) {
+		put(chromeEvent{Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]any{"name": name}})
+	}
+	thread := func(pid, tid int, name string) {
+		put(chromeEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": name}})
+	}
+
+	meta(pidFlows, "flows")
+	flows := c.Flows()
+	for i, ft := range flows {
+		tid := i + 1
+		thread(pidFlows, tid, ft.Flow)
+		// Root span: the whole transfer.
+		put(chromeEvent{
+			Name: "transfer", Ph: "X", Cat: "transfer",
+			Ts: ft.Start.Micros(), Dur: durMicros(ft.Start, ft.End),
+			Pid: pidFlows, Tid: tid,
+			Args: map[string]any{
+				"outcome":     outcomeLabel(ft),
+				"bytes_acked": ft.BytesAcked,
+				"total_bytes": ft.TotalBytes,
+			},
+		})
+		if ft.Established >= ft.Start {
+			put(chromeEvent{
+				Name: BucketHandshake, Ph: "X", Cat: "phase",
+				Ts: ft.Start.Micros(), Dur: durMicros(ft.Start, ft.Established),
+				Pid: pidFlows, Tid: tid,
+			})
+		}
+		for _, p := range ft.Phases {
+			put(chromeEvent{
+				Name: p.Phase, Ph: "X", Cat: "phase",
+				Ts: p.Start.Micros(), Dur: durMicros(p.Start, p.End),
+				Pid: pidFlows, Tid: tid,
+				Args: map[string]any{"bytes_acked": p.Bytes()},
+			})
+		}
+		for _, in := range ft.Instants {
+			args := map[string]any{}
+			if in.Detail != "" {
+				args["detail"] = in.Detail
+			}
+			put(chromeEvent{
+				Name: in.Kind, Ph: "i", Cat: "tcp", S: "t",
+				Ts: in.At.Micros(), Pid: pidFlows, Tid: tid, Args: args,
+			})
+		}
+	}
+
+	nodes, series := c.QueueSeries()
+	if len(nodes) > 0 {
+		meta(pidQueues, "queues")
+		for i, node := range nodes {
+			tid := i + 1
+			for _, pt := range series[node] {
+				put(chromeEvent{
+					Name: "queue " + node, Ph: "C",
+					Ts: pt.At.Micros(), Pid: pidQueues, Tid: tid,
+					Args: map[string]any{"bytes": pt.Bytes},
+				})
+			}
+		}
+	}
+
+	faults := c.Faults()
+	if len(faults) > 0 {
+		meta(pidFaults, "faults")
+		tids := map[string]int{}
+		for _, fw := range faults {
+			tid, ok := tids[fw.Target]
+			if !ok {
+				tid = len(tids) + 1
+				tids[fw.Target] = tid
+				thread(pidFaults, tid, fw.Target)
+			}
+			end := fw.Clear
+			if fw.Open {
+				end = c.Now()
+			}
+			put(chromeEvent{
+				Name: fw.Kind, Ph: "X", Cat: "fault",
+				Ts: fw.Onset.Micros(), Dur: durMicros(fw.Onset, end),
+				Pid: pidFaults, Tid: tid,
+				Args: map[string]any{"key": fw.Key, "open": fw.Open},
+			})
+		}
+	}
+
+	bw.WriteString("]}\n")
+	return bw.Flush()
+}
+
+func durMicros(start, end sim.Time) float64 {
+	if end <= start {
+		return 0
+	}
+	return end.Micros() - start.Micros()
+}
+
+func outcomeLabel(ft *FlowTrace) string {
+	if ft.Outcome != "" {
+		return ft.Outcome
+	}
+	return "in-progress"
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func chromeDoc(t *testing.T) string {
+	t.Helper()
+	c := NewCollector()
+	feedFlow(c)
+	feedFault(c)
+	for i := 0; i < 3; i++ {
+		c.Feed(&telemetry.Event{At: at(time.Duration(i*20) * time.Millisecond),
+			Kind: telemetry.EvEnqueue, Node: "r1", Value: float64(i * 1500)})
+	}
+	var b strings.Builder
+	if err := WriteChromeTrace(&b, c); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestChromeTraceGolden pins the exact export byte-for-byte: the
+// format is consumed by external tools (Perfetto), so drift should be
+// a deliberate decision (-update), not an accident.
+func TestChromeTraceGolden(t *testing.T) {
+	got := chromeDoc(t)
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("chrome trace drifted from golden; rerun with -update if intended\ngot:\n%s", got)
+	}
+}
+
+func TestChromeTraceWellFormed(t *testing.T) {
+	got := chromeDoc(t)
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(got), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	counts := map[string]int{}
+	var transferDur float64
+	for _, e := range doc.TraceEvents {
+		counts[e.Ph]++
+		if e.Name == "transfer" {
+			transferDur = e.Dur
+		}
+		if e.Ph == "X" && e.Dur < 0 {
+			t.Errorf("negative duration on %q", e.Name)
+		}
+	}
+	// 1 transfer + 1 handshake + 4 phases + 1 fault = 7 complete spans.
+	if counts["X"] != 7 {
+		t.Errorf("complete events = %d, want 7", counts["X"])
+	}
+	if counts["i"] != 3 {
+		t.Errorf("instant events = %d, want 3", counts["i"])
+	}
+	if counts["C"] != 3 {
+		t.Errorf("counter events = %d, want 3", counts["C"])
+	}
+	if counts["M"] < 3 {
+		t.Errorf("metadata events = %d, want >= 3", counts["M"])
+	}
+	if transferDur != 1_000_000 { // 1s in µs
+		t.Errorf("transfer dur = %v µs, want 1e6", transferDur)
+	}
+}
+
+func TestChromeTraceDeterministic(t *testing.T) {
+	if a, b := chromeDoc(t), chromeDoc(t); a != b {
+		t.Fatal("two identical collectors exported different traces")
+	}
+}

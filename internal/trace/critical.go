@@ -1,0 +1,230 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/units"
+)
+
+// BucketHandshake is the synthetic cause bucket for connection
+// establishment time (the gap before the first phase interval).
+const BucketHandshake = "handshake"
+
+// Bucket aggregates one cause's contribution to a transfer's duration.
+type Bucket struct {
+	Phase  string
+	Time   time.Duration // wall-clock spent with this constraint binding
+	Bytes  int64         // payload acknowledged during that time
+	Excess time.Duration // Time minus the ideal time for those bytes
+}
+
+// FaultOverlap records how much of a fault window intersected the
+// transfer.
+type FaultOverlap struct {
+	FaultWindow
+	Overlap time.Duration
+}
+
+// Report is the critical-path analysis of one transfer: every
+// nanosecond of its duration attributed to a cause bucket, ranked by
+// excess over the ideal (bottleneck-rate) transfer time.
+type Report struct {
+	Flow     string
+	Node     string
+	Outcome  string
+	Duration time.Duration
+	Bytes    int64
+
+	// Baseline is the reference rate used to compute ideal time —
+	// either supplied by the caller (the known bottleneck) or
+	// self-calibrated from the transfer's own best-achieving interval.
+	Baseline   units.BitRate
+	Calibrated bool // Baseline was self-calibrated, not supplied
+
+	Ideal  time.Duration // Bytes at Baseline
+	Excess time.Duration // Duration - Ideal (floored at 0)
+
+	Buckets []Bucket       // ranked by Excess, descending
+	Faults  []FaultOverlap // fault windows intersecting the transfer
+}
+
+// ExcessShare returns the fraction of total excess attributed to the
+// named buckets (0 when there is no excess).
+func (r *Report) ExcessShare(phases ...string) float64 {
+	if r.Excess <= 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, b := range r.Buckets {
+		for _, p := range phases {
+			if b.Phase == p {
+				sum += b.Excess
+			}
+		}
+	}
+	return float64(sum) / float64(r.Excess)
+}
+
+// calibrationFloor is the minimum interval length considered when
+// self-calibrating the baseline rate: shorter intervals quantize too
+// coarsely (a single ACK's worth of bytes over microseconds reads as
+// an absurd rate).
+const calibrationFloor = 10 * time.Millisecond
+
+// Analyze attributes ft's duration to cause buckets against baseline
+// (the known bottleneck rate). Pass baseline <= 0 to self-calibrate
+// from the transfer's own fastest sustained interval — useful when the
+// topology's bottleneck is not known a priori, at the cost of reading
+// an entirely-uniform slowdown as "normal".
+func Analyze(ft *FlowTrace, baseline units.BitRate, faults []FaultWindow) *Report {
+	r := &Report{
+		Flow:     ft.Flow,
+		Node:     ft.Node,
+		Outcome:  ft.Outcome,
+		Duration: ft.Duration(),
+		Bytes:    ft.BytesAcked,
+		Baseline: baseline,
+	}
+	if r.Baseline <= 0 {
+		r.Baseline = calibrate(ft)
+		r.Calibrated = true
+	}
+
+	byPhase := make(map[string]*Bucket)
+	order := []string{}
+	add := func(phase string, d time.Duration, bytes int64) {
+		b := byPhase[phase]
+		if b == nil {
+			b = &Bucket{Phase: phase}
+			byPhase[phase] = b
+			order = append(order, phase)
+		}
+		b.Time += d
+		b.Bytes += bytes
+	}
+
+	if hs := ft.Handshake(); hs > 0 {
+		add(BucketHandshake, hs, 0)
+	}
+	for _, p := range ft.Phases {
+		add(p.Phase, p.Duration(), p.Bytes())
+	}
+
+	for _, phase := range order {
+		b := byPhase[phase]
+		ideal := idealTime(b.Bytes, r.Baseline)
+		if b.Time > ideal {
+			b.Excess = b.Time - ideal
+		}
+		r.Buckets = append(r.Buckets, *b)
+	}
+	// Rank by excess, then by time, with the phase name as the
+	// deterministic tiebreaker.
+	sort.SliceStable(r.Buckets, func(i, j int) bool {
+		a, b := r.Buckets[i], r.Buckets[j]
+		if a.Excess != b.Excess {
+			return a.Excess > b.Excess
+		}
+		if a.Time != b.Time {
+			return a.Time > b.Time
+		}
+		return a.Phase < b.Phase
+	})
+
+	r.Ideal = idealTime(r.Bytes, r.Baseline)
+	if r.Duration > r.Ideal {
+		r.Excess = r.Duration - r.Ideal
+	}
+
+	for _, fw := range faults {
+		if ov := overlap(fw, ft); ov > 0 {
+			r.Faults = append(r.Faults, FaultOverlap{FaultWindow: fw, Overlap: ov})
+		}
+	}
+	return r
+}
+
+func idealTime(bytes int64, rate units.BitRate) time.Duration {
+	if rate <= 0 || bytes <= 0 {
+		return 0
+	}
+	return rate.Serialize(units.ByteSize(bytes))
+}
+
+// calibrate estimates the achievable rate as the best sustained
+// goodput over any single phase interval — the NetBASILISK-style
+// "what did the path prove it can do" reference.
+func calibrate(ft *FlowTrace) units.BitRate {
+	var best units.BitRate
+	for _, p := range ft.Phases {
+		d := p.Duration()
+		if d < calibrationFloor || p.Bytes() <= 0 {
+			continue
+		}
+		if r := units.Rate(units.ByteSize(p.Bytes()), d); r > best {
+			best = r
+		}
+	}
+	if best > 0 {
+		return best
+	}
+	// Degenerate trace (too short to calibrate): whole-transfer goodput.
+	if d := ft.Duration(); d > 0 && ft.BytesAcked > 0 {
+		return units.Rate(units.ByteSize(ft.BytesAcked), d)
+	}
+	return 0
+}
+
+func overlap(fw FaultWindow, ft *FlowTrace) time.Duration {
+	start, end := fw.Onset, fw.Clear
+	if fw.Open || end > ft.End {
+		end = ft.End
+	}
+	if start < ft.Start {
+		start = ft.Start
+	}
+	if end <= start {
+		return 0
+	}
+	return end.Sub(start)
+}
+
+// Render writes the human-readable "why was this transfer slow"
+// report.
+func (r *Report) Render(w io.Writer) {
+	outcome := r.Outcome
+	if outcome == "" {
+		outcome = "in-progress"
+	}
+	fmt.Fprintf(w, "flow %s (%s): %s in %v\n",
+		r.Flow, outcome, units.ByteSize(r.Bytes), r.Duration.Round(time.Millisecond))
+	ref := "bottleneck"
+	if r.Calibrated {
+		ref = "self-calibrated"
+	}
+	fmt.Fprintf(w, "  ideal %v at %v (%s); excess %v\n",
+		r.Ideal.Round(time.Millisecond), r.Baseline, ref, r.Excess.Round(time.Millisecond))
+	if len(r.Buckets) > 0 {
+		fmt.Fprintf(w, "  time by binding constraint (ranked by excess over ideal):\n")
+	}
+	for _, b := range r.Buckets {
+		share := 0.0
+		if r.Excess > 0 {
+			share = 100 * float64(b.Excess) / float64(r.Excess)
+		}
+		fmt.Fprintf(w, "    %-14s %10v spent, %10v excess (%5.1f%%), %v acked\n",
+			b.Phase, b.Time.Round(time.Millisecond), b.Excess.Round(time.Millisecond),
+			share, units.ByteSize(b.Bytes))
+	}
+	for _, f := range r.Faults {
+		state := "cleared"
+		if f.Open {
+			state = "active"
+		}
+		fmt.Fprintf(w, "  overlapping fault: %s on %s (%s, %s) overlapped %v of the transfer\n",
+			f.Kind, f.Target, f.Key, state, f.Overlap.Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+func TestAnalyzeAttributesExcess(t *testing.T) {
+	c := NewCollector()
+	feedFlow(c)
+	feedFault(c)
+	ft := c.Flows()[0]
+
+	// 1 MB at 100 Mbps ideal = 80 ms; transfer took 1 s.
+	r := Analyze(ft, 100*units.Mbps, c.Faults())
+	if r.Calibrated {
+		t.Error("baseline was supplied, not calibrated")
+	}
+	if r.Ideal != 80*time.Millisecond {
+		t.Errorf("ideal = %v, want 80ms", r.Ideal)
+	}
+	if r.Excess != 920*time.Millisecond {
+		t.Errorf("excess = %v, want 920ms", r.Excess)
+	}
+
+	// Every wall-clock nanosecond lands in exactly one bucket.
+	var total time.Duration
+	for _, b := range r.Buckets {
+		total += b.Time
+	}
+	if total != r.Duration {
+		t.Errorf("buckets cover %v of a %v transfer", total, r.Duration)
+	}
+
+	// Ranked by excess, descending.
+	for i := 1; i < len(r.Buckets); i++ {
+		if r.Buckets[i].Excess > r.Buckets[i-1].Excess {
+			t.Errorf("buckets not ranked: %v after %v", r.Buckets[i], r.Buckets[i-1])
+		}
+	}
+	// cwnd-limited spent 500ms moving 740KB (ideal 59.2ms): the top bucket.
+	if r.Buckets[0].Phase != telemetry.PhaseCwndLimited {
+		t.Errorf("top bucket = %+v, want cwnd-limited", r.Buckets[0])
+	}
+
+	// The fault overlapped the transfer for its full 300ms window.
+	if len(r.Faults) != 1 || r.Faults[0].Overlap != 300*time.Millisecond {
+		t.Fatalf("fault overlap = %+v", r.Faults)
+	}
+
+	// ExcessShare sums the named buckets.
+	share := r.ExcessShare(telemetry.PhaseRecovery, telemetry.PhaseCwndLimited)
+	if share <= 0 || share > 1 {
+		t.Errorf("share = %v", share)
+	}
+	var want time.Duration
+	for _, b := range r.Buckets {
+		if b.Phase == telemetry.PhaseRecovery || b.Phase == telemetry.PhaseCwndLimited {
+			want += b.Excess
+		}
+	}
+	if got := time.Duration(share * float64(r.Excess)); got < want-time.Microsecond || got > want+time.Microsecond {
+		t.Errorf("share %v of excess = %v, want %v", share, got, want)
+	}
+}
+
+func TestAnalyzeSelfCalibrates(t *testing.T) {
+	c := NewCollector()
+	feedFlow(c)
+	ft := c.Flows()[0]
+	r := Analyze(ft, 0, nil)
+	if !r.Calibrated {
+		t.Fatal("baseline should have been self-calibrated")
+	}
+	// Best sustained interval: cwnd-limited, 740KB over 500 ms ≈ 11.84 Mbps.
+	want := units.Rate(740_000, 500*time.Millisecond)
+	if r.Baseline != want {
+		t.Errorf("calibrated baseline = %v, want %v", r.Baseline, want)
+	}
+	// Against its own best rate the cwnd-limited cruise has no excess;
+	// slower intervals carry it all.
+	for _, b := range r.Buckets {
+		if b.Phase == telemetry.PhaseCwndLimited && b.Excess != 0 {
+			t.Errorf("best interval has excess %v against its own rate", b.Excess)
+		}
+	}
+}
+
+func TestAnalyzeHandshakeIsAllExcess(t *testing.T) {
+	c := NewCollector()
+	feedFlow(c)
+	r := Analyze(c.Flows()[0], 100*units.Mbps, nil)
+	for _, b := range r.Buckets {
+		if b.Phase == BucketHandshake {
+			if b.Excess != b.Time || b.Time != 10*time.Millisecond {
+				t.Errorf("handshake bucket = %+v, want 10ms all-excess", b)
+			}
+			return
+		}
+	}
+	t.Fatal("no handshake bucket")
+}
+
+func TestReportRender(t *testing.T) {
+	c := NewCollector()
+	feedFlow(c)
+	feedFault(c)
+	r := Analyze(c.Flows()[0], 100*units.Mbps, c.Faults())
+	var b strings.Builder
+	r.Render(&b)
+	out := b.String()
+	for _, want := range []string{
+		"flow h1:40000>h2:5001 (success)",
+		"excess 920ms",
+		"cwnd-limited",
+		"recovery",
+		"handshake",
+		"overlapping fault: soft-failure on r1<->r2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeDegenerateTraces(t *testing.T) {
+	// Empty trace: no phases, no bytes — must not divide by zero.
+	ft := &FlowTrace{Flow: "x", Start: 0, End: 0, Established: -1}
+	r := Analyze(ft, 0, nil)
+	if r.Excess != 0 || len(r.Buckets) != 0 {
+		t.Errorf("empty trace report = %+v", r)
+	}
+
+	// A trace whose only interval is below the calibration floor falls
+	// back to whole-transfer goodput.
+	c := NewCollector()
+	flow := "s:1>d:2"
+	c.Feed(&telemetry.Event{At: 0, Kind: telemetry.EvTCPStart, Flow: flow, Bytes: 1000})
+	c.Feed(&telemetry.Event{At: at(time.Millisecond), Kind: telemetry.EvTCPEstablished, Flow: flow})
+	c.Feed(&telemetry.Event{At: at(time.Millisecond), Kind: telemetry.EvTCPPhase,
+		Flow: flow, Reason: telemetry.PhaseSlowStart})
+	c.Feed(&telemetry.Event{At: at(2 * time.Millisecond), Kind: telemetry.EvTCPDone,
+		Flow: flow, Reason: "success", Bytes: 1000})
+	r = Analyze(c.Flows()[0], 0, nil)
+	if r.Baseline != units.Rate(1000, 2*time.Millisecond) {
+		t.Errorf("fallback baseline = %v", r.Baseline)
+	}
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// Live observability endpoint: dmzsim -serve publishes immutable
+// snapshots of a running simulation, and plain HTTP clients (curl,
+// Prometheus, psdash -live) read them.
+//
+// Concurrency model: the simulation thread renders a complete
+// Published value (all byte slices fully built) and swaps it in with
+// one atomic pointer store; HTTP handlers only ever read whichever
+// snapshot was current when they started. No locks, no partially
+// written state, and the simulation never blocks on a slow reader.
+
+// Published is one immutable observation of a run.
+type Published struct {
+	Health  []byte // /healthz: JSON status document
+	Metrics []byte // /metrics: Prometheus text exposition
+	Spans   []byte // /spans: Chrome trace JSON
+}
+
+// Server serves published snapshots over HTTP.
+type Server struct {
+	cur atomic.Pointer[Published]
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewServer starts listening on addr (e.g. "127.0.0.1:8080", ":0")
+// and serving in a background goroutine. Until the first Publish,
+// endpoints return 503.
+func NewServer(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handle("application/json", func(p *Published) []byte { return p.Health }))
+	mux.HandleFunc("/metrics", s.handle("text/plain; version=0.0.4; charset=utf-8", func(p *Published) []byte { return p.Metrics }))
+	mux.HandleFunc("/spans", s.handle("application/json", func(p *Published) []byte { return p.Spans }))
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string {
+	addr := s.Addr()
+	// Rewrite wildcard hosts to a dialable loopback address.
+	if host, port, err := net.SplitHostPort(addr); err == nil {
+		if host == "" || host == "::" || host == "0.0.0.0" {
+			addr = net.JoinHostPort("127.0.0.1", port)
+		}
+	}
+	return "http://" + addr
+}
+
+// Publish atomically replaces the served snapshot. Safe to call from
+// the simulation thread at any rate.
+func (s *Server) Publish(p *Published) { s.cur.Store(p) }
+
+// Close stops the listener. In-flight responses are abandoned; this
+// is an observability sidecar, not a production server.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handle(contentType string, pick func(*Published) []byte) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		p := s.cur.Load()
+		if p == nil {
+			http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", contentType)
+		w.Write(pick(p))
+	}
+}
+
+// Health is the /healthz document.
+type Health struct {
+	Status        string  `json:"status"` // "running" or "done"
+	SimNowSeconds float64 `json:"sim_now_seconds"`
+	Flows         int     `json:"flows"`
+	OpenFaults    int     `json:"open_faults"`
+}
+
+// BuildPublished renders one complete snapshot from the live telemetry
+// plane and span collector. status is "running" while the simulation
+// advances and "done" after the final event.
+func BuildPublished(tele *telemetry.Telemetry, col *Collector, now sim.Time, status string) *Published {
+	var metrics strings.Builder
+	if tele != nil {
+		snap := tele.Registry.Snapshot(now)
+		if err := telemetry.WritePrometheus(&metrics, snap); err != nil {
+			fmt.Fprintf(&metrics, "# render error: %v\n", err)
+		}
+	}
+	var spans strings.Builder
+	health := Health{Status: status, SimNowSeconds: now.Seconds()}
+	if col != nil {
+		if err := WriteChromeTrace(&spans, col); err != nil {
+			spans.Reset()
+			spans.WriteString(`{"traceEvents":[]}`)
+		}
+		health.Flows = len(col.order)
+		health.OpenFaults = len(col.fopen)
+	} else {
+		spans.WriteString(`{"traceEvents":[]}`)
+	}
+	hb, _ := json.Marshal(health)
+	hb = append(hb, '\n')
+	return &Published{
+		Health:  hb,
+		Metrics: []byte(metrics.String()),
+		Spans:   []byte(spans.String()),
+	}
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+func get(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+}
+
+func TestServerServesPublishedSnapshots(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Before the first publish: 503 everywhere.
+	if code, _, _ := get(t, srv.URL()+"/healthz"); code != http.StatusServiceUnavailable {
+		t.Errorf("pre-publish /healthz = %d, want 503", code)
+	}
+
+	tele := telemetry.New()
+	tele.Registry.Gauge("v", nil).Set(42)
+	col := NewCollector()
+	feedFlow(col)
+	srv.Publish(BuildPublished(tele, col, sim.Time(3*time.Second), "running"))
+
+	code, body, ct := get(t, srv.URL()+"/healthz")
+	if code != 200 || !strings.Contains(ct, "application/json") {
+		t.Fatalf("/healthz = %d %q", code, ct)
+	}
+	var h Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("health not JSON: %v", err)
+	}
+	if h.Status != "running" || h.SimNowSeconds != 3 || h.Flows != 1 {
+		t.Errorf("health = %+v", h)
+	}
+
+	code, body, ct = get(t, srv.URL()+"/metrics")
+	if code != 200 || !strings.Contains(ct, "text/plain") {
+		t.Fatalf("/metrics = %d %q", code, ct)
+	}
+	if !strings.Contains(body, "v 42") || !strings.Contains(body, "sim_now_seconds 3") {
+		t.Errorf("metrics body:\n%s", body)
+	}
+
+	code, body, _ = get(t, srv.URL()+"/spans")
+	if code != 200 {
+		t.Fatalf("/spans = %d", code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("spans not JSON: %v", err)
+	}
+	if _, ok := doc["traceEvents"]; !ok {
+		t.Error("spans missing traceEvents")
+	}
+
+	// A later publish replaces the snapshot atomically.
+	srv.Publish(BuildPublished(tele, col, sim.Time(9*time.Second), "done"))
+	_, body, _ = get(t, srv.URL()+"/healthz")
+	if !strings.Contains(body, `"status":"done"`) || !strings.Contains(body, `"sim_now_seconds":9`) {
+		t.Errorf("updated health = %s", body)
+	}
+}
+
+func TestBuildPublishedNilParts(t *testing.T) {
+	p := BuildPublished(nil, nil, 0, "running")
+	if !strings.Contains(string(p.Spans), "traceEvents") {
+		t.Errorf("nil-collector spans = %s", p.Spans)
+	}
+	var h Health
+	if err := json.Unmarshal(p.Health, &h); err != nil || h.Status != "running" {
+		t.Errorf("health = %s err=%v", p.Health, err)
+	}
+}

@@ -1,0 +1,297 @@
+// Package trace assembles the flat telemetry event stream into
+// per-transfer span trees and answers the operator question the raw
+// stream cannot: "why was this transfer slow?"
+//
+// The TCP sender publishes EvTCPPhase events naming its binding
+// constraint (slow-start, cwnd-limited, rwnd-limited, queue-limited,
+// recovery, app-limited) at every transition; the fault injector
+// publishes onset/clear windows; ports publish queue depth. A
+// Collector subscribed to the telemetry bus folds these into
+// FlowTrace values — one span tree per transfer, with a phase
+// interval child per constraint episode and instant markers for
+// retransmissions, RTOs, and cwnd discontinuities.
+//
+// Downstream, critical.go attributes every nanosecond of a transfer's
+// duration to one cause bucket, chrome.go renders the trees as a
+// Perfetto-loadable Chrome trace, and server.go serves both live over
+// HTTP. The whole layer is subscription-driven: a run without a
+// collector attached pays nothing (the sender's emit sites are
+// one-branch no-ops with no bus), preserving the pay-for-what-you-use
+// telemetry contract.
+package trace
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// PhaseInterval is one closed constraint episode inside a transfer:
+// from the moment phase became the binding constraint until the next
+// transition. StartBytes/EndBytes are cumulative payload bytes
+// acknowledged at the boundaries, so goodput within the interval is
+// (EndBytes-StartBytes)/(End-Start).
+type PhaseInterval struct {
+	Phase      string
+	Start, End sim.Time
+	StartBytes int64
+	EndBytes   int64
+}
+
+// Duration returns the interval's wall-clock extent.
+func (p PhaseInterval) Duration() time.Duration { return p.End.Sub(p.Start) }
+
+// Bytes returns payload bytes acknowledged during the interval.
+func (p PhaseInterval) Bytes() int64 { return p.EndBytes - p.StartBytes }
+
+// Instant is a point event inside a transfer's span tree:
+// retransmissions, RTO firings, recovery boundaries, and cwnd
+// discontinuities.
+type Instant struct {
+	At     sim.Time
+	Kind   string // event kind name, e.g. "tcp_retransmit"
+	Detail string // kind-specific qualifier (recovery trigger, cwnd reason)
+}
+
+// FlowTrace is the assembled span tree for one transfer: the root span
+// runs from the first SYN to tcp_done, the handshake is the implicit
+// gap before Established, and Phases partitions the data-transfer
+// portion by binding constraint.
+type FlowTrace struct {
+	Flow string // flow key label, e.g. "host:40000>server:5001"
+	Node string // sending host
+
+	Start       sim.Time // first SYN left the sender
+	Established sim.Time // handshake completed
+	End         sim.Time // tcp_done (or last event seen while still open)
+	Done        bool     // tcp_done observed
+	Outcome     string   // "success" or "abort" (empty while open)
+
+	TotalBytes int64 // payload the sender set out to send; -1 unbounded
+	BytesAcked int64 // cumulative payload acknowledged
+
+	Phases   []PhaseInterval
+	Instants []Instant
+
+	open      string // currently-open phase, "" when none
+	openStart sim.Time
+	openBytes int64
+}
+
+// Duration returns the transfer's wall-clock extent so far.
+func (ft *FlowTrace) Duration() time.Duration { return ft.End.Sub(ft.Start) }
+
+// Handshake returns the connection-establishment extent.
+func (ft *FlowTrace) Handshake() time.Duration {
+	if ft.Established < ft.Start {
+		return 0
+	}
+	return ft.Established.Sub(ft.Start)
+}
+
+// FaultWindow is one injected-fault activation interval.
+type FaultWindow struct {
+	Target string // faulted element, e.g. "site2<->backbone"
+	Kind   string // fault type, e.g. "soft-failure"
+	Key    string // unique fault key, e.g. "soft-failure#0"
+	Onset  sim.Time
+	Clear  sim.Time // == Onset while still active
+	Open   bool     // onset seen, clear not yet
+}
+
+// QueuePoint is one sample of an egress queue's depth.
+type QueuePoint struct {
+	At    sim.Time
+	Bytes int64
+}
+
+// queueResolution bounds the per-node queue-depth series: consecutive
+// points closer together than this collapse into the latest one, so a
+// multi-minute run keeps tens of thousands of points per node instead
+// of one per packet.
+const queueResolution = 10 * time.Millisecond
+
+// Collector subscribes to a telemetry bus and assembles the event
+// stream into span trees. It is sim-thread-only (no locking), like
+// every other bus subscriber.
+type Collector struct {
+	flows  map[string]*FlowTrace
+	order  []string // first-seen flow order, for deterministic export
+	faults []*FaultWindow
+	fopen  map[string]*FaultWindow // open windows by fault key
+
+	queues map[string][]QueuePoint
+	qorder []string // first-seen node order
+
+	now sim.Time // latest event timestamp observed
+}
+
+// NewCollector returns an empty collector; wire it with Attach.
+func NewCollector() *Collector {
+	return &Collector{
+		flows:  make(map[string]*FlowTrace),
+		fopen:  make(map[string]*FaultWindow),
+		queues: make(map[string][]QueuePoint),
+	}
+}
+
+// Attach subscribes the collector to a bus. The bus retains the
+// subscription for its lifetime.
+func (c *Collector) Attach(bus *telemetry.Bus) { bus.Subscribe(c.Feed) }
+
+// Feed consumes one trace event. It is the bus-subscriber entry point
+// and may be called directly in tests.
+func (c *Collector) Feed(e *telemetry.Event) {
+	if e.At > c.now {
+		c.now = e.At
+	}
+	switch e.Kind {
+	case telemetry.EvTCPStart:
+		ft := &FlowTrace{
+			Flow:        e.Flow,
+			Node:        e.Node,
+			Start:       e.At,
+			Established: -1,
+			End:         e.At,
+			TotalBytes:  e.Bytes,
+		}
+		c.flows[e.Flow] = ft
+		c.order = append(c.order, e.Flow)
+	case telemetry.EvTCPEstablished:
+		if ft := c.flows[e.Flow]; ft != nil {
+			ft.Established = e.At
+			ft.End = e.At
+		}
+	case telemetry.EvTCPPhase:
+		if ft := c.flows[e.Flow]; ft != nil {
+			ft.closePhase(e.At, int64(e.Value))
+			ft.open = e.Reason
+			ft.openStart = e.At
+			ft.openBytes = int64(e.Value)
+			ft.BytesAcked = int64(e.Value)
+			ft.End = e.At
+		}
+	case telemetry.EvTCPDone:
+		if ft := c.flows[e.Flow]; ft != nil {
+			ft.closePhase(e.At, e.Bytes)
+			ft.Done = true
+			ft.Outcome = e.Reason
+			ft.BytesAcked = e.Bytes
+			ft.End = e.At
+		}
+	case telemetry.EvTCPRetransmit, telemetry.EvTCPRTO,
+		telemetry.EvTCPRecoveryEnter, telemetry.EvTCPRecoveryExit,
+		telemetry.EvTCPCwnd:
+		if ft := c.flows[e.Flow]; ft != nil {
+			ft.Instants = append(ft.Instants, Instant{
+				At: e.At, Kind: e.Kind.String(), Detail: e.Reason,
+			})
+			ft.End = e.At
+		}
+	case telemetry.EvFaultOnset:
+		// A periodic fault re-fires onset for an already-open window;
+		// only the first onset opens it.
+		if c.fopen[e.Detail] == nil {
+			fw := &FaultWindow{
+				Target: e.Node, Kind: e.Reason, Key: e.Detail,
+				Onset: e.At, Clear: e.At, Open: true,
+			}
+			c.faults = append(c.faults, fw)
+			c.fopen[e.Detail] = fw
+		}
+	case telemetry.EvFaultClear:
+		if fw := c.fopen[e.Detail]; fw != nil {
+			fw.Clear = e.At
+			fw.Open = false
+			delete(c.fopen, e.Detail)
+		}
+	case telemetry.EvEnqueue, telemetry.EvDequeue:
+		c.recordQueue(e.Node, e.At, int64(e.Value))
+	}
+}
+
+func (ft *FlowTrace) closePhase(at sim.Time, bytes int64) {
+	if ft.open == "" {
+		return
+	}
+	ft.Phases = append(ft.Phases, PhaseInterval{
+		Phase:      ft.open,
+		Start:      ft.openStart,
+		End:        at,
+		StartBytes: ft.openBytes,
+		EndBytes:   bytes,
+	})
+	ft.open = ""
+}
+
+func (c *Collector) recordQueue(node string, at sim.Time, bytes int64) {
+	pts := c.queues[node]
+	if pts == nil {
+		c.qorder = append(c.qorder, node)
+	}
+	if n := len(pts); n > 0 && at.Sub(pts[n-1].At) < queueResolution {
+		pts[n-1] = QueuePoint{At: pts[n-1].At, Bytes: bytes}
+		return
+	}
+	c.queues[node] = append(pts, QueuePoint{At: at, Bytes: bytes})
+}
+
+// Now returns the latest event timestamp the collector has seen.
+func (c *Collector) Now() sim.Time { return c.now }
+
+// Flows returns assembled flow traces in first-seen order. Open
+// transfers have their still-open phase closed at the latest observed
+// timestamp so exports always cover the full extent; the returned
+// traces share no assembly state with the collector and further Feed
+// calls continue an open phase seamlessly.
+func (c *Collector) Flows() []*FlowTrace {
+	out := make([]*FlowTrace, 0, len(c.order))
+	for _, key := range c.order {
+		ft := c.flows[key]
+		if ft.open != "" {
+			snap := *ft
+			snap.Phases = append(append([]PhaseInterval(nil), ft.Phases...), PhaseInterval{
+				Phase:      ft.open,
+				Start:      ft.openStart,
+				End:        c.now,
+				StartBytes: ft.openBytes,
+				EndBytes:   ft.BytesAcked,
+			})
+			snap.End = c.now
+			snap.open = ""
+			out = append(out, &snap)
+			continue
+		}
+		out = append(out, ft)
+	}
+	return out
+}
+
+// Flow returns the assembled trace for one flow label, or nil.
+func (c *Collector) Flow(label string) *FlowTrace {
+	for _, ft := range c.Flows() {
+		if ft.Flow == label {
+			return ft
+		}
+	}
+	return nil
+}
+
+// Faults returns fault windows in onset order.
+func (c *Collector) Faults() []FaultWindow {
+	out := make([]FaultWindow, len(c.faults))
+	for i, fw := range c.faults {
+		out[i] = *fw
+	}
+	return out
+}
+
+// QueueSeries returns the sampled queue-depth series per node, with
+// node names sorted for deterministic export.
+func (c *Collector) QueueSeries() (nodes []string, series map[string][]QueuePoint) {
+	nodes = append([]string(nil), c.qorder...)
+	sort.Strings(nodes)
+	return nodes, c.queues
+}

@@ -1,0 +1,232 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+func at(d time.Duration) sim.Time { return sim.Time(d) }
+
+// feedFlow pushes a canned single-flow event sequence: handshake, slow
+// start, a recovery episode, cwnd-limited cruise, app-limited tail,
+// success. Used by collector, critical-path, and chrome tests.
+func feedFlow(c *Collector) {
+	flow := "h1:40000>h2:5001"
+	ev := func(kind telemetry.EventKind, t time.Duration, reason string, bytes int64, value float64) {
+		c.Feed(&telemetry.Event{At: at(t), Kind: kind, Node: "h1", Flow: flow,
+			Reason: reason, Bytes: bytes, Value: value})
+	}
+	ev(telemetry.EvTCPStart, 0, "", 1000_000, 0)
+	ev(telemetry.EvTCPEstablished, 10*time.Millisecond, "", 0, 0.010)
+	ev(telemetry.EvTCPPhase, 10*time.Millisecond, telemetry.PhaseSlowStart, 0, 0)
+	ev(telemetry.EvTCPRetransmit, 180*time.Millisecond, "", 0, 0)
+	ev(telemetry.EvTCPPhase, 200*time.Millisecond, telemetry.PhaseRecovery, 0, 200_000)
+	ev(telemetry.EvTCPRecoveryEnter, 200*time.Millisecond, "fast-retransmit", 0, 0)
+	ev(telemetry.EvTCPRecoveryExit, 390*time.Millisecond, "", 0, 0)
+	ev(telemetry.EvTCPPhase, 400*time.Millisecond, telemetry.PhaseCwndLimited, 0, 250_000)
+	ev(telemetry.EvTCPPhase, 900*time.Millisecond, telemetry.PhaseAppLimited, 0, 990_000)
+	ev(telemetry.EvTCPDone, 1000*time.Millisecond, "success", 1000_000, 0)
+}
+
+func feedFault(c *Collector) {
+	c.Feed(&telemetry.Event{At: at(150 * time.Millisecond), Kind: telemetry.EvFaultOnset,
+		Node: "r1<->r2", Reason: "soft-failure", Detail: "soft-failure#0"})
+	c.Feed(&telemetry.Event{At: at(450 * time.Millisecond), Kind: telemetry.EvFaultClear,
+		Node: "r1<->r2", Reason: "soft-failure", Detail: "soft-failure#0"})
+}
+
+func TestCollectorAssemblesSpanTree(t *testing.T) {
+	c := NewCollector()
+	feedFlow(c)
+	feedFault(c)
+
+	flows := c.Flows()
+	if len(flows) != 1 {
+		t.Fatalf("flows = %d, want 1", len(flows))
+	}
+	ft := flows[0]
+	if !ft.Done || ft.Outcome != "success" {
+		t.Errorf("done=%v outcome=%q", ft.Done, ft.Outcome)
+	}
+	if ft.Handshake() != 10*time.Millisecond {
+		t.Errorf("handshake = %v", ft.Handshake())
+	}
+	if ft.Duration() != time.Second {
+		t.Errorf("duration = %v", ft.Duration())
+	}
+	if ft.BytesAcked != 1000_000 || ft.TotalBytes != 1000_000 {
+		t.Errorf("bytes acked=%d total=%d", ft.BytesAcked, ft.TotalBytes)
+	}
+
+	wantPhases := []struct {
+		phase string
+		dur   time.Duration
+		bytes int64
+	}{
+		{telemetry.PhaseSlowStart, 190 * time.Millisecond, 200_000},
+		{telemetry.PhaseRecovery, 200 * time.Millisecond, 50_000},
+		{telemetry.PhaseCwndLimited, 500 * time.Millisecond, 740_000},
+		{telemetry.PhaseAppLimited, 100 * time.Millisecond, 10_000},
+	}
+	if len(ft.Phases) != len(wantPhases) {
+		t.Fatalf("phases = %+v, want %d", ft.Phases, len(wantPhases))
+	}
+	for i, w := range wantPhases {
+		p := ft.Phases[i]
+		if p.Phase != w.phase || p.Duration() != w.dur || p.Bytes() != w.bytes {
+			t.Errorf("phase %d = %q %v %d bytes, want %q %v %d",
+				i, p.Phase, p.Duration(), p.Bytes(), w.phase, w.dur, w.bytes)
+		}
+	}
+	// Phase intervals tile the post-handshake extent exactly.
+	var sum time.Duration
+	for _, p := range ft.Phases {
+		sum += p.Duration()
+	}
+	if sum != ft.Duration()-ft.Handshake() {
+		t.Errorf("phases sum to %v, transfer body is %v", sum, ft.Duration()-ft.Handshake())
+	}
+	if len(ft.Instants) != 3 {
+		t.Errorf("instants = %+v, want 3", ft.Instants)
+	}
+
+	faults := c.Faults()
+	if len(faults) != 1 || faults[0].Open || faults[0].Clear.Sub(faults[0].Onset) != 300*time.Millisecond {
+		t.Errorf("faults = %+v", faults)
+	}
+}
+
+func TestCollectorOpenFlowSnapshot(t *testing.T) {
+	c := NewCollector()
+	flow := "h1:1>h2:2"
+	c.Feed(&telemetry.Event{At: 0, Kind: telemetry.EvTCPStart, Flow: flow, Bytes: -1})
+	c.Feed(&telemetry.Event{At: at(time.Millisecond), Kind: telemetry.EvTCPEstablished, Flow: flow})
+	c.Feed(&telemetry.Event{At: at(time.Millisecond), Kind: telemetry.EvTCPPhase,
+		Flow: flow, Reason: telemetry.PhaseSlowStart})
+	// Some later event advances the collector clock.
+	c.Feed(&telemetry.Event{At: at(500 * time.Millisecond), Kind: telemetry.EvTCPCwnd, Flow: flow})
+
+	ft := c.Flow(flow)
+	if ft.Done {
+		t.Fatal("flow should still be open")
+	}
+	if len(ft.Phases) != 1 || ft.Phases[0].End != at(500*time.Millisecond) {
+		t.Fatalf("open phase not extended to now: %+v", ft.Phases)
+	}
+
+	// The snapshot did not disturb assembly: finishing the flow still
+	// closes the phase at the real boundary.
+	c.Feed(&telemetry.Event{At: at(700 * time.Millisecond), Kind: telemetry.EvTCPDone,
+		Flow: flow, Reason: "abort", Bytes: 42})
+	ft = c.Flow(flow)
+	if !ft.Done || ft.Outcome != "abort" {
+		t.Fatalf("flow did not finish: %+v", ft)
+	}
+	if len(ft.Phases) != 1 || ft.Phases[0].End != at(700*time.Millisecond) {
+		t.Fatalf("final phase wrong: %+v", ft.Phases)
+	}
+}
+
+func TestCollectorPeriodicFaultOneWindow(t *testing.T) {
+	// A periodic fault re-emits onset while active; the window must not
+	// duplicate, and clear closes it once.
+	c := NewCollector()
+	for _, d := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second} {
+		c.Feed(&telemetry.Event{At: at(d), Kind: telemetry.EvFaultOnset,
+			Node: "x<->y", Reason: "loss", Detail: "loss#0"})
+	}
+	faults := c.Faults()
+	if len(faults) != 1 || !faults[0].Open || faults[0].Onset != at(time.Second) {
+		t.Fatalf("faults = %+v", faults)
+	}
+	c.Feed(&telemetry.Event{At: at(5 * time.Second), Kind: telemetry.EvFaultClear,
+		Node: "x<->y", Reason: "loss", Detail: "loss#0"})
+	faults = c.Faults()
+	if faults[0].Open || faults[0].Clear != at(5*time.Second) {
+		t.Fatalf("clear not applied: %+v", faults)
+	}
+}
+
+func TestCollectorQueueDownsampling(t *testing.T) {
+	c := NewCollector()
+	// 1000 enqueues 1ms apart collapse at 10ms resolution.
+	for i := 0; i < 1000; i++ {
+		c.Feed(&telemetry.Event{At: at(time.Duration(i) * time.Millisecond),
+			Kind: telemetry.EvEnqueue, Node: "r1", Value: float64(i)})
+	}
+	nodes, series := c.QueueSeries()
+	if len(nodes) != 1 || nodes[0] != "r1" {
+		t.Fatalf("nodes = %v", nodes)
+	}
+	pts := series["r1"]
+	if len(pts) != 100 {
+		t.Errorf("points = %d, want 100 at 10ms resolution", len(pts))
+	}
+	// The collapsed point carries the latest value.
+	if pts[0].Bytes != 9 {
+		t.Errorf("first point bytes = %d, want 9 (latest in window)", pts[0].Bytes)
+	}
+}
+
+// TestCollectorAgainstRealTransfer wires a collector to an actual
+// simulated lossy transfer and checks the assembled tree is coherent:
+// phases tile the transfer, recovery appears, and byte accounting
+// matches the connection's stats.
+func TestCollectorAgainstRealTransfer(t *testing.T) {
+	n := netsim.New(3)
+	tele := telemetry.New()
+	n.AttachTelemetry(tele)
+	col := NewCollector()
+	col.Attach(tele.Bus)
+
+	c := n.NewHost("client")
+	s := n.NewHost("server")
+	r1 := n.NewDevice("r1", netsim.DeviceConfig{EgressBuffer: 32 * units.MB})
+	n.Connect(c, r1, netsim.LinkConfig{Rate: units.Gbps, Delay: 10 * time.Microsecond, MTU: 1500})
+	n.Connect(r1, s, netsim.LinkConfig{Rate: units.Gbps, Delay: 2 * time.Millisecond,
+		Loss: &netsim.RandomLoss{P: 5e-4}, MTU: 1500})
+	n.ComputeRoutes()
+
+	srv := tcp.NewServer(s, 5001, tcp.Tuned())
+	var done *tcp.Stats
+	tcp.Dial(c, srv, 10*units.MB, tcp.Tuned(), func(st *tcp.Stats) { done = st })
+	n.RunFor(60 * time.Second)
+	if done == nil || !done.Done {
+		t.Fatal("transfer did not finish")
+	}
+
+	traces := col.Flows()
+	if len(traces) != 1 {
+		t.Fatalf("flows = %d, want 1", len(traces))
+	}
+	ft := traces[0]
+	if !ft.Done || ft.Outcome != "success" {
+		t.Fatalf("trace not completed: %+v", ft)
+	}
+	if ft.BytesAcked != int64(done.BytesAcked) {
+		t.Errorf("trace acked %d, stats say %d", ft.BytesAcked, int64(done.BytesAcked))
+	}
+	var sum time.Duration
+	sawRecovery := false
+	for i, p := range ft.Phases {
+		sum += p.Duration()
+		if p.Phase == telemetry.PhaseRecovery {
+			sawRecovery = true
+		}
+		if i > 0 && p.Start != ft.Phases[i-1].End {
+			t.Errorf("phase %d not contiguous: starts %v after end %v", i, p.Start, ft.Phases[i-1].End)
+		}
+	}
+	if sum != ft.Duration()-ft.Handshake() {
+		t.Errorf("phases sum %v != body %v", sum, ft.Duration()-ft.Handshake())
+	}
+	if done.LossEvents > 0 && !sawRecovery {
+		t.Error("transfer saw losses but trace has no recovery phase")
+	}
+}
