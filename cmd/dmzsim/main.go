@@ -26,6 +26,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/netsim"
+	"repro/internal/shard"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -293,7 +294,10 @@ func main() {
 	faultPeriods := flag.String("fault-periods", "", "with -faults: comma-separated BWCTL test periods (e.g. 15s,30s,60s) to sweep as a detection campaign")
 	faultSevs := flag.String("fault-severities", "", "with -fault-periods: comma-separated loss severities for the campaign's second axis")
 	flag.IntVar(&parallelWorkers, "parallel", 0, "sweep worker count (0 = GOMAXPROCS); results are identical at any value")
+	shards := flag.Int("shards", 0, "run the simulated network on N parallel shards (0 = the classic single-scheduler path; results are byte-identical at any N)")
 	flag.Parse()
+
+	shard.SetDefaultPlan(*shards)
 
 	finishProfiling := setupProfiling(*cpuprofile, *memprofile, *pprofAddr)
 	finish, wait := setupTelemetry(*tracePath, *metrics, *serve, *traceSpans)

@@ -10,10 +10,12 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"time"
 
 	"repro/internal/perfsonar"
+	"repro/internal/shard"
 	"repro/internal/tcp"
 	"repro/internal/topo"
 	"repro/internal/units"
@@ -45,6 +47,10 @@ func measure(c *topo.Colorado) (perHost units.BitRate, alerts int) {
 }
 
 func main() {
+	shards := flag.Int("shards", 0, "run the simulated network on N parallel shards (0 = the classic single-scheduler path; results are byte-identical at any N)")
+	flag.Parse()
+	shard.SetDefaultPlan(*shards)
+
 	fmt.Println("== before: cut-through switch with inadequate SF buffers ==")
 	before := topo.NewColorado(1, topo.ColoradoConfig{})
 	rate, alerts := measure(before)

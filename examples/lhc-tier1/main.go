@@ -10,6 +10,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"time"
 
@@ -17,11 +18,16 @@ import (
 	"repro/internal/flowgen"
 	"repro/internal/netsim"
 	"repro/internal/rdma"
+	"repro/internal/shard"
 	"repro/internal/topo"
 	"repro/internal/units"
 )
 
 func main() {
+	shards := flag.Int("shards", 0, "run the simulated network on N parallel shards (0 = the classic single-scheduler path; results are byte-identical at any N)")
+	flag.Parse()
+	shard.SetDefaultPlan(*shards)
+
 	b := topo.NewBigData(1, topo.BigDataConfig{})
 
 	// 1. LHC-style transfer mesh across the data plane.

@@ -13,16 +13,22 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"time"
 
 	"repro/internal/dtn"
 	"repro/internal/flowgen"
+	"repro/internal/shard"
 	"repro/internal/topo"
 	"repro/internal/units"
 )
 
 func main() {
+	shards := flag.Int("shards", 0, "run the simulated network on N parallel shards (0 = the classic single-scheduler path; results are byte-identical at any N)")
+	flag.Parse()
+	shard.SetDefaultPlan(*shards)
+
 	dataset := flowgen.NOAAReforecast()
 	fmt.Printf("dataset: %d files, %v total\n\n", len(dataset.Files), dataset.Total())
 

@@ -7,12 +7,14 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dtn"
 	"repro/internal/perfsonar"
+	"repro/internal/shard"
 	"repro/internal/tcp"
 	"repro/internal/topo"
 	"repro/internal/units"
@@ -22,6 +24,10 @@ func main() {
 	// 1. Build the Figure 3 topology: border router, DMZ switch with a
 	//    DTN and a perfSONAR host, campus behind a firewall. The WAN is
 	//    10G at ~25ms RTT.
+	shards := flag.Int("shards", 0, "run the simulated network on N parallel shards (0 = the classic single-scheduler path; results are byte-identical at any N)")
+	flag.Parse()
+	shard.SetDefaultPlan(*shards)
+
 	d := topo.NewSimpleDMZ(1, topo.SimpleDMZConfig{})
 
 	// 2. Audit it: the deployment satisfies all four patterns.

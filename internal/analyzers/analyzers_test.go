@@ -30,12 +30,13 @@ func TestSuiteCleanOnSimulatorCore(t *testing.T) {
 		"repro/internal/firewall",
 		"repro/internal/sim",
 		"repro/internal/fault",
+		"repro/internal/shard",
 	}, LoadOptions{})
 	if err != nil {
 		t.Fatalf("loading simulator core: %v", err)
 	}
-	if len(pkgs) != 6 {
-		t.Fatalf("loaded %d packages, want 6", len(pkgs))
+	if len(pkgs) != 7 {
+		t.Fatalf("loaded %d packages, want 7", len(pkgs))
 	}
 	for _, pkg := range pkgs {
 		for _, terr := range pkg.TypeErrors {

@@ -171,3 +171,48 @@ func (s *sender) setPhaseBad(phase string, seq int64) {
 	s.phase = phase
 	s.bus.Emit(event{at: 0, kind: 1, flow: key, label: label})
 }
+
+// Cross-shard handoff mirrors internal/shard's SPSC ring: Push runs on
+// the producing shard's event goroutine once per cut-crossing packet,
+// so it is subject to the same zero-allocation contract as the
+// scheduler itself.
+
+type xEntry struct {
+	pkt *int
+	at  int64
+	seq uint64
+}
+
+type xRing struct {
+	buf      []xEntry
+	mask     uint64
+	tail     uint64
+	overflow []xEntry
+}
+
+// pushBad is the anti-pattern: boxing each handoff in a fresh heap
+// entry (and formatting a debug label) allocates per crossing packet.
+//
+//dmz:hotpath
+func (r *xRing) pushBad(pkt *int, at int64, seq uint64) {
+	e := &xEntry{pkt: pkt, at: at, seq: seq} // want `&composite literal allocates`
+	_ = fmt.Sprintf("xfer seq=%d", seq)      // want `fmt\.Sprintf allocates`
+	r.buf[r.tail&r.mask] = *e
+	r.tail++
+}
+
+// push is the sanctioned shape: a by-value store into the preallocated
+// ring slot, with the full-ring spill (which cannot block without
+// deadlocking the draining barrier) carrying an explicit escape. Only
+// the spill may allocate, and only when the ring is full.
+//
+//dmz:hotpath
+func (r *xRing) push(pkt *int, at int64, seq uint64) {
+	if r.tail-uint64(len(r.overflow)) == uint64(len(r.buf)) {
+		//dmzvet:alloc overflow spill: a full ring must not block the producer
+		r.overflow = append(r.overflow, xEntry{pkt: pkt, at: at, seq: seq})
+		return
+	}
+	r.buf[r.tail&r.mask] = xEntry{pkt: pkt, at: at, seq: seq}
+	r.tail++
+}

@@ -248,11 +248,14 @@ type classifier struct {
 func (cl *classifier) FilterName() string { return "circuit:" + cl.c.ID }
 
 // Check implements netsim.Filter.
-func (cl *classifier) Check(p *netsim.Packet, _ *netsim.Port) bool {
+func (cl *classifier) Check(p *netsim.Packet, in *netsim.Port) bool {
 	if !cl.active || !cl.c.Matches(p) {
 		return true
 	}
-	now := cl.net.Sched.Now()
+	// The ingress port's clock, not the network clock: under sharded
+	// execution the filter runs on the device's shard, whose time runs
+	// ahead of the control scheduler between barriers.
+	now := in.Now()
 	elapsed := now.Sub(cl.last).Seconds()
 	cl.last = now
 	cl.tokens += elapsed * float64(cl.c.Rate) / 8

@@ -108,7 +108,7 @@ type Tool interface {
 type Transfer struct {
 	res       Result
 	remaining int
-	net       *netsim.Network
+	host      *netsim.Host // source host; its clock stamps the result
 	onDone    func(*Result)
 }
 
@@ -116,7 +116,7 @@ type Transfer struct {
 func (t *Transfer) Result() *Result {
 	r := t.res
 	if !r.Done {
-		r.End = t.net.Sched.Now()
+		r.End = t.host.Now()
 	}
 	return &r
 }
@@ -145,10 +145,10 @@ func startStreams(tool string, src, dst *Node, port uint16, size units.ByteSize,
 			Tool:    tool,
 			Size:    size,
 			Streams: n,
-			Start:   src.Host.Network().Sched.Now(),
+			Start:   src.Host.Now(),
 		},
 		remaining: n,
-		net:       src.Host.Network(),
+		host:      src.Host,
 		onDone:    onDone,
 	}
 	per := size / units.ByteSize(n)
@@ -162,7 +162,7 @@ func startStreams(tool string, src, dst *Node, port uint16, size units.ByteSize,
 			tr.remaining--
 			if tr.remaining == 0 {
 				tr.res.Done = true
-				tr.res.End = tr.net.Sched.Now()
+				tr.res.End = tr.host.Now()
 				if tr.onDone != nil {
 					r := tr.res
 					tr.onDone(&r)
@@ -405,12 +405,11 @@ func TransferSet(src, dst *Node, d Dataset, tool Tool, concurrency int, onDone f
 	if concurrency < 1 {
 		concurrency = 1
 	}
-	net := src.Host.Network()
 	res := &SetResult{
 		Dataset: d.Name,
 		Files:   len(d.Files),
 		Size:    d.Total(),
-		Start:   net.Sched.Now(),
+		Start:   src.Host.Now(),
 	}
 	next := 0
 	inFlight := 0
@@ -425,7 +424,7 @@ func TransferSet(src, dst *Node, d Dataset, tool Tool, concurrency int, onDone f
 		}
 		if inFlight == 0 {
 			res.Done = true
-			res.End = net.Sched.Now()
+			res.End = src.Host.Now()
 			if onDone != nil {
 				onDone(res)
 			}
@@ -442,7 +441,7 @@ func TransferSet(src, dst *Node, d Dataset, tool Tool, concurrency int, onDone f
 	}
 	if len(d.Files) == 0 {
 		res.Done = true
-		res.End = net.Sched.Now()
+		res.End = src.Host.Now()
 		if onDone != nil {
 			onDone(res)
 		}

@@ -100,6 +100,10 @@ func NewInjector(n *netsim.Network, sc *Scenario, seed func(stream string) int64
 				return nil, fmt.Errorf("fault %s: no link %q in the topology", f.rec.Key, spec.Link)
 			}
 			f.link = l
+			// An injected loss model may be stateful (bursty/periodic),
+			// with state shared by the link's two directions — such a link
+			// cannot straddle a shard boundary (see Link.Cuttable).
+			l.MarkNoCut()
 			f.rec.LinkA, f.rec.LinkB = l.Ends()
 			f.rec.Target = f.rec.LinkA + "<->" + f.rec.LinkB
 		}
@@ -128,7 +132,7 @@ func NewInjector(n *netsim.Network, sc *Scenario, seed func(stream string) int64
 			}
 			f.overlay = &overlay{inject: mdl, rng: rng}
 		case KindDegradingOptic:
-			f.rampMdl = &ramp{sched: n.Sched, rise: sim.Time(spec.Duration), peak: spec.Peak}
+			f.rampMdl = &ramp{rise: sim.Time(spec.Duration), peak: spec.Peak}
 			f.overlay = &overlay{inject: f.rampMdl, rng: rng}
 		case KindBufferShrink:
 			if _, ok := f.node.(*netsim.Device); !ok {
@@ -180,10 +184,17 @@ func (inj *Injector) onset(f *active) {
 	case KindBufferShrink:
 		d := f.node.(*netsim.Device)
 		f.ports = d.Ports()
-		f.savedCaps = f.savedCaps[:0]
+		// Save pre-fault capacities only when no shrink is in force:
+		// overlapping onsets of a periodic flap would otherwise capture
+		// the already-shrunk capacity and restore that at clear.
+		if f.applied == 0 {
+			f.savedCaps = f.savedCaps[:0]
+			for _, p := range f.ports {
+				f.savedCaps = append(f.savedCaps, p.QueueCap)
+			}
+		}
 		for _, p := range f.ports {
-			f.savedCaps = append(f.savedCaps, p.QueueCap)
-			p.QueueCap = units.ByteSize(float64(p.QueueCap) * f.spec.Factor)
+			p.SetQueueCap(units.ByteSize(float64(p.QueueCap) * f.spec.Factor))
 		}
 	case KindMonitorOutage:
 		f.links = f.links[:0]
@@ -210,8 +221,10 @@ func (inj *Injector) clear(f *active) {
 	case KindLinkFlap:
 		f.link.SetDown(false)
 	case KindBufferShrink:
-		for i, p := range f.ports {
-			p.QueueCap = f.savedCaps[i]
+		if f.applied == 1 {
+			for i, p := range f.ports {
+				p.SetQueueCap(f.savedCaps[i])
+			}
 		}
 	case KindMonitorOutage:
 		for i, l := range f.links {

@@ -22,18 +22,19 @@ type overlay struct {
 // Drop implements netsim.LossModel on the per-packet wire path.
 //
 //dmz:hotpath
-func (o *overlay) Drop(r *rand.Rand, p *netsim.Packet) bool {
-	if o.base != nil && o.base.Drop(r, p) {
+func (o *overlay) Drop(now sim.Time, r *rand.Rand, p *netsim.Packet) bool {
+	if o.base != nil && o.base.Drop(now, r, p) {
 		return true
 	}
-	return o.inject.Drop(o.rng, p)
+	return o.inject.Drop(now, o.rng, p)
 }
 
 // ramp is the degrading-optic model: drop probability rises linearly
 // from 0 at start to Peak at start+rise, then holds. It reads the
-// scheduler clock, not wall time, so it is deterministic and replayable.
+// simulation clock passed by the wire path — not a captured scheduler,
+// which under sharded execution would be the wrong (control) clock —
+// so it is deterministic and replayable at any shard count.
 type ramp struct {
-	sched *sim.Scheduler
 	start sim.Time // set at fault onset
 	rise  sim.Time // duration of the ramp, as a span
 	peak  float64
@@ -42,8 +43,8 @@ type ramp struct {
 // Drop implements netsim.LossModel.
 //
 //dmz:hotpath
-func (rp *ramp) Drop(r *rand.Rand, _ *netsim.Packet) bool {
-	frac := float64(rp.sched.Now()-rp.start) / float64(rp.rise)
+func (rp *ramp) Drop(now sim.Time, r *rand.Rand, _ *netsim.Packet) bool {
+	frac := float64(now-rp.start) / float64(rp.rise)
 	if frac < 0 {
 		frac = 0
 	}

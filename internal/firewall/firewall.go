@@ -188,7 +188,7 @@ func (p *processor) serveNext() {
 	if extra := p.fw.sessionDelay(pkt); extra > 0 {
 		d += extra
 	}
-	p.fw.net.Sched.AfterTag(tagFirewall, d, func() {
+	p.fw.EventScheduler().AfterTag(tagFirewall, d, func() {
 		p.fw.finish(pkt)
 		p.serveNext()
 	})
@@ -201,7 +201,7 @@ func (f *Firewall) sessionDelay(pkt *netsim.Packet) time.Duration {
 	if _, ok := f.sessions[key]; ok {
 		return 0
 	}
-	f.sessions[key] = f.net.Sched.Now()
+	f.sessions[key] = f.EventScheduler().Now()
 	f.Stats.Sessions++
 	return f.Config.SessionSetup
 }

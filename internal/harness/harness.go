@@ -24,12 +24,12 @@ package harness
 
 import (
 	"fmt"
-	"hash/fnv"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/netsim"
+	"repro/internal/sim"
 )
 
 // Point identifies one parameter combination in a sweep. Key must be
@@ -79,14 +79,11 @@ func (c Campaign) Sweep(name string) Config {
 }
 
 // Seed derives a deterministic 63-bit seed by FNV-1a hashing the given
-// parts with length framing (so ("ab","c") and ("a","bc") differ).
+// parts with length framing (so ("ab","c") and ("a","bc") differ). The
+// derivation lives in sim.DeriveSeed so lower layers (the sharded
+// engine's per-port loss streams) share it without importing harness.
 func Seed(parts ...string) int64 {
-	h := fnv.New64a()
-	for _, p := range parts {
-		fmt.Fprintf(h, "%d:", len(p))
-		h.Write([]byte(p))
-	}
-	return int64(h.Sum64() &^ (1 << 63))
+	return sim.DeriveSeed(parts...)
 }
 
 // Ctx is a sweep point's execution context: the source of its random

@@ -75,11 +75,14 @@ func New(net *netsim.Network, name string) *IDS {
 }
 
 // Watch attaches the IDS to a port's tap. One IDS may watch any number
-// of ports (a SPAN session across the DMZ switch).
+// of ports (a SPAN session across the DMZ switch). Under sharded
+// execution every watched port must live on the same shard — IDS flow
+// state is single-threaded, like the physical appliance it models, and
+// a SPAN session never crosses the facility boundary anyway.
 func (s *IDS) Watch(p *netsim.Port) {
 	p.AddTap(func(pkt *netsim.Packet, d netsim.Dir) {
 		if d == netsim.DirRx {
-			s.observe(pkt)
+			s.observe(pkt, p.Now())
 		}
 	})
 }
@@ -92,16 +95,16 @@ func canonical(k netsim.FlowKey) netsim.FlowKey {
 	return k
 }
 
-func (s *IDS) observe(pkt *netsim.Packet) {
+func (s *IDS) observe(pkt *netsim.Packet, now sim.Time) {
 	key := canonical(pkt.Flow)
 	rec, ok := s.flows[key]
 	if !ok {
-		rec = &FlowRecord{Key: key, First: s.net.Sched.Now()}
+		rec = &FlowRecord{Key: key, First: now}
 		s.flows[key] = rec
 	}
 	rec.Packets++
 	rec.Bytes += pkt.Size
-	rec.Last = s.net.Sched.Now()
+	rec.Last = now
 	if pkt.Flags.Has(netsim.FlagSYN) {
 		rec.SynSeen = true
 	}
@@ -116,7 +119,7 @@ func (s *IDS) observe(pkt *netsim.Packet) {
 		if detail := sig.Match(rec, pkt); detail != "" {
 			rec.Alerted = true
 			s.Alerts = append(s.Alerts, Alert{
-				At:     s.net.Sched.Now(),
+				At:     now,
 				Flow:   pkt.Flow,
 				Rule:   sig.Name,
 				Detail: detail,

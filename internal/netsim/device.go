@@ -132,7 +132,7 @@ func (d *Device) Receive(pkt *Packet, in *Port) {
 	for _, f := range d.filters {
 		if !f.Check(pkt, in) {
 			d.FilterDrops[f.FilterName()]++
-			d.net.countDrop(pkt, DropFiltered, d.Name(), f.FilterName())
+			d.net.countDrop(d.ctx, pkt, DropFiltered, d.Name(), f.FilterName())
 			return
 		}
 	}
@@ -157,15 +157,15 @@ func (d *Device) forward(pkt *Packet) {
 	if out == nil {
 		p, ok := d.fib[pkt.Flow.Dst]
 		if !ok {
-			d.net.countDrop(pkt, DropNoRoute, d.Name(), pkt.Flow.Dst)
+			d.net.countDrop(d.ctx, pkt, DropNoRoute, d.Name(), pkt.Flow.Dst)
 			return
 		}
 		out = p
 	}
 	d.Forwarded++
-	if d.net.bus.Enabled() {
-		d.net.bus.Emit(telemetry.Event{
-			At:     d.net.Sched.Now(),
+	if bus := d.ctx.tracebus(d.net); bus.Enabled() {
+		bus.Emit(telemetry.Event{
+			At:     d.ctx.sched.Now(),
 			Kind:   telemetry.EvForward,
 			Node:   d.Name(),
 			Flow:   pkt.Flow.String(),
@@ -174,9 +174,9 @@ func (d *Device) forward(pkt *Packet) {
 		})
 	}
 	if delay := d.Config.FwdLatency; delay > 0 {
-		d.net.transit++
-		d.net.Sched.AfterTag(tagDevice, delay, func() {
-			d.net.transit--
+		d.net.transit.Add(1)
+		d.ctx.sched.AfterTag(tagDevice, delay, func() {
+			d.net.transit.Add(^uint64(0))
 			out.Send(pkt)
 		})
 		return
@@ -193,7 +193,7 @@ func (d *Device) sfEnqueue(pkt *Packet) {
 	}
 	if d.sfBytes+pkt.Size > buf {
 		d.SFDrops++
-		d.net.countDrop(pkt, DropSFOverflow, d.Name(), "")
+		d.net.countDrop(d.ctx, pkt, DropSFOverflow, d.Name(), "")
 		return
 	}
 	d.sfQueue = append(d.sfQueue, pkt)
@@ -216,9 +216,9 @@ func (d *Device) sfServe() {
 	if rate == 0 {
 		rate = 4 * units.Gbps
 	}
-	d.net.transit++
-	d.net.Sched.AfterTag(tagDevice, rate.Serialize(pkt.Size), func() {
-		d.net.transit--
+	d.net.transit.Add(1)
+	d.ctx.sched.AfterTag(tagDevice, rate.Serialize(pkt.Size), func() {
+		d.net.transit.Add(^uint64(0))
 		d.forward(pkt)
 		d.sfServe()
 	})
@@ -234,7 +234,7 @@ func (d *Device) checkModeSwitch() {
 		return
 	}
 	const window = 100 * time.Millisecond
-	now := d.net.Sched.Now()
+	now := d.ctx.sched.Now()
 	snapshot := func() {
 		d.utilCheck = now
 		if d.utilBytes == nil {

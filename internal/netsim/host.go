@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -29,6 +31,12 @@ type Host struct {
 	handlers map[protoPort]Handler
 	fib      map[string]*Port // destination host -> egress port
 	nextPort uint16
+
+	// Shard-count-invariant packet IDs: when idBase is nonzero
+	// (ApplyShards sets it from the host's rank in sorted name order) the
+	// host stamps IDs from its own counter instead of the network's
+	// shared one, whose interleaving would depend on the partition.
+	idBase, idSeq uint64
 
 	// Dropped counts packets that arrived for a port with no handler.
 	Dropped uint64
@@ -74,28 +82,55 @@ func (h *Host) EphemeralPort() uint16 {
 func (h *Host) Receive(pkt *Packet, _ *Port) {
 	key := protoPort{pkt.Flow.Proto, pkt.Flow.DstPort}
 	if fn, ok := h.handlers[key]; ok {
-		h.net.delivered++
+		h.net.delivered.Add(1)
 		fn.Deliver(pkt)
 		return
 	}
 	h.Dropped++
-	h.net.countDrop(pkt, DropNoHandler, h.Name(), "")
+	h.net.countDrop(h.ctx, pkt, DropNoHandler, h.Name(), "")
 }
 
 // Send stamps and transmits a packet toward its destination via the
 // host's routing table. Packets to unknown destinations are dropped and
 // counted.
 func (h *Host) Send(pkt *Packet) {
-	pkt.ID = h.net.nextPacketID()
-	pkt.SentAt = h.net.Sched.Now()
-	h.net.injected++
+	if h.idBase != 0 {
+		h.idSeq++
+		pkt.ID = h.idBase | h.idSeq
+	} else {
+		pkt.ID = h.net.nextPacketID()
+	}
+	pkt.SentAt = h.ctx.sched.Now()
+	h.net.injected.Add(1)
 	out, ok := h.fib[pkt.Flow.Dst]
 	if !ok {
-		h.net.countDrop(pkt, DropNoLocalRoute, h.Name(), pkt.Flow.Dst)
+		h.net.countDrop(h.ctx, pkt, DropNoLocalRoute, h.Name(), pkt.Flow.Dst)
 		return
 	}
 	out.Send(pkt)
 }
+
+// Now returns the host's simulation clock: its shard scheduler's under
+// sharded execution, the network scheduler's otherwise. Transport code
+// stamping times on the data path must use this, never Network.Sched.
+func (h *Host) Now() sim.Time { return h.ctx.sched.Now() }
+
+// NewPacket allocates from the host's execution context's free-list.
+// Transports allocate here so the pool stays single-owner per shard.
+//
+//dmz:hotpath
+func (h *Host) NewPacket() *Packet { return h.ctx.pool.get() }
+
+// ReleasePacket recycles a consumed packet into the host's context pool.
+//
+//dmz:hotpath
+func (h *Host) ReleasePacket(p *Packet) { h.ctx.pool.put(p) }
+
+// TraceBus returns the bus the host's transport should emit trace events
+// to: the shard capture bus under sharded execution (merged canonically
+// at barriers), the network's live bus otherwise. Nil-receiver-safe via
+// Bus.Enabled like Network.TraceBus.
+func (h *Host) TraceBus() *telemetry.Bus { return h.ctx.tracebus(h.net) }
 
 // PortBinding names a bound transport service on a host.
 type PortBinding struct {

@@ -54,10 +54,10 @@ func (c Conservation) String() string {
 // from the other three counters, so imbalance detects real leaks.
 func (n *Network) Conservation() Conservation {
 	c := Conservation{
-		Injected:  n.injected,
-		Delivered: n.delivered,
-		Dropped:   n.dropped,
-		InFlight:  n.transit,
+		Injected:  n.injected.Load(),
+		Delivered: n.delivered.Load(),
+		Dropped:   n.dropped.Load(),
+		InFlight:  n.transit.Load(),
 	}
 	for _, node := range n.nodes {
 		for _, p := range node.Ports() {
@@ -126,8 +126,8 @@ func (n *Network) AuditInvariants() []error {
 	for _, c := range n.DropStats {
 		structured += c
 	}
-	if legacy != structured || legacy != n.dropped {
-		errs = append(errs, fmt.Errorf("drop accounting disagrees: Drops %d, DropStats %d, counted %d", legacy, structured, n.dropped))
+	if dropped := n.dropped.Load(); legacy != structured || legacy != dropped {
+		errs = append(errs, fmt.Errorf("drop accounting disagrees: Drops %d, DropStats %d, counted %d", legacy, structured, dropped))
 	}
 
 	if n.Sched.Now() < 0 {
@@ -135,6 +135,16 @@ func (n *Network) AuditInvariants() []error {
 	}
 	if n.Sched.ClockRegressions > 0 {
 		errs = append(errs, fmt.Errorf("simulation clock regressed %d times", n.Sched.ClockRegressions))
+	}
+	for i, sc := range n.shardCtxs {
+		if sc.sched.ClockRegressions > 0 {
+			errs = append(errs, fmt.Errorf("shard %d clock regressed %d times", i+1, sc.sched.ClockRegressions))
+		}
+	}
+	// Extra auditors (the sharded engine registers ring-occupancy and
+	// shard-clock-agreement checks here).
+	for _, fn := range n.auditors {
+		errs = append(errs, fn()...)
 	}
 	return errs
 }
@@ -160,7 +170,17 @@ func (p *Port) auditQueues() []error {
 	if p.queueBytes < 0 || p.prioBytes < 0 {
 		errs = append(errs, fmt.Errorf("%s: negative queue depth (bulk %d B, prio %d B)", name, p.queueBytes, p.prioBytes))
 	}
-	if p.QueueCap > 0 && (p.queueBytes > p.QueueCap || p.prioBytes > p.QueueCap) {
+	// A capacity shrunk at runtime (SetQueueCap) may legally leave the
+	// queue over the new capacity until grandfathered packets drain; the
+	// effective limit until then is the occupancy captured at shrink time.
+	// Comparing against the bare QueueCap here double-counted those
+	// packets as violations even though admission control never let a
+	// byte in illegally.
+	limit := p.QueueCap
+	if p.capFloor > limit {
+		limit = p.capFloor
+	}
+	if p.QueueCap > 0 && (p.queueBytes > limit || p.prioBytes > limit) {
 		errs = append(errs, fmt.Errorf("%s: queue depth exceeds capacity %d B (bulk %d B, prio %d B)", name, p.QueueCap, p.queueBytes, p.prioBytes))
 	}
 	return errs

@@ -1,21 +1,28 @@
 package netsim
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
 
 // LossModel decides whether the wire corrupts (drops) a packet in transit.
 // Wire loss models the paper's "soft failures" — failing line cards, dirty
 // optics — which, crucially, do not appear in device error counters and
 // are only observable end-to-end (§2.1, §3.3).
 type LossModel interface {
-	// Drop reports whether this packet is lost in transit.
-	Drop(r *rand.Rand, p *Packet) bool
+	// Drop reports whether this packet is lost in transit. now is the
+	// simulation clock at the transmitting port — passed in because under
+	// sharded execution there is no single global clock a model could
+	// consult.
+	Drop(now sim.Time, r *rand.Rand, p *Packet) bool
 }
 
 // NoLoss is a clean wire.
 type NoLoss struct{}
 
 // Drop always reports false.
-func (NoLoss) Drop(*rand.Rand, *Packet) bool { return false }
+func (NoLoss) Drop(sim.Time, *rand.Rand, *Packet) bool { return false }
 
 // RandomLoss drops each packet independently with probability P.
 type RandomLoss struct {
@@ -23,7 +30,7 @@ type RandomLoss struct {
 }
 
 // Drop implements LossModel.
-func (l RandomLoss) Drop(r *rand.Rand, _ *Packet) bool {
+func (l RandomLoss) Drop(_ sim.Time, r *rand.Rand, _ *Packet) bool {
 	return l.P > 0 && r.Float64() < l.P
 }
 
@@ -37,7 +44,7 @@ type PeriodicLoss struct {
 }
 
 // Drop implements LossModel.
-func (l *PeriodicLoss) Drop(*rand.Rand, *Packet) bool {
+func (l *PeriodicLoss) Drop(_ sim.Time, _ *rand.Rand, _ *Packet) bool {
 	if l.N <= 0 {
 		return false
 	}
@@ -61,7 +68,7 @@ type GilbertElliott struct {
 }
 
 // Drop implements LossModel.
-func (g *GilbertElliott) Drop(r *rand.Rand, _ *Packet) bool {
+func (g *GilbertElliott) Drop(_ sim.Time, r *rand.Rand, _ *Packet) bool {
 	if g.bad {
 		if r.Float64() < g.BadToGood {
 			g.bad = false

@@ -11,7 +11,7 @@ func TestNoLoss(t *testing.T) {
 	r := sim.NewRand(1)
 	var m NoLoss
 	for i := 0; i < 1000; i++ {
-		if m.Drop(r, nil) {
+		if m.Drop(0, r, nil) {
 			t.Fatal("NoLoss dropped a packet")
 		}
 	}
@@ -23,7 +23,7 @@ func TestRandomLossRate(t *testing.T) {
 	drops := 0
 	const n = 200000
 	for i := 0; i < n; i++ {
-		if m.Drop(r, nil) {
+		if m.Drop(0, r, nil) {
 			drops++
 		}
 	}
@@ -37,7 +37,7 @@ func TestRandomLossZero(t *testing.T) {
 	r := sim.NewRand(3)
 	m := RandomLoss{P: 0}
 	for i := 0; i < 1000; i++ {
-		if m.Drop(r, nil) {
+		if m.Drop(0, r, nil) {
 			t.Fatal("P=0 dropped a packet")
 		}
 	}
@@ -49,7 +49,7 @@ func TestPeriodicLossExact(t *testing.T) {
 	drops := 0
 	const n = 220000
 	for i := 0; i < n; i++ {
-		if m.Drop(nil, nil) {
+		if m.Drop(0, nil, nil) {
 			drops++
 		}
 	}
@@ -62,7 +62,7 @@ func TestPeriodicLossPosition(t *testing.T) {
 	m := &PeriodicLoss{N: 5}
 	var pattern []bool
 	for i := 0; i < 10; i++ {
-		pattern = append(pattern, m.Drop(nil, nil))
+		pattern = append(pattern, m.Drop(0, nil, nil))
 	}
 	for i, dropped := range pattern {
 		want := (i+1)%5 == 0
@@ -75,7 +75,7 @@ func TestPeriodicLossPosition(t *testing.T) {
 func TestPeriodicLossDisabled(t *testing.T) {
 	m := &PeriodicLoss{N: 0}
 	for i := 0; i < 100; i++ {
-		if m.Drop(nil, nil) {
+		if m.Drop(0, nil, nil) {
 			t.Fatal("N=0 should never drop")
 		}
 	}
@@ -92,7 +92,7 @@ func TestGilbertElliottBurstiness(t *testing.T) {
 	runs := 0
 	inRun := false
 	for i := 0; i < n; i++ {
-		if m.Drop(r, nil) {
+		if m.Drop(0, r, nil) {
 			drops++
 			if !inRun {
 				runs++

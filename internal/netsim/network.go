@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"sort"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sim"
@@ -41,6 +43,11 @@ type LinkConfig struct {
 }
 
 // Network owns a simulated topology: the scheduler, nodes, and links.
+//
+// Under sharded execution (internal/shard), Sched becomes the *control*
+// scheduler — tickers, fault transitions, monitors — while node events
+// run on per-shard schedulers; see shard.go. Unsharded networks run
+// everything on Sched exactly as before.
 type Network struct {
 	Sched *sim.Scheduler
 
@@ -53,31 +60,44 @@ type Network struct {
 	// Drops tallies every packet the network destroyed, by formatted
 	// human-readable reason. It is experiment bookkeeping, not something
 	// devices can see. DropStats is the structured equivalent,
-	// aggregatable by cause.
+	// aggregatable by cause. Both are guarded by dropMu: drops are cold,
+	// and under sharded execution they arrive from several shard
+	// goroutines whose per-site increments commute.
 	Drops map[string]uint64
 
 	// DropStats tallies drops by structured (reason, location) site.
 	DropStats map[DropSite]uint64
 
 	// DropHook, when set, observes every dropped packet. Tests use it to
-	// assert on loss behaviour.
+	// assert on loss behaviour. It is invoked under dropMu, so hooks are
+	// serialized even under sharded execution.
 	DropHook func(pkt *Packet, reason string)
+
+	dropMu sync.Mutex
 
 	// Conservation accounting (see invariant.go). Every packet enters the
 	// network exactly once through Host.Send and leaves exactly once:
 	// delivered to a transport handler or destroyed through countDrop.
 	// transit counts packets captured inside scheduled closures (wire
-	// propagation, forwarding latency, degraded store-and-forward service)
-	// where no queue length can see them.
-	injected  uint64
-	delivered uint64
-	dropped   uint64
-	transit   uint64
+	// propagation, forwarding latency, degraded store-and-forward
+	// service) and cross-shard ring queues, where no queue length can see
+	// them. Atomics: the increments are commutative sums, so concurrent
+	// shards keep the ledger exact without ordering.
+	injected  atomic.Uint64
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+	transit   atomic.Uint64
 
-	// Packet free-list (pool.go): consumed packets awaiting reuse, and
-	// the count of NewPacket calls served from the list.
-	pktFree   []*Packet
-	pktReused uint64
+	// ctl is the control execution context: scheduler Sched, the
+	// network-level packet free-list, rank 0. Node and port contexts
+	// alias it until ApplyShards installs a partition.
+	ctl       *shardCtx
+	shardCtxs []*shardCtx
+
+	engineMode  bool
+	runner      Runner
+	planApplied bool
+	auditors    []func() []error
 
 	// Telemetry wiring. bus is nil until AttachTelemetry; all emit
 	// sites guard with bus.Enabled(), which is nil-receiver-safe, so a
@@ -106,7 +126,7 @@ func New(seed int64) *Network {
 // plane is shared mutable state, and concurrently attaching worker
 // networks to it would race.
 func NewIsolated(seed int64) *Network {
-	return &Network{
+	n := &Network{
 		Sched:     sim.New(),
 		rng:       sim.NewRand(seed),
 		nodes:     make(map[string]Node),
@@ -114,6 +134,8 @@ func NewIsolated(seed int64) *Network {
 		Drops:     make(map[string]uint64),
 		DropStats: make(map[DropSite]uint64),
 	}
+	n.ctl = &shardCtx{sched: n.Sched}
+	return n
 }
 
 // AttachTelemetry wires the network into a telemetry plane: trace
@@ -140,7 +162,7 @@ func (n *Network) Telemetry() *telemetry.Telemetry { return n.tele }
 
 // TelemetryBus returns the attached trace bus. The result may be nil;
 // all Bus methods are nil-safe, so callers may use it unconditionally.
-func (n *Network) TelemetryBus() *telemetry.Bus { return n.bus }
+func (n *Network) TelemetryBus() *telemetry.Bus { return n.ctl.tracebus(n) }
 
 // TelemetrySampler returns the registry sampler running on this
 // network's scheduler, or nil when none was started.
@@ -192,6 +214,7 @@ func (n *Network) register(name string, node Node) {
 	if _, ok := n.nodes[name]; ok {
 		panic(fmt.Sprintf("netsim: duplicate node name %q", name))
 	}
+	node.setShard(n.ctl)
 	n.nodes[name] = node
 }
 
@@ -206,14 +229,21 @@ func (n *Network) Register(name string, node Node) { n.register(name, node) }
 // DropReason enum covers should prefer CountDropReason so their drops
 // aggregate by cause.
 func (n *Network) CountDrop(pkt *Packet, reason string) {
-	n.countDrop(pkt, DropOther, "", reason)
+	n.countDrop(n.ctl, pkt, DropOther, "", reason)
 }
 
 // CountDropReason records a packet destroyed by a custom node with a
 // structured reason, location, and optional detail (see
-// DropReason.Format).
+// DropReason.Format). When node names a registered node, the drop is
+// stamped and traced in that node's execution context — which is what
+// keeps custom middleboxes (internal/firewall) correct under sharded
+// execution.
 func (n *Network) CountDropReason(pkt *Packet, reason DropReason, node, detail string) {
-	n.countDrop(pkt, reason, node, detail)
+	sc := n.ctl
+	if nd, ok := n.nodes[node]; ok {
+		sc = n.sctx(nd)
+	}
+	n.countDrop(sc, pkt, reason, node, detail)
 }
 
 // NewHost adds a host to the network.
@@ -290,8 +320,8 @@ func (n *Network) Connect(a, b Node, cfg LinkConfig) *Link {
 		panic("netsim: Connect requires a positive rate")
 	}
 	l := &Link{Rate: cfg.Rate, Delay: cfg.Delay, Loss: cfg.Loss, MTU: cfg.MTU, net: n}
-	pa := &Port{Owner: a, Link: l, QueueCap: n.defaultQueue(a, cfg.Rate, cfg.QueueA), net: n}
-	pb := &Port{Owner: b, Link: l, QueueCap: n.defaultQueue(b, cfg.Rate, cfg.QueueB), net: n}
+	pa := &Port{Owner: a, Link: l, QueueCap: n.defaultQueue(a, cfg.Rate, cfg.QueueA), net: n, ctx: n.sctx(a)}
+	pb := &Port{Owner: b, Link: l, QueueCap: n.defaultQueue(b, cfg.Rate, cfg.QueueB), net: n, ctx: n.sctx(b)}
 	pa.peer, pb.peer = pb, pa
 	l.A, l.B = pa, pb
 	a.attach(pa)
@@ -326,18 +356,28 @@ func (n *Network) nextPacketID() uint64 {
 	return n.nextID
 }
 
-func (n *Network) countDrop(pkt *Packet, reason DropReason, node, detail string) {
+// countDrop is the single drop-accounting sink. sc is the execution
+// context of the code destroying the packet: its clock stamps the trace
+// event and its capture bus receives it, so drops order correctly under
+// sharded execution. The tally maps are cold-path and commutative, so a
+// mutex (not ordering) is all they need.
+func (n *Network) countDrop(sc *shardCtx, pkt *Packet, reason DropReason, node, detail string) {
 	text := reason.Format(node, detail)
+	n.dropMu.Lock()
 	n.Drops[text]++
 	n.DropStats[DropSite{Reason: reason, Node: node}]++
-	n.dropped++
-	if n.bus.Enabled() {
+	if n.DropHook != nil {
+		n.DropHook(pkt, text)
+	}
+	n.dropMu.Unlock()
+	n.dropped.Add(1)
+	if bus := sc.tracebus(n); bus.Enabled() {
 		kind := telemetry.EvDrop
 		if reason == DropWireLoss {
 			kind = telemetry.EvWireLoss
 		}
-		n.bus.Emit(telemetry.Event{
-			At:     n.Sched.Now(),
+		bus.Emit(telemetry.Event{
+			At:     sc.sched.Now(),
 			Kind:   kind,
 			Node:   node,
 			Flow:   pkt.Flow.String(),
@@ -347,12 +387,18 @@ func (n *Network) countDrop(pkt *Packet, reason DropReason, node, detail string)
 			Detail: detail,
 		})
 	}
-	if n.DropHook != nil {
-		n.DropHook(pkt, text)
-	}
 }
 
 // TotalDrops sums all recorded packet drops.
+// Ledger returns the conservation counters: packets injected by hosts,
+// delivered to transport handlers, destroyed with a counted drop, and
+// currently in transit (on wires, inside middleboxes, or parked in
+// cross-shard rings awaiting a barrier drain). The cross-shard
+// equivalence suite compares ledgers across shard counts.
+func (n *Network) Ledger() (injected, delivered, dropped, transit uint64) {
+	return n.injected.Load(), n.delivered.Load(), n.dropped.Load(), n.transit.Load()
+}
+
 func (n *Network) TotalDrops() uint64 {
 	var total uint64
 	for _, c := range n.Drops {
@@ -569,11 +615,27 @@ func (n *Network) PathMTU(src, dst string) int {
 	return mtu
 }
 
-// Run executes the simulation until no events remain.
-func (n *Network) Run() { n.Sched.Run() }
+// Run executes the simulation until no events remain. When a shard plan
+// is installed (DefaultShardPlan / SetRunner), the sharded engine runs
+// the event loop instead of the network scheduler.
+func (n *Network) Run() {
+	n.ensureRunner()
+	if n.runner != nil {
+		n.runner.Run()
+		return
+	}
+	n.Sched.Run()
+}
 
 // RunFor advances the simulation by d.
-func (n *Network) RunFor(d time.Duration) { n.Sched.RunFor(d) }
+func (n *Network) RunFor(d time.Duration) {
+	n.ensureRunner()
+	if n.runner != nil {
+		n.runner.RunFor(d)
+		return
+	}
+	n.Sched.RunFor(d)
+}
 
 // Now returns the current simulation time.
 func (n *Network) Now() sim.Time { return n.Sched.Now() }

@@ -1,5 +1,7 @@
 package netsim
 
+import "repro/internal/sim"
+
 // Node is anything that terminates links: hosts, routers, switches,
 // firewalls. Concrete nodes embed NodeBase for bookkeeping and implement
 // Receive.
@@ -12,6 +14,8 @@ type Node interface {
 	Receive(pkt *Packet, in *Port)
 
 	attach(p *Port)
+	shard() *shardCtx
+	setShard(c *shardCtx)
 }
 
 // NodeBase provides the name/port bookkeeping shared by all node types.
@@ -20,6 +24,7 @@ type Node interface {
 type NodeBase struct {
 	name  string
 	ports []*Port
+	ctx   *shardCtx // execution domain; set at registration
 }
 
 // Init sets the node name; custom nodes call it before Network.Register.
@@ -30,6 +35,27 @@ func (n *NodeBase) Name() string { return n.name }
 
 // Ports implements Node.
 func (n *NodeBase) Ports() []*Port { return n.ports }
+
+// EventScheduler returns the scheduler the node's events execute on: the
+// network scheduler normally, the node's shard scheduler under sharded
+// execution. Node-affine model code (transport timers, firewall service
+// loops) must schedule here, never on Network.Sched directly — events on
+// Network.Sched run only at engine barriers when the network is sharded.
+func (n *NodeBase) EventScheduler() *sim.Scheduler {
+	if n.ctx == nil {
+		return nil
+	}
+	return n.ctx.sched
+}
+
+func (n *NodeBase) shard() *shardCtx { return n.ctx }
+
+func (n *NodeBase) setShard(c *shardCtx) {
+	n.ctx = c
+	for _, p := range n.ports {
+		p.ctx = c
+	}
+}
 
 func (n *NodeBase) attach(p *Port) {
 	p.Index = len(n.ports)

@@ -1,8 +1,10 @@
 package netsim
 
 import (
+	"math/rand"
 	"time"
 
+	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/units"
 )
@@ -57,6 +59,27 @@ type Port struct {
 	busy         time.Duration // cumulative serialization time
 	taps         []TapFunc
 
+	// capFloor grandfathers queue occupancy that exceeds a capacity
+	// shrunk at runtime (SetQueueCap): packets admitted under the old
+	// capacity drain normally, and the invariant audit allows occupancy
+	// up to this floor until the queue fits the new capacity again.
+	capFloor units.ByteSize
+
+	// ctx is the owner's execution context (shard scheduler + capture
+	// bus); it aliases the network's control context when unsharded.
+	ctx *shardCtx
+
+	// Sharded-execution state (see shard.go): on a cut-candidate link
+	// this port orders its transmissions on lane with laneSeq, and — when
+	// the peer lives on another shard — hands them to the xq ring instead
+	// of scheduling locally. lossRNG, when set, replaces the network's
+	// shared stream for wire-loss draws with a per-port stream whose draw
+	// order cannot depend on the shard count.
+	lane    uint32
+	laneSeq uint64
+	xq      CrossQueue
+	lossRNG *rand.Rand
+
 	net *Network
 }
 
@@ -68,6 +91,12 @@ func (p *Port) Rate() units.BitRate { return p.Link.Rate }
 
 // AddTap attaches a passive observer to this port.
 func (p *Port) AddTap(t TapFunc) { p.taps = append(p.taps, t) }
+
+// Now returns the port's execution-context clock — the shard scheduler
+// under sharded execution, the network scheduler otherwise. Tap-fed
+// analyzers (the IDS) must stamp observations with this, not the
+// network clock, which lags behind shard time between barriers.
+func (p *Port) Now() sim.Time { return p.ctx.sched.Now() }
 
 // QueueLen returns the number of packets waiting in the egress queues,
 // excluding the one being transmitted.
@@ -86,7 +115,7 @@ func (p *Port) BusyTime() time.Duration { return p.busy }
 //dmz:hotpath
 func (p *Port) Send(pkt *Packet) {
 	if pkt.Hops >= MaxHops {
-		p.net.countDrop(pkt, DropMaxHops, p.Owner.Name(), "")
+		p.net.countDrop(p.ctx, pkt, DropMaxHops, p.Owner.Name(), "")
 		return
 	}
 	if p.transmitting {
@@ -115,11 +144,12 @@ func (p *Port) Send(pkt *Packet) {
 }
 
 func (p *Port) emitQueueEvent(kind telemetry.EventKind, pkt *Packet) {
-	if !p.net.bus.Enabled() {
+	bus := p.ctx.tracebus(p.net)
+	if !bus.Enabled() {
 		return
 	}
-	p.net.bus.Emit(telemetry.Event{
-		At:     p.net.Sched.Now(),
+	bus.Emit(telemetry.Event{
+		At:     p.ctx.sched.Now(),
 		Kind:   kind,
 		Node:   p.Owner.Name(),
 		Flow:   pkt.Flow.String(),
@@ -132,7 +162,7 @@ func (p *Port) emitQueueEvent(kind telemetry.EventKind, pkt *Packet) {
 func (p *Port) dropForQueue(pkt *Packet) {
 	p.Counters.QueueDrops++
 	p.Counters.QueueDropBytes += pkt.Size
-	p.net.countDrop(pkt, DropQueueOverflow, p.Owner.Name(), "")
+	p.net.countDrop(p.ctx, pkt, DropQueueOverflow, p.Owner.Name(), "")
 }
 
 // finishTxCall / deliverCall are the static scheduler callbacks for the
@@ -147,7 +177,7 @@ func finishTxCall(a, b any) { a.(*Port).finishTx(b.(*Packet)) }
 //dmz:hotpath
 func deliverCall(a, b any) {
 	to := a.(*Port)
-	to.net.transit--
+	to.net.transit.Add(^uint64(0))
 	to.deliver(b.(*Packet))
 }
 
@@ -156,7 +186,7 @@ func (p *Port) startTx(pkt *Packet) {
 	p.transmitting = true
 	d := p.Link.Rate.Serialize(pkt.Size)
 	p.busy += d
-	p.net.Sched.AfterCall(tagPort, d, finishTxCall, p, pkt)
+	p.ctx.sched.AfterCall(tagPort, d, finishTxCall, p, pkt)
 }
 
 //dmz:hotpath
@@ -183,6 +213,28 @@ func (p *Port) finishTx(pkt *Packet) {
 		p.startTx(next)
 	default:
 		p.transmitting = false
+	}
+	if p.capFloor > 0 && p.queueBytes <= p.QueueCap && p.prioBytes <= p.QueueCap {
+		p.capFloor = 0
+	}
+}
+
+// SetQueueCap changes the egress buffer capacity at runtime — the
+// buffer-shrink fault (internal/fault) uses it. Shrinking below the
+// current occupancy does not destroy queued packets: they were admitted
+// legally under the old capacity and drain normally, while new arrivals
+// see the new capacity. The pre-shrink occupancy is grandfathered for
+// the invariant audit (see auditQueues) until the queue fits again.
+func (p *Port) SetQueueCap(c units.ByteSize) {
+	p.QueueCap = c
+	if p.queueBytes > c || p.prioBytes > c {
+		floor := p.queueBytes
+		if p.prioBytes > floor {
+			floor = p.prioBytes
+		}
+		if floor > p.capFloor {
+			p.capFloor = floor
+		}
 	}
 }
 
@@ -215,6 +267,10 @@ type Link struct {
 	// ends report loss of link via Down().
 	down bool
 
+	// Partition-planner hints (see MarkCut / MarkNoCut in shard.go).
+	cutHint bool
+	noCut   bool
+
 	net *Network
 }
 
@@ -239,18 +295,39 @@ func (l *Link) Ends() (a, b string) {
 //
 //dmz:hotpath
 func (l *Link) carry(from *Port, pkt *Packet) {
+	sc := from.ctx
 	if l.down {
-		l.net.countDrop(pkt, DropLinkDown, l.describe(), "")
+		l.net.countDrop(sc, pkt, DropLinkDown, l.describe(), "")
 		return
 	}
-	if l.Loss != nil && l.Loss.Drop(l.net.rng, pkt) {
-		l.WireDrops++
-		l.net.countDrop(pkt, DropWireLoss, l.describe(), "")
-		return
+	if l.Loss != nil {
+		rng := from.lossRNG
+		if rng == nil {
+			rng = l.net.rng
+		}
+		if l.Loss.Drop(sc.sched.Now(), rng, pkt) {
+			l.WireDrops++
+			l.net.countDrop(sc, pkt, DropWireLoss, l.describe(), "")
+			return
+		}
 	}
 	to := from.peer
-	l.net.transit++
-	l.net.Sched.AfterCall(tagLink, l.Delay, deliverCall, to, pkt)
+	l.net.transit.Add(1)
+	if from.lane != 0 {
+		// Cut-candidate link: order the delivery by the link-direction
+		// lane so execution order is shard-count-invariant. When the peer
+		// is on another shard, hand off through the SPSC ring; the engine
+		// schedules the delivery at its barrier drain.
+		from.laneSeq++
+		at := sc.sched.Now().Add(l.Delay)
+		if from.xq != nil {
+			from.xq.Push(to, pkt, at, from.laneSeq)
+			return
+		}
+		to.ctx.sched.AtCallLane(tagLink, from.lane, from.laneSeq, at, deliverCall, to, pkt)
+		return
+	}
+	sc.sched.AfterCall(tagLink, l.Delay, deliverCall, to, pkt)
 }
 
 func (l *Link) describe() string {

@@ -88,6 +88,21 @@ type owampReceiver struct {
 	lastDelaySum          time.Duration
 }
 
+// ensureReceiver registers probe-stream state for a sender and starts
+// the control-plane flush ticker that buckets it into the archive. It
+// must run in control context (session setup), never from packet
+// delivery: under sharded execution owampDeliver executes on the
+// receiving host's shard, which must not touch the control scheduler.
+func (t *Toolkit) ensureReceiver(sender string) *owampReceiver {
+	r := t.receive[sender]
+	if r == nil {
+		r = &owampReceiver{}
+		t.receive[sender] = r
+		t.net.Sched.EveryTag(tagPerfsonar, t.interval, func() { t.flushOwamp(sender, r) })
+	}
+	return r
+}
+
 func (t *Toolkit) owampDeliver(pkt *netsim.Packet) {
 	probe, ok := pkt.Payload.(owampProbe)
 	if !ok {
@@ -95,9 +110,10 @@ func (t *Toolkit) owampDeliver(pkt *netsim.Packet) {
 	}
 	r := t.receive[probe.Sender]
 	if r == nil {
-		r = &owampReceiver{}
-		t.receive[probe.Sender] = r
-		t.net.Sched.EveryTag(tagPerfsonar, t.interval, func() { t.flushOwamp(probe.Sender, r) })
+		// A probe with no announced session (the sender never called
+		// StartOWAMP toward us): record nothing. Receiver registration
+		// is control-plane work and cannot happen on the delivery path.
+		return
 	}
 	if !r.seen || probe.Seq > r.maxSeq {
 		r.maxSeq = probe.Seq
@@ -105,7 +121,7 @@ func (t *Toolkit) owampDeliver(pkt *netsim.Packet) {
 	}
 	r.schedule = probe.Interval
 	r.received++
-	r.delaySum += t.net.Sched.Now().Sub(pkt.SentAt)
+	r.delaySum += t.Host.Now().Sub(pkt.SentAt)
 }
 
 // flushOwamp converts the last bucket of probe arrivals into an archived
@@ -179,6 +195,7 @@ func (s *OwampSession) Stop() { s.ticker.Stop() }
 // the path from this toolkit's host to the peer's.
 func (t *Toolkit) StartOWAMP(peer *Toolkit, interval time.Duration) *OwampSession {
 	s := &OwampSession{From: t, To: peer, Interval: interval}
+	peer.ensureReceiver(t.Host.Name())
 	s.ticker = t.net.Sched.EveryTag(tagPerfsonar, interval, func() {
 		t.Host.Send(&netsim.Packet{
 			Flow: netsim.FlowKey{

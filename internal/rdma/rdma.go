@@ -147,7 +147,7 @@ func Transfer(src, dst *netsim.Host, port uint16, size units.ByteSize, opts Opti
 		},
 		onDone: onDone,
 	}
-	f.res = Result{Size: size, Start: net.Sched.Now()}
+	f.res = Result{Size: size, Start: src.Now()}
 	src.Bind(netsim.ProtoUDP, f.flow.SrcPort, netsim.HandlerFunc(f.senderDeliver))
 	dst.Bind(netsim.ProtoUDP, port, netsim.HandlerFunc(f.receiverDeliver))
 	f.armWatchdog()
@@ -160,7 +160,7 @@ func Transfer(src, dst *netsim.Host, port uint16, size units.ByteSize, opts Opti
 func (f *Flow) Result() *Result {
 	r := f.res
 	if !f.done {
-		r.End = f.net.Sched.Now()
+		r.End = f.src.Now()
 	}
 	r.CPUSeconds = RoCECPUCost.CPUSeconds(r.Size)
 	r.TCPCPUSeconds = TCPCPUCost.CPUSeconds(r.Size)
@@ -204,7 +204,7 @@ func (f *Flow) sendNext() {
 		f.maxSent = f.sndNxt
 	}
 	interval := f.rate.Serialize(pkt.Size)
-	f.sendTimer = f.net.Sched.After(interval, f.sendNext)
+	f.sendTimer = f.src.EventScheduler().After(interval, f.sendNext)
 }
 
 // senderDeliver handles ACKs and NACKs from the receiver.
@@ -242,7 +242,7 @@ func (f *Flow) rewind(to int64, why string) {
 
 func (f *Flow) armWatchdog() {
 	f.watchdog.Stop()
-	f.watchdog = f.net.Sched.After(retryTimeout, func() {
+	f.watchdog = f.src.EventScheduler().After(retryTimeout, func() {
 		if f.done {
 			return
 		}
@@ -294,7 +294,7 @@ func (f *Flow) sendControl(flags netsim.Flags) {
 func (f *Flow) complete() {
 	f.done = true
 	f.res.Done = true
-	f.res.End = f.net.Sched.Now()
+	f.res.End = f.src.Now()
 	f.watchdog.Stop()
 	f.sendTimer.Stop()
 	f.src.Unbind(netsim.ProtoUDP, f.flow.SrcPort)

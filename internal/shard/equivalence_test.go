@@ -1,0 +1,255 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/dtn"
+	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/netsim"
+	"repro/internal/telemetry"
+	"repro/internal/topo"
+	"repro/internal/units"
+)
+
+// The cross-shard equivalence suite: the merge gate for the sharded
+// engine. Every test runs the same scenario at shard counts 1, 2, and
+// 4 and requires byte-identical results — rendered experiment tables,
+// the full trace event stream, exported metrics, and the packet
+// conservation ledger. Shard count 1 is the single-threaded reference:
+// it runs the identical engine code path (barrier windows, lanes,
+// canonical merge) on one scheduler with no worker goroutines.
+
+// equivalenceCounts are the shard counts every scenario must agree on.
+var equivalenceCounts = []int{1, 2, 4}
+
+// withPlan runs fn with AutoPlan(n) installed as the process default,
+// restoring the previous default afterwards. The suite relies on the
+// package's tests running sequentially (no t.Parallel) because the
+// default plan is process-global — exactly how the -shards flag works.
+func withPlan(n int, fn func()) {
+	prev := netsim.DefaultShardPlan
+	netsim.DefaultShardPlan = AutoPlan(n)
+	defer func() { netsim.DefaultShardPlan = prev }()
+	fn()
+}
+
+// requireAllEqual asserts every shard count produced the same string,
+// reporting the first diverging line against the count-1 reference.
+func requireAllEqual(t *testing.T, what string, got map[int]string) {
+	t.Helper()
+	ref := got[1]
+	for _, n := range equivalenceCounts {
+		if got[n] == ref {
+			continue
+		}
+		a, b := ref, got[n]
+		line, col := 1, 1
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				break
+			}
+			if a[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		t.Fatalf("%s diverges between shards=1 and shards=%d at line %d col %d:\nshards=1: %q\nshards=%d: %q",
+			what, n, line, col, excerpt(a, line), n, excerpt(b, line))
+	}
+}
+
+func excerpt(s string, line int) string {
+	cur := 1
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if cur == line {
+			end := i
+			for end < len(s) && s[end] != '\n' {
+				end++
+			}
+			return s[start:end]
+		}
+		if s[i] == '\n' {
+			cur++
+			start = i + 1
+		}
+	}
+	return s[start:]
+}
+
+// TestEquivalenceFig1 runs the paper's Figure 1 sweep (quick axis)
+// through the parallel sweep harness at every shard count and requires
+// the rendered table — every throughput number — byte-identical.
+func TestEquivalenceFig1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulations; skipped in -short")
+	}
+	cfg := experiments.Fig1Config{
+		RTTs:     []time.Duration{4 * time.Millisecond, 20 * time.Millisecond},
+		Duration: 2 * time.Second,
+		Parallel: 1,
+	}
+	got := make(map[int]string)
+	for _, n := range equivalenceCounts {
+		withPlan(n, func() { got[n] = experiments.Fig1(cfg).Render() })
+	}
+	requireAllEqual(t, "Fig1 render", got)
+}
+
+// TestEquivalenceSweep runs a loss-axis parameter sweep at every shard
+// count: the sweep harness already proves worker-count invariance, and
+// this adds shard-count invariance on top.
+func TestEquivalenceSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulations; skipped in -short")
+	}
+	cfg := experiments.SweepConfig{
+		Axis: "loss", Min: 1e-5, Max: 1e-3, Points: 3,
+		Duration: time.Second, Parallel: 1,
+	}
+	got := make(map[int]string)
+	for _, n := range equivalenceCounts {
+		withPlan(n, func() {
+			res, err := experiments.RunSweep(cfg)
+			if err != nil {
+				t.Fatalf("shards=%d: %v", n, err)
+			}
+			got[n] = res.Render()
+		})
+	}
+	requireAllEqual(t, "sweep render", got)
+}
+
+// TestEquivalenceFaultScenario runs the soft-failure closed loop — the
+// §2.1 reproduction with fault injection, OWAMP detection, and
+// localization — at every shard count and requires identical reports.
+func TestEquivalenceFaultScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute simulated scenario; skipped in -short")
+	}
+	raw, err := os.ReadFile("../../examples/soft-failure/scenario.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := fault.ParseScenario(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[int]string)
+	for _, n := range equivalenceCounts {
+		withPlan(n, func() {
+			rep, err := fault.Run(sc)
+			if err != nil {
+				t.Fatalf("shards=%d: %v", n, err)
+			}
+			got[n] = rep.Render()
+		})
+	}
+	requireAllEqual(t, "fault report", got)
+}
+
+// traceRun is one shard count's observable output for the golden
+// harness: the complete trace event stream, the exported metric
+// snapshot, the conservation ledger, and the transfer result.
+type traceRun struct {
+	events  []telemetry.Event
+	metrics string
+	ledger  [4]uint64
+	result  string
+}
+
+func captureRun(t *testing.T, shards int) traceRun {
+	t.Helper()
+	var out traceRun
+	withPlan(shards, func() {
+		tele := telemetry.New()
+		prev := netsim.DefaultTelemetry
+		netsim.DefaultTelemetry = tele
+		defer func() { netsim.DefaultTelemetry = prev }()
+		tele.Bus.Subscribe(func(ev *telemetry.Event) {
+			out.events = append(out.events, *ev)
+		})
+
+		d := topo.NewSimpleDMZ(7, topo.SimpleDMZConfig{})
+		var res *dtn.Result
+		dtn.GridFTP{Streams: 4}.Start(d.RemoteDTN, d.DTN, 64*units.MB,
+			func(r *dtn.Result) { res = r })
+		d.Net.RunFor(3 * time.Second)
+
+		for _, err := range d.Net.AuditInvariants() {
+			t.Errorf("shards=%d: audit: %v", shards, err)
+		}
+		inj, del, drop, transit := d.Net.Ledger()
+		out.ledger = [4]uint64{inj, del, drop, transit}
+		snap := tele.Registry.Snapshot(d.Net.Sched.Now())
+		for _, s := range snap.Samples {
+			// Partition-dependent diagnostics are excluded from golden
+			// metrics by construction; everything exported must match.
+			out.metrics += fmt.Sprintf("%s%v=%v\n", s.Name, s.Labels, s.Value)
+		}
+		if res != nil {
+			out.result = fmt.Sprintf("%v in %v", res.Size, res.Duration())
+		}
+	})
+	return out
+}
+
+// TestEquivalenceTraceGolden is the trace-level gate: the merged trace
+// event stream, metric export, ledger, and transfer result of a Figure
+// 3 GridFTP run must be byte-identical at shard counts 1, 2, and 4.
+// On divergence it reports the first differing trace event — the
+// debugging entry point the harness exists to provide.
+func TestEquivalenceTraceGolden(t *testing.T) {
+	runs := make(map[int]traceRun)
+	for _, n := range equivalenceCounts {
+		runs[n] = captureRun(t, n)
+	}
+	ref := runs[1]
+	if len(ref.events) == 0 {
+		t.Fatal("reference run produced no trace events; the harness is not observing anything")
+	}
+	for _, n := range equivalenceCounts[1:] {
+		run := runs[n]
+		limit := len(ref.events)
+		if len(run.events) < limit {
+			limit = len(run.events)
+		}
+		for i := 0; i < limit; i++ {
+			if ref.events[i] != run.events[i] {
+				t.Fatalf("first diverging trace event at index %d:\nshards=1: %+v\nshards=%d: %+v",
+					i, ref.events[i], n, run.events[i])
+			}
+		}
+		if len(ref.events) != len(run.events) {
+			t.Fatalf("trace length diverges: shards=1 has %d events, shards=%d has %d (first extra: %+v)",
+				len(ref.events), n, len(run.events),
+				longerOf(ref.events, run.events)[limit])
+		}
+		if ref.ledger != run.ledger {
+			t.Errorf("ledger diverges: shards=1 %v, shards=%d %v", ref.ledger, n, run.ledger)
+		}
+		if ref.metrics != run.metrics {
+			t.Errorf("metrics diverge:\nshards=1:\n%s\nshards=%d:\n%s", ref.metrics, n, run.metrics)
+		}
+		if ref.result != run.result {
+			t.Errorf("transfer result diverges: shards=1 %q, shards=%d %q", ref.result, n, run.result)
+		}
+	}
+	if ref.ledger[0] != ref.ledger[1]+ref.ledger[2]+ref.ledger[3] {
+		t.Errorf("ledger does not balance: injected %d != delivered %d + dropped %d + transit %d",
+			ref.ledger[0], ref.ledger[1], ref.ledger[2], ref.ledger[3])
+	}
+}
+
+func longerOf(a, b []telemetry.Event) []telemetry.Event {
+	if len(a) > len(b) {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,121 @@
+package shard
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/units"
+)
+
+// FuzzPartition feeds arbitrary topologies to the partitioner and checks
+// its contract: it never panics, a successful plan covers every node in
+// exactly one domain with strictly positive lookahead and self-consistent
+// cuts, and a failed plan reports one of the two typed errors (ErrNoCut,
+// ZeroLookaheadError) so callers can fall back to unsharded execution.
+//
+// Input encoding: byte 0 picks the node count (1..8, alternating hosts
+// and switches); each following 4-byte group (a, b, delay, flags) adds a
+// link between nodes a%n and b%n with delay*50µs of propagation delay —
+// zero-delay links included, since those must never become cuts — and
+// flags bit 0 = MarkCut, bit 1 = MarkNoCut. Duplicate links, self-loops
+// (skipped), disconnected nodes, and hint/veto conflicts are all in play.
+func FuzzPartition(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add([]byte{2, 0, 1, 20, 0})                           // one plain ms-scale link
+	f.Add([]byte{2, 0, 1, 0, 1})                            // marked but zero-delay: hint unusable
+	f.Add([]byte{4, 0, 1, 1, 0, 1, 2, 100, 1, 2, 3, 1, 0})  // hinted WAN between short edges
+	f.Add([]byte{4, 0, 1, 40, 3, 1, 2, 40, 0, 2, 3, 40, 0}) // cut hint vetoed on the same link
+	f.Add([]byte{6, 0, 1, 20, 0, 2, 3, 20, 0, 4, 5, 20, 0}) // three disconnected pairs
+	f.Add([]byte{3, 0, 1, 30, 0, 1, 2, 30, 0, 0, 2, 30, 0}) // cycle: cuts that do not separate
+	f.Add([]byte{5, 0, 1, 1, 0, 1, 2, 1, 0, 2, 3, 200, 1, 3, 4, 1, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		nn := 1 + int(data[0])%8
+		n := netsim.NewIsolated(1)
+		nodes := make([]netsim.Node, nn)
+		for i := 0; i < nn; i++ {
+			name := string(rune('a' + i))
+			if i%2 == 0 {
+				nodes[i] = n.NewHost(name)
+			} else {
+				nodes[i] = n.NewDevice(name, netsim.DeviceConfig{})
+			}
+		}
+		for i := 1; i+3 < len(data); i += 4 {
+			a, b := int(data[i])%nn, int(data[i+1])%nn
+			if a == b {
+				continue
+			}
+			l := n.Connect(nodes[a], nodes[b], netsim.LinkConfig{
+				Rate:  10 * units.Gbps,
+				Delay: time.Duration(data[i+2]) * 50 * time.Microsecond,
+			})
+			if data[i+3]&1 != 0 {
+				l.MarkCut()
+			}
+			if data[i+3]&2 != 0 {
+				l.MarkNoCut()
+			}
+		}
+
+		plan, err := Partition(n)
+		if err != nil {
+			var zl *ZeroLookaheadError
+			if !errors.Is(err, ErrNoCut) && !errors.As(err, &zl) {
+				t.Fatalf("Partition returned an untyped error: %v", err)
+			}
+			return
+		}
+
+		if plan.Lookahead <= 0 {
+			t.Fatalf("plan accepted with non-positive lookahead %v", plan.Lookahead)
+		}
+
+		// Coverage: every node in exactly one domain, no strays.
+		seen := make(map[string]int)
+		for di, dom := range plan.Domains {
+			for _, name := range dom {
+				if prev, dup := seen[name]; dup {
+					t.Fatalf("node %q in domains %d and %d", name, prev, di)
+				}
+				seen[name] = di
+			}
+		}
+		for _, name := range n.NodeNames() {
+			if _, ok := seen[name]; !ok {
+				t.Fatalf("node %q missing from every domain", name)
+			}
+			delete(seen, name)
+		}
+		for name := range seen {
+			t.Fatalf("domain member %q is not a network node", name)
+		}
+
+		// Cut self-consistency: indices point at the real link list, cut
+		// links are cuttable with delay >= lookahead, and the recorded
+		// domain ends agree with the domain layout.
+		links := n.Links()
+		for _, c := range plan.Cuts {
+			if c.Index < 0 || c.Index >= len(links) || links[c.Index] != c.Link {
+				t.Fatalf("cut index %d does not identify its link", c.Index)
+			}
+			if !c.Link.Cuttable() {
+				t.Fatalf("cut %d is not cuttable", c.Index)
+			}
+			if c.Link.Delay < plan.Lookahead {
+				t.Fatalf("cut %d delay %v below lookahead %v", c.Index, c.Link.Delay, plan.Lookahead)
+			}
+			a, b := c.Link.Ends()
+			if plan.DomainOf(a) != c.DomA || plan.DomainOf(b) != c.DomB {
+				t.Fatalf("cut %d records domains (%d,%d), layout says (%d,%d)",
+					c.Index, c.DomA, c.DomB, plan.DomainOf(a), plan.DomainOf(b))
+			}
+		}
+	})
+}

@@ -1,0 +1,225 @@
+// Package shard runs a netsim.Network on several event schedulers in
+// parallel while producing byte-identical results at any shard count.
+//
+// The design is conservative parallel discrete-event simulation (PDES)
+// specialised to the Science DMZ topology shape: a campus, a DMZ, and a
+// WAN joined by long-haul links whose propagation delay is orders of
+// magnitude above the event granularity inside each domain. Those
+// boundary links are the natural partition cuts — a packet committed to
+// a 10 ms wide-area wire cannot affect the far side for 10 ms, so each
+// side may simulate that far ahead without coordination (the classic
+// lookahead argument).
+//
+// The package splits into three pieces:
+//
+//   - Partition (this file): choose the cut links, derive the domains as
+//     connected components of the remaining graph, and compute the
+//     lookahead. Everything is deterministic and independent of the
+//     shard count, which is the root of cross-count equivalence.
+//   - Ring (ring.go): the single-producer single-consumer queue that
+//     carries packets across a cut between shard goroutines without
+//     allocating on the hot path.
+//   - Engine (engine.go): the barrier-window run loop that advances all
+//     shards in lockstep windows, drains the rings, and runs control
+//     events only at globally quiesced instants.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// DefaultMinCutDelay is the heuristic floor for automatic cut selection
+// when the topology has no explicitly hinted boundary links: a link must
+// carry at least this much propagation delay to be worth a cut, since
+// the delay bounds the synchronization window length.
+const DefaultMinCutDelay = time.Millisecond
+
+// ErrNoCut reports a topology with no cuttable link: nothing is marked,
+// and no link clears the delay floor with a stateless loss model. Such a
+// network cannot be partitioned; callers should fall back to unsharded
+// execution.
+var ErrNoCut = errors.New("shard: no cuttable link in the topology")
+
+// ZeroLookaheadError reports a candidate cut whose propagation delay is
+// not strictly positive. A zero-delay cut would allow same-instant
+// cross-shard causality, which conservative synchronization cannot
+// order; Partition rejects the plan rather than risk divergence.
+type ZeroLookaheadError struct {
+	Link string // "a<->b"
+}
+
+func (e *ZeroLookaheadError) Error() string {
+	return fmt.Sprintf("shard: cut link %s has zero lookahead", e.Link)
+}
+
+// Cut is one partition boundary link.
+type Cut struct {
+	Link *netsim.Link
+	// Index is the link's creation index in Network.Links(). The engine
+	// derives the link's two ordering lanes from it, so lane identity is
+	// pure topology — invariant across shard counts.
+	Index int
+	// DomA and DomB are the Plan.Domains indices of the link's two ends.
+	// They may be equal only if the link connects a domain to itself
+	// (never, by construction: removing the cut separates its ends unless
+	// another path joins them — in which case they do share a domain and
+	// the cut still gets lanes, just no cross-shard queue).
+	DomA, DomB int
+}
+
+// Plan is a deterministic partition of a network: the domains (connected
+// components after removing the cut links) and the cuts themselves.
+// Everything about a Plan depends only on the topology, never on the
+// shard count the engine later spreads the domains over.
+type Plan struct {
+	// Domains lists each domain's node names. Domains are ranked by
+	// their smallest member name and members are sorted, so the layout
+	// is identical on every run.
+	Domains [][]string
+
+	// Cuts are the boundary links, in link-creation order.
+	Cuts []Cut
+
+	// Lookahead is the smallest propagation delay across the cuts: the
+	// horizon each shard may safely run ahead of the rest. Always
+	// strictly positive.
+	Lookahead time.Duration
+}
+
+// DomainOf returns the index of the domain containing the named node, or
+// -1 when the node is unknown.
+func (p *Plan) DomainOf(name string) int {
+	for i, dom := range p.Domains {
+		for _, n := range dom {
+			if n == name {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// Partition plans a deterministic split of the network. Cut selection:
+// links explicitly marked with MarkCut (topology builders mark the
+// campus/DMZ/WAN boundaries) win when any marked link is cuttable;
+// otherwise every cuttable link with at least DefaultMinCutDelay of
+// propagation delay is cut. Domains are the connected components of the
+// node graph with the cut links removed.
+//
+// Partition returns ErrNoCut for an unsplittable topology and a
+// ZeroLookaheadError for a degenerate cut; it never panics on any
+// network (FuzzPartition enforces this).
+func Partition(n *netsim.Network) (*Plan, error) {
+	links := n.Links()
+
+	hinted := false
+	for _, l := range links {
+		if l.CutHint() && l.Cuttable() {
+			hinted = true
+			break
+		}
+	}
+	isCut := make(map[*netsim.Link]bool, len(links))
+	for _, l := range links {
+		if !l.Cuttable() {
+			continue
+		}
+		if hinted {
+			isCut[l] = l.CutHint()
+		} else {
+			isCut[l] = l.Delay >= DefaultMinCutDelay
+		}
+	}
+
+	var lookahead time.Duration
+	anyCut := false
+	for l, cut := range isCut {
+		if !cut {
+			continue
+		}
+		if l.Delay <= 0 {
+			a, b := l.Ends()
+			return nil, &ZeroLookaheadError{Link: a + "<->" + b}
+		}
+		if !anyCut || l.Delay < lookahead {
+			lookahead = l.Delay
+		}
+		anyCut = true
+	}
+	if !anyCut {
+		return nil, ErrNoCut
+	}
+
+	// Domains: union nodes joined by any non-cut link, then group.
+	names := n.NodeNames()
+	parent := make(map[string]string, len(names))
+	for _, name := range names {
+		parent[name] = name
+	}
+	var find func(string) string
+	find = func(x string) string {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b string) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			// Smaller root name wins: keeps roots deterministic.
+			if rb < ra {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	for _, l := range links {
+		if isCut[l] {
+			continue
+		}
+		a, b := l.Ends()
+		union(a, b)
+	}
+
+	groups := make(map[string][]string)
+	for _, name := range names {
+		r := find(name)
+		groups[r] = append(groups[r], name)
+	}
+	roots := make([]string, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Strings(roots)
+
+	plan := &Plan{Lookahead: lookahead}
+	domOf := make(map[string]int, len(names))
+	for i, r := range roots {
+		members := groups[r]
+		sort.Strings(members)
+		plan.Domains = append(plan.Domains, members)
+		for _, m := range members {
+			domOf[m] = i
+		}
+	}
+
+	for i, l := range links {
+		if !isCut[l] {
+			continue
+		}
+		a, b := l.Ends()
+		plan.Cuts = append(plan.Cuts, Cut{
+			Link:  l,
+			Index: i,
+			DomA:  domOf[a],
+			DomB:  domOf[b],
+		})
+	}
+	return plan, nil
+}

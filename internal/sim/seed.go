@@ -1,0 +1,22 @@
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// DeriveSeed maps a list of name parts to a deterministic RNG seed by
+// FNV-1a hashing with length framing, so ("ab","c") and ("a","bc")
+// derive different streams. It exists at the kernel layer because both
+// the sweep harness (internal/harness.Seed) and the sharded engine's
+// per-port loss streams need the same derivation without importing each
+// other. The sign bit is cleared so seeds are usable where a
+// non-negative value is conventional.
+func DeriveSeed(parts ...string) int64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%d:", len(p))
+		h.Write([]byte(p))
+	}
+	return int64(h.Sum64() &^ (1 << 63))
+}

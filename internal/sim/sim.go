@@ -60,19 +60,33 @@ type CallFunc func(a, b any)
 // timer slot so lazily cancelled events are recognized at pop.
 type event struct {
 	at   Time
-	seq  uint64 // scheduling order; breaks ties deterministically
+	seq  uint64 // scheduling order within a lane; breaks ties deterministically
 	fn   func()
 	call CallFunc
 	a, b any
 	slot uint32
 	gen  uint32
-	tag  Tag // component attribution; 0 = untagged
+	lane uint32 // 0 = local events (seq = scheduling order); >0 = cross-shard delivery lanes
+	tag  Tag    // component attribution; 0 = untagged
 }
 
-// less orders events by (time, seq) — the kernel's total order.
+// less orders events by (time, lane, seq) — the kernel's total order.
+//
+// Lane 0 is the local lane: every event scheduled through the ordinary
+// At/After API lands there with seq taken from the scheduler's own
+// counter, so a single-scheduler run orders exactly as it always has —
+// (time, scheduling order). Nonzero lanes exist for the sharded engine
+// (internal/shard): a cross-shard packet delivery is keyed by its
+// link-direction lane and a per-lane sequence assigned at the sending
+// side, which is the same key no matter how many shards the topology is
+// cut into. That shard-count-invariant tie-break is what makes sharded
+// runs byte-identical to each other.
 func (e *event) less(other *event) bool {
 	if e.at != other.at {
 		return e.at < other.at
+	}
+	if e.lane != other.lane {
+		return e.lane < other.lane
 	}
 	return e.seq < other.seq
 }
@@ -198,6 +212,34 @@ func (s *Scheduler) schedule(tag Tag, t Time, fn func(), call CallFunc, a, b any
 	s.push(event{
 		at: t, seq: s.seq,
 		fn: fn, call: call, a: a, b: b,
+		slot: slot, gen: s.slots[slot].gen, tag: tag,
+	})
+	return Timer{s: s, slot: slot, gen: s.slots[slot].gen}
+}
+
+// AtCallLane schedules a closure-free event on a nonzero ordering lane:
+// call(a, b) runs at absolute time t, ordered after all lane-0 events at
+// t and against other lane events by (lane, laneSeq). The caller owns
+// laneSeq assignment and must keep it strictly increasing per lane.
+//
+// This is the sharded engine's delivery primitive (see internal/shard):
+// the (lane, laneSeq) key is derived from the cut link and the sending
+// side's emission order, so the executed order of same-timestamp
+// deliveries is identical at any shard count. Ordinary simulation code
+// has no reason to call it.
+//
+//dmz:hotpath
+func (s *Scheduler) AtCallLane(tag Tag, lane uint32, laneSeq uint64, t Time, call CallFunc, a, b any) Timer {
+	if lane == 0 {
+		panic("sim: AtCallLane requires a nonzero lane; lane 0 is the local lane")
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	slot := s.allocSlot(t)
+	s.push(event{
+		at: t, seq: laneSeq, lane: lane,
+		call: call, a: a, b: b,
 		slot: slot, gen: s.slots[slot].gen, tag: tag,
 	})
 	return Timer{s: s, slot: slot, gen: s.slots[slot].gen}
@@ -468,9 +510,29 @@ func (s *Scheduler) RunFor(d time.Duration) {
 // current event completes. Pending events stay queued.
 func (s *Scheduler) Stop() { s.stopped = true }
 
+// Stopped reports whether Stop has been called since the last Run or
+// RunUntil started (the flag is cleared when a run begins). The sharded
+// engine checks it between synchronization windows so that a Stop issued
+// from inside an event ends the whole engine run, not just one
+// scheduler's window.
+func (s *Scheduler) Stopped() bool { return s.stopped }
+
 // Pending returns the number of queued live events (lazily cancelled
 // entries awaiting discard are not counted).
 func (s *Scheduler) Pending() int { return len(s.events) - s.cancelled }
+
+// NextEventTime returns the timestamp of the earliest live pending
+// event, or ok=false when the queue is empty. The sharded engine uses it
+// to size conservative synchronization windows (next global event plus
+// lookahead); it discards lazily cancelled entries from the top of the
+// queue so an already-stopped timer never shortens a window.
+func (s *Scheduler) NextEventTime() (t Time, ok bool) {
+	s.skim()
+	if len(s.events) == 0 {
+		return 0, false
+	}
+	return s.events[0].at, true
+}
 
 // Ticker invokes a function periodically until stopped. Each tick
 // reschedules in place through a static CallFunc, so a running ticker

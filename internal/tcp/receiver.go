@@ -60,8 +60,9 @@ func newReceiver(srv *Server, flow netsim.FlowKey) *receiver {
 	}
 }
 
-func (r *receiver) net() *netsim.Network { return r.srv.Host.Network() }
-func (r *receiver) now() sim.Time        { return r.net().Sched.Now() }
+func (r *receiver) net() *netsim.Network  { return r.srv.Host.Network() }
+func (r *receiver) sched() *sim.Scheduler { return r.srv.Host.EventScheduler() }
+func (r *receiver) now() sim.Time         { return r.sched().Now() }
 
 func (r *receiver) deliver(pkt *netsim.Packet) {
 	switch {
@@ -94,7 +95,7 @@ func (r *receiver) handleSyn(pkt *netsim.Packet) {
 	}
 	r.synAckSentAt = r.now()
 	// The window field on the SYN-ACK is unscaled per RFC 1323 §2.2.
-	p := r.net().NewPacket()
+	p := r.srv.Host.NewPacket()
 	p.Flow = r.flow.Reverse()
 	p.Size = HeaderSize
 	p.Flags = netsim.FlagSYN | netsim.FlagACK
@@ -154,7 +155,7 @@ func (r *receiver) handleData(pkt *netsim.Packet) {
 		return
 	}
 	if !r.delayedAck.Pending() {
-		r.delayedAck = r.net().Sched.AfterCall(tagReceiver, delayedAckTimeout, delayedAckCall, r, nil)
+		r.delayedAck = r.sched().AfterCall(tagReceiver, delayedAckTimeout, delayedAckCall, r, nil)
 	}
 }
 
@@ -282,7 +283,7 @@ func (r *receiver) sendAck() {
 	if raw > 65535 {
 		raw = 65535
 	}
-	p := r.net().NewPacket()
+	p := r.srv.Host.NewPacket()
 	p.Flow = r.flow.Reverse()
 	p.Size = HeaderSize
 	p.Flags = netsim.FlagACK

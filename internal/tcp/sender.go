@@ -99,7 +99,7 @@ type Sender struct {
 	// Telemetry wiring: bus is nil (and nil-safe) when the network has
 	// no telemetry attached; flowStr caches the flow label; rttHist,
 	// when non-nil, receives RTT samples.
-	bus     *telemetry.Bus
+
 	flowStr string
 	rttHist *telemetry.Histogram
 
@@ -134,9 +134,8 @@ func newSender(net *netsim.Network, host *netsim.Host, flow netsim.FlowKey,
 		Flow:   flow,
 		CCName: opts.CC.Name(),
 		MSS:    mss,
-		Start:  net.Sched.Now(),
+		Start:  host.Now(),
 	}
-	s.bus = net.TelemetryBus()
 	if tele := net.Telemetry(); tele != nil {
 		s.flowStr = flow.String()
 		l := telemetry.Labels{"flow": s.flowStr}
@@ -152,13 +151,13 @@ func newSender(net *netsim.Network, host *netsim.Host, flow netsim.FlowKey,
 
 // emit publishes a TCP trace event; a single branch when tracing is off.
 func (s *Sender) emit(kind telemetry.EventKind, reason string, seq int64, value float64) {
-	if !s.bus.Enabled() {
+	if !s.bus().Enabled() {
 		return
 	}
 	if s.flowStr == "" {
 		s.flowStr = s.flow.String()
 	}
-	s.bus.Emit(telemetry.Event{
+	s.bus().Emit(telemetry.Event{
 		At:     s.now(),
 		Kind:   kind,
 		Node:   s.flow.Src,
@@ -172,13 +171,13 @@ func (s *Sender) emit(kind telemetry.EventKind, reason string, seq int64, value 
 // emitLifecycle publishes a transfer lifecycle event (tcp_start /
 // tcp_done), which carries a byte count rather than a seq/value pair.
 func (s *Sender) emitLifecycle(kind telemetry.EventKind, reason string, bytes int64, value float64) {
-	if !s.bus.Enabled() {
+	if !s.bus().Enabled() {
 		return
 	}
 	if s.flowStr == "" {
 		s.flowStr = s.flow.String()
 	}
-	s.bus.Emit(telemetry.Event{
+	s.bus().Emit(telemetry.Event{
 		At:     s.now(),
 		Kind:   kind,
 		Node:   s.flow.Src,
@@ -196,7 +195,7 @@ func (s *Sender) emitLifecycle(kind telemetry.EventKind, reason string, bytes in
 //
 //dmz:hotpath
 func (s *Sender) setPhase(phase string) {
-	if !s.bus.Enabled() || s.phase == phase {
+	if !s.bus().Enabled() || s.phase == phase {
 		return
 	}
 	s.phase = phase
@@ -226,7 +225,7 @@ func (s *Sender) Flow() netsim.FlowKey { return s.flow }
 func (s *Sender) Stats() *Stats {
 	st := s.stats
 	if !s.done {
-		st.End = s.net.Sched.Now()
+		st.End = s.sched().Now()
 	}
 	st.SRTT = s.srtt
 	st.WScaleOK = s.scalingOn
@@ -251,7 +250,7 @@ func (s *Sender) TraceThroughput(interval time.Duration) *Series {
 	tr := &Series{}
 	last := s.stats.BytesAcked
 	if sam := s.net.TelemetrySampler(); sam != nil {
-		lastAt := s.net.Sched.Now()
+		lastAt := s.sched().Now()
 		sam.OnSample(func(snap *telemetry.Snapshot) {
 			if s.done {
 				return
@@ -268,14 +267,14 @@ func (s *Sender) TraceThroughput(interval time.Duration) *Series {
 		return tr
 	}
 	var tick *sim.Ticker
-	tick = s.net.Sched.EveryTag(tagTrace, interval, func() {
+	tick = s.sched().EveryTag(tagTrace, interval, func() {
 		if s.done {
 			tick.Stop()
 			return
 		}
 		delta := s.stats.BytesAcked - last
 		last = s.stats.BytesAcked
-		tr.Add(s.net.Sched.Now(), float64(delta)*8/interval.Seconds())
+		tr.Add(s.sched().Now(), float64(delta)*8/interval.Seconds())
 	})
 	return tr
 }
@@ -296,17 +295,28 @@ func (s *Sender) TraceCwnd(interval time.Duration) *Series {
 		return tr
 	}
 	var tick *sim.Ticker
-	tick = s.net.Sched.EveryTag(tagTrace, interval, func() {
+	tick = s.sched().EveryTag(tagTrace, interval, func() {
 		if s.done {
 			tick.Stop()
 			return
 		}
-		s.cwndTrace.Add(s.net.Sched.Now(), s.Cwnd)
+		s.cwndTrace.Add(s.sched().Now(), s.Cwnd)
 	})
 	return s.cwndTrace
 }
 
-func (s *Sender) now() sim.Time { return s.net.Sched.Now() }
+// sched returns the sender's event scheduler: its host's shard
+// scheduler under sharded execution, the network scheduler otherwise.
+// Every sender timer and timestamp is host-affine so the whole TCP
+// machine stays inside one shard.
+func (s *Sender) sched() *sim.Scheduler { return s.host.EventScheduler() }
+
+// bus resolves the host's trace bus on every use rather than caching
+// it: a sender dialed before the sharded engine installs would
+// otherwise hold the live bus and bypass the canonical barrier merge.
+func (s *Sender) bus() *telemetry.Bus { return s.host.TraceBus() }
+
+func (s *Sender) now() sim.Time { return s.sched().Now() }
 
 // --- handshake ---
 
@@ -319,7 +329,7 @@ func (s *Sender) sendSYN() {
 		s.emitLifecycle(telemetry.EvTCPStart, "", s.total, 0)
 	}
 	s.synSentAt = s.now()
-	p := s.net.NewPacket()
+	p := s.host.NewPacket()
 	p.Flow = s.flow
 	p.Size = HeaderSize
 	p.Flags = netsim.FlagSYN
@@ -329,7 +339,7 @@ func (s *Sender) sendSYN() {
 	p.WindowRaw = int(min64(int64(s.opts.RcvBuf), 65535))
 	s.host.Send(p)
 	s.synTries++
-	s.synTimer = s.net.Sched.AfterTag(tagSender, time.Second*time.Duration(1<<uint(s.synTries-1)), func() {
+	s.synTimer = s.sched().AfterTag(tagSender, time.Second*time.Duration(1<<uint(s.synTries-1)), func() {
 		if !s.established && s.synTries < 6 {
 			s.sendSYN()
 		}
@@ -347,7 +357,7 @@ func (s *Sender) deliver(pkt *netsim.Packet) {
 	}
 	// The segment is fully consumed (SACK blocks are copied into the
 	// scoreboard, nothing retains it); recycle it for the next send.
-	s.net.ReleasePacket(pkt)
+	s.host.ReleasePacket(pkt)
 }
 
 func (s *Sender) handleSynAck(pkt *netsim.Packet) {
@@ -384,7 +394,7 @@ func (s *Sender) handleSynAck(pkt *netsim.Packet) {
 }
 
 func (s *Sender) sendHandshakeAck() {
-	p := s.net.NewPacket()
+	p := s.host.NewPacket()
 	p.Flow = s.flow
 	p.Size = HeaderSize
 	p.Flags = netsim.FlagACK
@@ -620,7 +630,7 @@ func (s *Sender) sendSegment(seq int64, isRetransmit bool) {
 		s.rttSentAt = s.now()
 		s.rttValid = true
 	}
-	p := s.net.NewPacket()
+	p := s.host.NewPacket()
 	p.Flow = s.flow
 	p.Size = HeaderSize + units.ByteSize(length)
 	p.Flags = netsim.FlagACK
@@ -661,7 +671,7 @@ func (s *Sender) tsqAllows() bool {
 		if wait < time.Microsecond {
 			wait = time.Microsecond
 		}
-		s.tsqTimer = s.net.Sched.AfterCall(tagSender, wait, trySendCall, s, nil)
+		s.tsqTimer = s.sched().AfterCall(tagSender, wait, trySendCall, s, nil)
 	}
 	return false
 }
@@ -793,7 +803,7 @@ func (s *Sender) paceAllows(length int) bool {
 	now := s.now()
 	if now < s.paceNext {
 		if !s.paceTimer.Pending() {
-			s.paceTimer = s.net.Sched.AtCall(tagSender, s.paceNext, trySendCall, s, nil)
+			s.paceTimer = s.sched().AtCall(tagSender, s.paceNext, trySendCall, s, nil)
 		}
 		return false
 	}
@@ -849,7 +859,7 @@ func trySendCall(a, _ any) { a.(*Sender).trySend() }
 func onRTOCall(a, _ any) { a.(*Sender).onRTO() }
 
 func (s *Sender) armRTO() {
-	s.rtoTimer = s.net.Sched.AfterCall(tagSender, s.rto, onRTOCall, s, nil)
+	s.rtoTimer = s.sched().AfterCall(tagSender, s.rto, onRTOCall, s, nil)
 }
 
 func (s *Sender) resetRTO() {

@@ -161,7 +161,7 @@ func (s *Server) deliver(pkt *netsim.Packet) {
 	}
 	// Delivered segments (and stray non-SYN segments for unknown flows)
 	// are fully consumed here; recycle them through the free-list.
-	s.Host.Network().ReleasePacket(pkt)
+	s.Host.ReleasePacket(pkt)
 }
 
 // Received returns total payload bytes sunk across all connections.

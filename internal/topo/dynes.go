@@ -77,6 +77,7 @@ func NewDYNES(seed int64, cfg DYNESConfig) *DYNES {
 		up := n.Connect(reg, bb, netsim.LinkConfig{
 			Rate: 100 * units.Gbps, Delay: cfg.BackboneDelay, MTU: 9000,
 		})
+		up.MarkCut()
 		backboneLinks = append(backboneLinks, up)
 
 		var regLinks []*netsim.Link
@@ -87,6 +88,7 @@ func NewDYNES(seed int64, cfg DYNESConfig) *DYNES {
 			access := n.Connect(border, reg, netsim.LinkConfig{
 				Rate: 10 * units.Gbps, Delay: 2 * time.Millisecond, MTU: 9000,
 			})
+			access.MarkCut()
 			local := n.Connect(host, border, netsim.LinkConfig{
 				Rate: 10 * units.Gbps, Delay: 10 * time.Microsecond, MTU: 9000,
 			})

@@ -102,7 +102,7 @@ func NewCampus(seed int64, cfg CampusConfig) *Campus {
 
 	n.Connect(remote, border, netsim.LinkConfig{
 		Rate: cfg.WAN.Rate, Delay: cfg.WAN.Delay, MTU: cfg.WAN.MTU, Loss: cfg.WAN.Loss,
-	})
+	}).MarkCut()
 	n.Connect(border, fw, netsim.LinkConfig{Rate: 10 * units.Gbps, Delay: 10 * time.Microsecond})
 	n.Connect(fw, core, netsim.LinkConfig{Rate: 10 * units.Gbps, Delay: 10 * time.Microsecond})
 	n.Connect(core, dept, netsim.LinkConfig{Rate: 10 * units.Gbps, Delay: 50 * time.Microsecond})
@@ -184,9 +184,12 @@ func NewSimpleDMZ(seed int64, cfg SimpleDMZConfig) *SimpleDMZ {
 	pc := n.NewHost("campus-pc")
 
 	wan := netsim.LinkConfig{Rate: cfg.WAN.Rate, Delay: cfg.WAN.Delay, MTU: cfg.WAN.MTU, Loss: cfg.WAN.Loss}
-	n.Connect(remote, border, wan)
+	// The wide-area links are the natural shard boundaries: their
+	// propagation delay dwarfs intra-site event spacing, so they carry
+	// the partition lookahead (see internal/shard).
+	n.Connect(remote, border, wan).MarkCut()
 	wanPS := wan
-	n.Connect(remotePS, border, wanPS)
+	n.Connect(remotePS, border, wanPS).MarkCut()
 
 	fast := netsim.LinkConfig{Rate: 10 * units.Gbps, Delay: 10 * time.Microsecond, MTU: 9000}
 	n.Connect(border, dmzsw, fast)
@@ -267,7 +270,7 @@ func NewSupercomputer(seed int64, cfg SupercomputerConfig) *Supercomputer {
 	login := n.NewHost("login")
 
 	wan := netsim.LinkConfig{Rate: cfg.WAN.Rate, Delay: cfg.WAN.Delay, MTU: cfg.WAN.MTU, Loss: cfg.WAN.Loss}
-	n.Connect(remote, b1, wan)
+	n.Connect(remote, b1, wan).MarkCut()
 	fast := netsim.LinkConfig{Rate: 100 * units.Gbps, Delay: 10 * time.Microsecond, MTU: 9000}
 	n.Connect(b1, core, fast)
 	n.Connect(b2, core, fast)
@@ -347,8 +350,8 @@ func NewBigData(seed int64, cfg BigDataConfig) *BigData {
 	remoteSw := n.NewDevice("remote-sw", netsim.DeviceConfig{EgressBuffer: 64 * units.MB})
 
 	wan := netsim.LinkConfig{Rate: cfg.WAN.Rate, Delay: cfg.WAN.Delay, MTU: cfg.WAN.MTU, Loss: cfg.WAN.Loss}
-	n.Connect(remoteSw, b1, wan)
-	n.Connect(remoteSw, b2, wan)
+	n.Connect(remoteSw, b1, wan).MarkCut()
+	n.Connect(remoteSw, b2, wan).MarkCut()
 
 	fast := netsim.LinkConfig{Rate: 100 * units.Gbps, Delay: 10 * time.Microsecond, MTU: 9000}
 	n.Connect(b1, d1, fast)

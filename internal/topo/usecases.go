@@ -81,7 +81,7 @@ func NewColorado(seed int64, cfg ColoradoConfig) *Colorado {
 	perf10g := n.NewHost("perf10g")
 
 	wan := netsim.LinkConfig{Rate: cfg.WAN.Rate, Delay: cfg.WAN.Delay, MTU: cfg.WAN.MTU, Loss: cfg.WAN.Loss}
-	n.Connect(remote, border, wan)
+	n.Connect(remote, border, wan).MarkCut()
 	n.Connect(border, rcnet, netsim.LinkConfig{Rate: 10 * units.Gbps, Delay: 10 * time.Microsecond})
 	n.Connect(rcnet, agg, netsim.LinkConfig{Rate: 10 * units.Gbps, Delay: 10 * time.Microsecond})
 	n.Connect(border, fw, netsim.LinkConfig{Rate: 10 * units.Gbps, Delay: 10 * time.Microsecond})
@@ -168,7 +168,7 @@ func NewPennState(seed int64, cfg PennStateConfig) *PennState {
 	campusPS := n.NewHost("campus-ps")
 
 	wan := netsim.LinkConfig{Rate: cfg.WAN.Rate, Delay: cfg.WAN.Delay, MTU: cfg.WAN.MTU, Loss: cfg.WAN.Loss}
-	n.Connect(vtti, border, wan)
+	n.Connect(vtti, border, wan).MarkCut()
 	n.Connect(border, fw, netsim.LinkConfig{Rate: 10 * units.Gbps, Delay: 10 * time.Microsecond})
 	n.Connect(fw, coe, netsim.LinkConfig{Rate: 10 * units.Gbps, Delay: 10 * time.Microsecond})
 	n.Connect(coe, colo, netsim.LinkConfig{Rate: units.Gbps, Delay: 10 * time.Microsecond})
