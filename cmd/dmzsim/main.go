@@ -55,6 +55,7 @@ var registry = map[string]func() renderer{
 	"roce":      func() renderer { return experiments.RoCE() },
 	"sdnbypass": func() renderer { return experiments.SDNBypass() },
 	"audit":     func() renderer { return experiments.AuditDesigns() },
+	"hybrid":    func() renderer { return experiments.Hybrid() },
 }
 
 var descriptions = map[string]string{
@@ -72,6 +73,7 @@ var descriptions = map[string]string{
 	"roce":      "§7.1: RoCE on virtual circuits, CPU comparison",
 	"sdnbypass": "§7.3: OpenFlow IDS-gated firewall bypass",
 	"audit":     "pattern audit across notional designs",
+	"hybrid":    "hybrid fluid/packet engine: validation + background scaling",
 }
 
 func names() []string {

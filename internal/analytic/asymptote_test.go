@@ -1,0 +1,111 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+// Asymptote coverage for the Mathis bound: extremes_test.go exercises
+// saturation (huge/overflowing inputs); these tables pin the two
+// analytic limits the hybrid fluid engine leans on every tick —
+// p → 0 (rate diverges as 1/√p until the path, not TCP, limits) and
+// rtt → ∞ (rate falls to zero monotonically).
+
+func TestMathisThroughputLowLossAsymptote(t *testing.T) {
+	const (
+		mss = 1460 * units.Byte
+		rtt = 50 * time.Millisecond
+	)
+	// Exact p = 0 is the loss-free regime: unbounded by TCP.
+	if got := MathisThroughput(mss, rtt, 0); !math.IsInf(float64(got), 1) {
+		t.Errorf("p=0: want +Inf, got %v", got)
+	}
+	if got := MathisThroughput(mss, rtt, -1e-9); !math.IsInf(float64(got), 1) {
+		t.Errorf("p<0: want +Inf, got %v", got)
+	}
+	// Approaching zero, rate scales as 1/√p: each 100× drop in loss
+	// buys exactly 10× throughput, with no floor before overflow.
+	cases := []struct {
+		p    float64
+		want units.BitRate // mss/rtt × 1/√p, hand-computed
+	}{
+		{1e-2, units.BitRate(1460 * 8 / 0.05 * 10)},
+		{1e-4, units.BitRate(1460 * 8 / 0.05 * 100)},
+		{1e-6, units.BitRate(1460 * 8 / 0.05 * 1000)},
+		{1e-8, units.BitRate(1460 * 8 / 0.05 * 10000)},
+	}
+	for _, c := range cases {
+		got := MathisThroughput(mss, rtt, c.p)
+		if rel := math.Abs(float64(got-c.want)) / float64(c.want); rel > 1e-9 {
+			t.Errorf("p=%g: got %v, want %v (rel err %g)", c.p, got, c.want, rel)
+		}
+	}
+	for i := 1; i < len(cases); i++ {
+		a := MathisThroughput(mss, rtt, cases[i-1].p)
+		b := MathisThroughput(mss, rtt, cases[i].p)
+		if ratio := float64(b) / float64(a); math.Abs(ratio-10) > 1e-6 {
+			t.Errorf("p %g→%g: want exactly 10× rate, got %.9f×", cases[i-1].p, cases[i].p, ratio)
+		}
+	}
+}
+
+func TestMathisThroughputLongRTTAsymptote(t *testing.T) {
+	const (
+		mss = 1460 * units.Byte
+		p   = 1e-4
+	)
+	// Rate must fall monotonically in RTT and approach zero.
+	rtts := []time.Duration{
+		time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond,
+		time.Second, 10 * time.Second, 1000 * time.Second,
+		1_000_000 * time.Second,
+	}
+	prev := units.BitRate(math.MaxInt64)
+	for _, rtt := range rtts {
+		got := MathisThroughput(mss, rtt, p)
+		if got > prev {
+			t.Errorf("rtt=%v: rate %v rose above %v; must fall monotonically", rtt, got, prev)
+		}
+		prev = got
+	}
+	// Doubling RTT halves the rate (1/RTT scaling), exactly.
+	a := MathisThroughput(mss, 20*time.Millisecond, p)
+	b := MathisThroughput(mss, 40*time.Millisecond, p)
+	if ratio := float64(a) / float64(b); math.Abs(ratio-2) > 1e-9 {
+		t.Errorf("RTT doubling: want exactly 2× rate drop, got %.9f×", ratio)
+	}
+	// The limit itself: at the maximum representable RTT the rate is
+	// below one bit per second — zero for any practical purpose — and
+	// still nonnegative (BitRate is a float; it never truncates).
+	if got := MathisThroughput(mss, math.MaxInt64, p); got < 0 || got >= 1 {
+		t.Errorf("rtt=max: want rate in [0,1) bps, got %v", got)
+	}
+	// And EffectiveMathisRate stays within the bottleneck on the way.
+	for _, rtt := range rtts {
+		if got := EffectiveMathisRate(10*units.Gbps, mss, rtt, p); got > 10*units.Gbps {
+			t.Errorf("rtt=%v: effective rate %v exceeds bottleneck", rtt, got)
+		}
+	}
+}
+
+// BenchmarkMathisThroughput measures the per-call cost the fluid
+// engine pays per aggregate per tick.
+func BenchmarkMathisThroughput(b *testing.B) {
+	var sink units.BitRate
+	for i := 0; i < b.N; i++ {
+		sink += MathisThroughput(1460*units.Byte, 50*time.Millisecond, 1e-4)
+	}
+	_ = sink
+}
+
+// BenchmarkEffectiveMathisRate is the exact call on the tick hot path.
+func BenchmarkEffectiveMathisRate(b *testing.B) {
+	var sink units.BitRate
+	for i := 0; i < b.N; i++ {
+		sink += EffectiveMathisRate(10*units.Gbps, 1460*units.Byte, 50*time.Millisecond, 1e-4)
+	}
+	_ = sink
+}

@@ -31,12 +31,13 @@ func TestSuiteCleanOnSimulatorCore(t *testing.T) {
 		"repro/internal/sim",
 		"repro/internal/fault",
 		"repro/internal/shard",
+		"repro/internal/fluid",
 	}, LoadOptions{})
 	if err != nil {
 		t.Fatalf("loading simulator core: %v", err)
 	}
-	if len(pkgs) != 7 {
-		t.Fatalf("loaded %d packages, want 7", len(pkgs))
+	if len(pkgs) != 8 {
+		t.Fatalf("loaded %d packages, want 8", len(pkgs))
 	}
 	for _, pkg := range pkgs {
 		for _, terr := range pkg.TypeErrors {

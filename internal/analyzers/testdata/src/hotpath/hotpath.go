@@ -216,3 +216,68 @@ func (r *xRing) push(pkt *int, at int64, seq uint64) {
 	r.buf[r.tail&r.mask] = xEntry{pkt: pkt, at: at, seq: seq}
 	r.tail++
 }
+
+// The fluid engine's tick mirrors internal/fluid: a control-plane
+// update over preallocated aggregate and port slices. It runs every
+// tick for the whole simulation, so it carries the same
+// zero-allocation contract as the packet path.
+
+type fluidQueue struct {
+	bytes, offered, delivered, dropped int64
+	share                              float64
+}
+
+type fluidPort struct {
+	q            *fluidQueue
+	capBits, in  float64
+	ratio, dropP float64
+}
+
+type fluidAgg struct {
+	name   string
+	path   []*fluidPort
+	demand float64
+}
+
+type fluidEngine struct {
+	aggs  []*fluidAgg
+	ports []*fluidPort
+	dt    float64
+}
+
+// tickBad is the anti-pattern: per-tick formatting and rebuilding the
+// port set allocate once per tick, every tick, forever.
+//
+//dmz:hotpath
+func (e *fluidEngine) tickBad() {
+	seen := make(map[string]bool, len(e.aggs)) // want `make allocates`
+	for _, a := range e.aggs {
+		seen[a.name] = true
+		_ = fmt.Sprintf("agg %s demand %f", a.name, a.demand) // want `fmt\.Sprintf allocates`
+	}
+}
+
+// tick is the sanctioned shape: two passes over preallocated slices,
+// arithmetic only, state updated in place. No diagnostics.
+//
+//dmz:hotpath
+func (e *fluidEngine) tick() {
+	for _, a := range e.aggs {
+		rate := a.demand
+		for _, ps := range a.path {
+			ps.in += rate
+			rate *= ps.ratio
+		}
+	}
+	for _, ps := range e.ports {
+		grant := ps.capBits
+		if grant > ps.in {
+			grant = ps.in
+		}
+		through := int64(grant * e.dt / 8)
+		ps.q.delivered += through
+		ps.q.bytes = 0
+		ps.q.share = grant / ps.capBits
+		ps.in = 0
+	}
+}

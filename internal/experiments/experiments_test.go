@@ -318,3 +318,28 @@ func TestSawtoothShape(t *testing.T) {
 		t.Error("render missing content")
 	}
 }
+
+func TestHybridExperiment(t *testing.T) {
+	skipIfShort(t)
+	r := Hybrid()
+	if !r.Pass() {
+		for _, v := range r.Validation {
+			for _, f := range v.Failures(r.Tolerance) {
+				t.Errorf("%s: %s", v.Scenario.Name, f)
+			}
+		}
+		t.Error("hybrid experiment failed validation or audit")
+	}
+	// The headline: at 100x the background flows, the hybrid run must
+	// execute fewer events than the all-packet reference at 1x.
+	ref := r.Scale[0]
+	last := r.Scale[len(r.Scale)-1]
+	if ref.Packet == nil {
+		t.Fatal("missing all-packet reference at the smallest scale")
+	}
+	if last.Hybrid.Events >= ref.Packet.Events {
+		t.Errorf("hybrid at %d flows ran %d events, all-packet at %d flows ran %d: no win",
+			last.Flows, last.Hybrid.Events, ref.Flows, ref.Packet.Events)
+	}
+	checkGolden(t, "hybrid.txt", r.Render())
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fluid"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// HybridScalePoint is one background-scale sample: the same dumbbell
+// and elephant, with the mouse population grown 10× per row. The
+// all-packet reference is only run where it is affordable; its event
+// count grows linearly with the flow count, which is the point.
+type HybridScalePoint struct {
+	Flows  int
+	Packet *fluid.ModeStats // nil where the all-packet twin was skipped
+	Hybrid fluid.ModeStats
+}
+
+// HybridResult demonstrates the hybrid fluid/packet engine: the
+// validation triptych (hybrid vs all-packet agreement on canonical
+// scenarios) and the scaling table (background cost independent of
+// flow count, elephant still packet-accurate).
+type HybridResult struct {
+	Validation []fluid.Result
+	Tolerance  fluid.Tolerance
+	Scale      []HybridScalePoint
+}
+
+// hybridScale mirrors the BENCH_8 scenario: an 8-client dumbbell with a
+// tuned elephant crossing a 1 Gbps bottleneck, with `flows` background
+// arrivals over the 5 s run.
+func hybridScale(flows int) fluid.Scenario {
+	return fluid.Scenario{
+		Name:           fmt.Sprintf("scale-%d", flows),
+		Clients:        8,
+		FlowsPerSecond: float64(flows) / 5,
+		MeanSize:       100 * units.KB,
+		Flows:          flows / 25,
+		Bottleneck:     units.Gbps,
+		Delay:          5 * time.Millisecond,
+		Elephant:       true,
+		Duration:       5 * time.Second,
+		Seed:           42,
+	}
+}
+
+// Hybrid runs the validation scenarios in both modes and then sweeps
+// the background scale 10³ → 10⁵ flows in hybrid mode (all-packet
+// reference at 10³ only; beyond that the per-packet cost is the
+// problem being solved).
+func Hybrid() *HybridResult {
+	res := &HybridResult{Tolerance: fluid.DefaultTolerance()}
+	for _, sc := range fluid.Scenarios() {
+		res.Validation = append(res.Validation, fluid.Validate(sc))
+	}
+	for _, flows := range []int{1_000, 10_000, 100_000} {
+		sc := hybridScale(flows)
+		pt := HybridScalePoint{Flows: flows}
+		if flows <= 1_000 {
+			st := fluid.RunPacket(sc)
+			pt.Packet = &st
+		}
+		pt.Hybrid, _ = fluid.RunHybrid(sc)
+		res.Scale = append(res.Scale, pt)
+	}
+	return res
+}
+
+// Pass reports whether every validation scenario agreed within
+// tolerance and every run passed the invariant audit.
+func (r *HybridResult) Pass() bool {
+	for _, v := range r.Validation {
+		if !v.Pass(r.Tolerance) {
+			return false
+		}
+	}
+	for _, p := range r.Scale {
+		if len(p.Hybrid.AuditErrs) != 0 {
+			return false
+		}
+		if p.Packet != nil && len(p.Packet.AuditErrs) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *HybridResult) Render() string {
+	tb := stats.NewTable("Hybrid fluid/packet validation (hybrid vs all-packet)",
+		"scenario", "elephant pkt", "elephant hyb", "err", "bg pkt", "bg hyb", "err", "loss pkt/hyb", "verdict")
+	for _, v := range r.Validation {
+		verdict := "ok"
+		if !v.Pass(r.Tolerance) {
+			verdict = "FAIL"
+		}
+		eph := "-"
+		if v.Scenario.Elephant {
+			eph = fmt.Sprintf("%.1f%%", 100*v.ElephantErr)
+		}
+		tb.Add(v.Scenario.Name,
+			v.Packet.Elephant.String(), v.Hybrid.Elephant.String(), eph,
+			v.Packet.BgBytes.String(), v.Hybrid.BgBytes.String(),
+			fmt.Sprintf("%.1f%%", 100*v.BackgroundErr),
+			fmt.Sprintf("%.3f/%.3f", v.Packet.BgLoss, v.Hybrid.BgLoss),
+			verdict)
+	}
+	out := tb.String()
+
+	sc := stats.NewTable("Background scaling (same dumbbell, elephant packet-accurate)",
+		"bg flows", "mode", "events", "elephant", "bg delivered", "bg loss")
+	for _, p := range r.Scale {
+		if p.Packet != nil {
+			sc.Add(fmt.Sprintf("%d", p.Flows), "all-packet",
+				fmt.Sprintf("%d", p.Packet.Events),
+				p.Packet.Elephant.String(), p.Packet.BgBytes.String(),
+				fmt.Sprintf("%.3f", p.Packet.BgLoss))
+		}
+		sc.Add(fmt.Sprintf("%d", p.Flows), "hybrid",
+			fmt.Sprintf("%d", p.Hybrid.Events),
+			p.Hybrid.Elephant.String(), p.Hybrid.BgBytes.String(),
+			fmt.Sprintf("%.3f", p.Hybrid.BgLoss))
+	}
+	out += "\n" + sc.String()
+	out += "\nThe scale table is a cost demonstration, not an agreement gate: the\n" +
+		"per-flow size is fixed, so offered background grows with the flow\n" +
+		"count and the 10^4/10^5 rows oversubscribe the bottleneck. The fluid\n" +
+		"model absorbs that overload in rate-space; the events column counts\n" +
+		"only the packet work that remains. All-packet cost is linear in the\n" +
+		"background flow count, hybrid cost is not.\n" +
+		fmt.Sprintf("(validation tolerances: elephant/background %.0f%%, loss %.2f absolute)\n",
+			100*r.Tolerance.ElephantRel, r.Tolerance.LossAbs)
+	return out
+}

@@ -8,6 +8,7 @@ package flowgen
 
 import (
 	"math/rand"
+	"strconv"
 	"time"
 
 	"repro/internal/dtn"
@@ -21,6 +22,13 @@ import (
 // hosts to a server — email, web, procurement (§2): thousands of flows,
 // none fast.
 type Business struct {
+	// Name, when set, derives the generator's RNG stream from
+	// ("flowgen/business", Name, seed) via sim.DeriveSeed, so two named
+	// generators in one simulation draw independent streams and adding
+	// one never perturbs another (the stream-derivation convention in
+	// DESIGN.md). Empty keeps the legacy derivation — the raw seed —
+	// for byte-identical compatibility with existing experiments.
+	Name string
 	// FlowsPerSecond is the Poisson arrival rate.
 	FlowsPerSecond float64
 	// MeanSize is the mean flow size (exponentially distributed).
@@ -55,7 +63,11 @@ func StartBusiness(server *netsim.Host, clients []*netsim.Host, cfg Business, se
 	b.net = server.Network()
 	b.clients = clients
 	b.srv = tcp.NewServer(server, b.Port, tcp.Legacy())
-	b.rng = sim.NewRand(seed)
+	if b.Name != "" {
+		b.rng = sim.NewRand(sim.DeriveSeed("flowgen/business", b.Name, strconv.FormatInt(seed, 10)))
+	} else {
+		b.rng = sim.NewRand(seed)
+	}
 	b.scheduleNext()
 	return b
 }

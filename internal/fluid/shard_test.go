@@ -1,0 +1,36 @@
+package fluid
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/shard"
+)
+
+// TestHybridShardInvariance: the fluid tick runs on the control
+// scheduler, which fires at barrier windows with every shard quiesced,
+// so a hybrid scenario must produce byte-identical results at any
+// shard count. The scenario bottleneck is a marked cut link, so
+// AutoPlan actually splits the dumbbell.
+func TestHybridShardInvariance(t *testing.T) {
+	sc := Scenarios()[1] // contended: elephant + background across the cut
+	sc.Warmup = 0
+	sc.Duration = 2 * time.Second
+	run := func(shards int) string {
+		prev := netsim.DefaultShardPlan
+		netsim.DefaultShardPlan = shard.AutoPlan(shards)
+		defer func() { netsim.DefaultShardPlan = prev }()
+		st, eng := RunHybrid(sc)
+		if len(st.AuditErrs) != 0 {
+			t.Fatalf("shards=%d audit failed: %v", shards, st.AuditErrs)
+		}
+		return hybridFingerprint(st, eng)
+	}
+	ref := run(1)
+	for _, n := range []int{2, 4} {
+		if got := run(n); got != ref {
+			t.Errorf("hybrid run diverges at %d shards:\n-- shards=1 --\n%s-- shards=%d --\n%s", n, ref, n, got)
+		}
+	}
+}

@@ -82,6 +82,8 @@ func (n *Network) Conservation() Conservation {
 //   - packet conservation: injected = delivered + dropped + in-flight
 //   - queue accounting: per-port byte counters match queued packets,
 //     are non-negative, and respect the configured capacity
+//   - fluid byte column: every port carrying fluid background traffic
+//     balances offered = delivered + dropped + queued (see fluid.go)
 //   - drop agreement: the legacy Drops map, structured DropStats, and
 //     the conservation ledger all total the same count
 //   - clock sanity: simulation time is non-negative and never regressed
@@ -104,6 +106,7 @@ func (n *Network) AuditInvariants() []error {
 		node := n.nodes[name]
 		for _, p := range node.Ports() {
 			errs = append(errs, p.auditQueues()...)
+			errs = append(errs, p.auditFluid()...)
 		}
 		if d, ok := node.(*Device); ok {
 			var sf units.ByteSize

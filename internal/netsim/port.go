@@ -80,6 +80,12 @@ type Port struct {
 	xq      CrossQueue
 	lossRNG *rand.Rand
 
+	// fluid, when non-nil, couples the port to the hybrid fluid engine
+	// (see fluid.go): its backlog shrinks the packet admission budget
+	// and its share slows packet serialization. Nil on every port no
+	// fluid aggregate traverses, so packet-only runs pay one branch.
+	fluid *FluidQueue
+
 	net *Network
 }
 
@@ -121,16 +127,21 @@ func (p *Port) Send(pkt *Packet) {
 	if p.transmitting {
 		// Each lane has its own buffer budget, as hardware priority
 		// queues do: bulk best-effort backlog must not starve the
-		// priority lane of buffer space.
+		// priority lane of buffer space. Fluid background backlog
+		// occupies the same buffer, shrinking both lanes' budgets.
+		cap := p.QueueCap
+		if p.fluid != nil {
+			cap = p.fluidCap()
+		}
 		if pkt.Priority {
-			if p.prioBytes+pkt.Size > p.QueueCap {
+			if p.prioBytes+pkt.Size > cap {
 				p.dropForQueue(pkt)
 				return
 			}
 			p.prioQueue = append(p.prioQueue, pkt)
 			p.prioBytes += pkt.Size
 		} else {
-			if p.queueBytes+pkt.Size > p.QueueCap {
+			if p.queueBytes+pkt.Size > cap {
 				p.dropForQueue(pkt)
 				return
 			}
@@ -185,6 +196,17 @@ func deliverCall(a, b any) {
 func (p *Port) startTx(pkt *Packet) {
 	p.transmitting = true
 	d := p.Link.Rate.Serialize(pkt.Size)
+	if f := p.fluid; f != nil && f.Share > 0 {
+		// Fluid background consumes Share of the link; the packet sees
+		// the residual capacity as proportionally slower service. Share
+		// is clamped by the engine and the audit to maxFluidShare, and
+		// defensively here, so the divisor stays positive.
+		share := f.Share
+		if share > maxFluidShare {
+			share = maxFluidShare
+		}
+		d = time.Duration(float64(d) / (1 - share))
+	}
 	p.busy += d
 	p.ctx.sched.AfterCall(tagPort, d, finishTxCall, p, pkt)
 }

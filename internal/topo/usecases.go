@@ -31,6 +31,10 @@ type Colorado struct {
 
 	Firewall *firewall.Firewall
 	Campus   *netsim.Device
+	// CampusHosts are the enterprise hosts behind the firewall (empty
+	// unless ColoradoConfig.CampusHosts asks for them). They source the
+	// business background that shares the border with the science path.
+	CampusHosts []*netsim.Host
 
 	// Perf1G and Perf10G are the two measurement hosts of Figure 6.
 	Perf1G, Perf10G *netsim.Host
@@ -48,6 +52,10 @@ type ColoradoConfig struct {
 	// FixedSwitch builds the post-fix aggregation switch (adequate
 	// buffers, no degradation) instead of the faulty one.
 	FixedSwitch bool
+	// CampusHosts adds N enterprise hosts at 1 Gb/s behind the campus
+	// switch (so behind the firewall). Zero adds none, which keeps the
+	// classic topology — and every golden built on it — unchanged.
+	CampusHosts int
 }
 
 // NewColorado builds the §6.1 topology.
@@ -104,6 +112,11 @@ func NewColorado(seed int64, cfg ColoradoConfig) *Colorado {
 		h := n.NewHost(fmt.Sprintf("physics%02d", i))
 		n.Connect(h, agg, netsim.LinkConfig{Rate: units.Gbps, Delay: 10 * time.Microsecond})
 		c.Physics = append(c.Physics, dtn.New(h, dtn.Disk{}, tcp.Tuned()))
+	}
+	for i := 0; i < cfg.CampusHosts; i++ {
+		h := n.NewHost(fmt.Sprintf("campus%02d", i))
+		n.Connect(h, campus, netsim.LinkConfig{Rate: units.Gbps, Delay: 10 * time.Microsecond})
+		c.CampusHosts = append(c.CampusHosts, h)
 	}
 	n.ComputeRoutes()
 	c.RemoteTier2 = dtn.New(remote, dtn.Disk{}, tcp.Tuned())
