@@ -3,21 +3,34 @@
 //
 //	go run ./cmd/dmzvet ./...
 //
-// It prints one line per finding and exits nonzero if any analyzer
-// reported a diagnostic, so CI can gate on it. The four analyzers and
-// their directives are documented in DESIGN.md ("Static contracts"):
+// It prints one line per finding (or a JSON array with -json) and exits
+// nonzero if any analyzer reported a diagnostic, so CI can gate on it.
+// The analyzers and their directives are documented in DESIGN.md
+// ("Static contracts").
 //
-//	simclock  wall-clock time / global math/rand in simulation packages
-//	maporder  map iteration with order-sensitive effects
-//	hotpath   allocation sources in //dmz:hotpath functions
-//	pooluse   NewPacket/ReleasePacket contract violations
+// Function-local passes, applied one package at a time:
+//
+//	simclock      wall-clock time / global math/rand in simulation packages
+//	maporder      map iteration with order-sensitive effects
+//	hotpath       allocation sources in //dmz:hotpath functions
+//	pooluse       NewPacket/ReleasePacket contract violations
+//
+// Interprocedural passes, applied to the whole package set at once over
+// a callgraph:
+//
+//	shardsafe     Network.Sched/Network.Now reachable from data-path entry points
+//	rngstream     raw seed arithmetic; *rand.Rand aliased across components
+//	ledgerbalance //dmzvet:ledger counter groups split across paths
+//	hotpathx      allocations anywhere in the //dmz:hotpath call closure
 //
 // simclock applies only to internal/ packages: wall-clock entropy is
-// legal in cmd/ front-ends and examples. The other analyzers run
-// everywhere.
+// legal in cmd/ front-ends and examples. The interprocedural passes
+// traverse the whole set but likewise report only in internal/
+// simulation code. The other analyzers run everywhere.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,13 +40,26 @@ import (
 	"repro/internal/analyzers"
 )
 
+// finding is the -json wire form of one diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	tests := flag.Bool("tests", false, "also analyze in-package _test.go files")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dmzvet [-tests] [-only=a,b] packages...\n\n")
+		fmt.Fprintf(os.Stderr, "usage: dmzvet [-tests] [-json] [-only=a,b] packages...\n\n")
 		for _, a := range analyzers.All() {
-			fmt.Fprintf(os.Stderr, "  %-9s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(os.Stderr, "  %-13s %s\n", a.Name, a.Doc)
+		}
+		for _, a := range analyzers.AllProgram() {
+			fmt.Fprintf(os.Stderr, "  %-13s %s\n", a.Name, a.Doc)
 		}
 		flag.PrintDefaults()
 	}
@@ -44,23 +70,10 @@ func main() {
 		patterns = []string{"./..."}
 	}
 
-	suite := analyzers.All()
-	if *only != "" {
-		suite = suite[:0]
-		names := strings.Split(*only, ",")
-		for _, name := range names {
-			found := false
-			for _, a := range analyzers.All() {
-				if a.Name == strings.TrimSpace(name) {
-					suite = append(suite, a)
-					found = true
-				}
-			}
-			if !found {
-				fmt.Fprintf(os.Stderr, "dmzvet: unknown analyzer %q\n", name)
-				os.Exit(2)
-			}
-		}
+	suite, progSuite, err := selectSuites(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmzvet:", err)
+		os.Exit(2)
 	}
 
 	pkgs, err := analyzers.Load("", patterns, analyzers.LoadOptions{Tests: *tests})
@@ -69,30 +82,89 @@ func main() {
 		os.Exit(2)
 	}
 
-	wd, _ := os.Getwd()
-	findings := 0
+	var diags []analyzers.Diagnostic
 	for _, pkg := range pkgs {
 		for _, terr := range pkg.TypeErrors {
 			fmt.Fprintf(os.Stderr, "dmzvet: %s: type-check: %v (analysis continues with partial types)\n", pkg.Path, terr)
 		}
-		diags, err := analyzers.Run(pkg, suiteFor(pkg, suite))
+		ds, err := analyzers.Run(pkg, suiteFor(pkg, suite))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dmzvet: %v\n", err)
 			os.Exit(2)
 		}
-		for _, d := range diags {
-			name := d.Pos.Filename
-			if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
-				name = rel
-			}
-			fmt.Printf("%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
-			findings++
+		diags = append(diags, ds...)
+	}
+	if len(progSuite) > 0 {
+		prog := analyzers.BuildProgram(pkgs)
+		ds, err := analyzers.RunProgram(prog, progSuite)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmzvet: %v\n", err)
+			os.Exit(2)
+		}
+		diags = append(diags, ds...)
+	}
+
+	wd, _ := os.Getwd()
+	findings := make([]finding, 0, len(diags))
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		findings = append(findings, finding{
+			File: name, Line: d.Pos.Line, Col: d.Pos.Column,
+			Analyzer: d.Analyzer, Message: d.Message,
+		})
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "dmzvet: encoding findings: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "dmzvet: %d finding(s)\n", findings)
+	// The summary goes to stderr in both modes so -json output stays a
+	// clean array; the exit code mirrors it (0 clean, 1 findings).
+	fmt.Fprintf(os.Stderr, "dmzvet: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+	if len(findings) > 0 {
 		os.Exit(1)
 	}
+}
+
+// selectSuites resolves -only against both the function-local and the
+// interprocedural analyzer sets (default: everything).
+func selectSuites(only string) ([]*analyzers.Analyzer, []*analyzers.ProgramAnalyzer, error) {
+	if only == "" {
+		return analyzers.All(), analyzers.AllProgram(), nil
+	}
+	var suite []*analyzers.Analyzer
+	var progSuite []*analyzers.ProgramAnalyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, a := range analyzers.All() {
+			if a.Name == name {
+				suite = append(suite, a)
+				found = true
+			}
+		}
+		for _, a := range analyzers.AllProgram() {
+			if a.Name == name {
+				progSuite = append(progSuite, a)
+				found = true
+			}
+		}
+		if !found {
+			return nil, nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+	}
+	return suite, progSuite, nil
 }
 
 // suiteFor scopes analyzers per package: simclock only polices

@@ -107,6 +107,12 @@ func Run(pkg *Package, as []*Analyzer) ([]Diagnostic, error) {
 			return out, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
 		}
 	}
+	sortDiagnostics(out)
+	return out, nil
+}
+
+// sortDiagnostics orders diagnostics by position then analyzer name.
+func sortDiagnostics(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -120,5 +126,4 @@ func Run(pkg *Package, as []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out, nil
 }

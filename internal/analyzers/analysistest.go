@@ -45,7 +45,36 @@ func RunFixture(t *testing.T, a *Analyzer, name string) {
 	if err != nil {
 		t.Fatalf("running %s on fixture %s: %v", a.Name, name, err)
 	}
+	checkWants(t, wants, diags)
+}
 
+// RunProgramFixture applies an interprocedural analyzer to the fixture
+// package testdata/src/<name>, treated as a whole program of one
+// package, and checks its diagnostics against the want comments.
+func RunProgramFixture(t *testing.T, a *ProgramAnalyzer, name string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := LoadDir(dir, name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture %s: type error: %v", name, terr)
+	}
+
+	wants := collectWants(t, pkg)
+	prog := BuildProgram([]*Package{pkg})
+	diags, err := RunProgram(prog, []*ProgramAnalyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on fixture %s: %v", a.Name, name, err)
+	}
+	checkWants(t, wants, diags)
+}
+
+// checkWants fails the test for any diagnostic not matched by a want
+// and any want not matched by a diagnostic.
+func checkWants(t *testing.T, wants []*want, diags []Diagnostic) {
+	t.Helper()
 	for _, d := range diags {
 		base := filepath.Base(d.Pos.Filename)
 		found := false

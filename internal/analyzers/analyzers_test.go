@@ -1,6 +1,9 @@
 package analyzers
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // The fixture suites prove, per analyzer, at least one true-positive
 // diagnostic (the maporder fixture replicates the real pre-fix
@@ -15,40 +18,65 @@ func TestHotPathFixture(t *testing.T) { RunFixture(t, HotPath, "hotpath") }
 
 func TestPoolUseFixture(t *testing.T) { RunFixture(t, PoolUse, "pooluse") }
 
-// TestSuiteCleanOnSimulatorCore loads the packages where the suite
-// found (and this PR fixed) real violations and asserts the fixes
-// silenced it: a regression here means a determinism or pool contract
-// was broken again.
-func TestSuiteCleanOnSimulatorCore(t *testing.T) {
+// The interprocedural fixtures additionally prove cross-function
+// behavior: diagnostics two hops from the entry point, chain rendering,
+// dynamic (interface) edge traversal, and reachability scoping.
+
+func TestShardSafeFixture(t *testing.T) { RunProgramFixture(t, ShardSafe, "shardsafe") }
+
+func TestRNGStreamFixture(t *testing.T) { RunProgramFixture(t, RNGStream, "rngstream") }
+
+func TestLedgerBalanceFixture(t *testing.T) { RunProgramFixture(t, LedgerBalance, "ledgerbalance") }
+
+func TestHotPathXFixture(t *testing.T) { RunProgramFixture(t, HotPathX, "hotpathx") }
+
+// TestSuiteCleanOnWholeModule loads every internal/... and cmd/...
+// package and asserts both the function-local suite and the
+// interprocedural suite are clean: a regression here means a
+// determinism, shard-affinity, RNG-stream, ledger, or hot-path
+// contract was broken again. Suppressions in the tree carry inline
+// //dmzvet:<name> justifications; this test keeps them honest.
+func TestSuiteCleanOnWholeModule(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the module from source; skipped with -short")
 	}
-	pkgs, err := Load("", []string{
-		"repro/internal/topo",
-		"repro/internal/circuit",
-		"repro/internal/netsim",
-		"repro/internal/firewall",
-		"repro/internal/sim",
-		"repro/internal/fault",
-		"repro/internal/shard",
-		"repro/internal/fluid",
-	}, LoadOptions{})
+	pkgs, err := Load("", []string{"repro/internal/...", "repro/cmd/..."}, LoadOptions{})
 	if err != nil {
-		t.Fatalf("loading simulator core: %v", err)
+		t.Fatalf("loading module: %v", err)
 	}
-	if len(pkgs) != 8 {
-		t.Fatalf("loaded %d packages, want 8", len(pkgs))
+	if len(pkgs) < 15 {
+		t.Fatalf("loaded %d packages, want the whole module (>= 15)", len(pkgs))
 	}
 	for _, pkg := range pkgs {
 		for _, terr := range pkg.TypeErrors {
 			t.Errorf("%s: type error: %v", pkg.Path, terr)
 		}
-		diags, err := Run(pkg, All())
+		// Mirror the driver's scoping: simclock polices internal/ only —
+		// wall-clock reads are legal in cmd/ front-ends.
+		suite := All()
+		if !strings.Contains(pkg.Path, "internal/") {
+			trimmed := make([]*Analyzer, 0, len(suite))
+			for _, a := range suite {
+				if a != SimClock {
+					trimmed = append(trimmed, a)
+				}
+			}
+			suite = trimmed
+		}
+		diags, err := Run(pkg, suite)
 		if err != nil {
 			t.Fatalf("running suite on %s: %v", pkg.Path, err)
 		}
 		for _, d := range diags {
 			t.Errorf("%s: unexpected finding: %s", pkg.Path, d)
 		}
+	}
+	prog := BuildProgram(pkgs)
+	diags, err := RunProgram(prog, AllProgram())
+	if err != nil {
+		t.Fatalf("running interprocedural suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected interprocedural finding: %s", d)
 	}
 }

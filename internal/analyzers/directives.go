@@ -2,6 +2,7 @@ package analyzers
 
 import (
 	"go/ast"
+	"go/token"
 	"strings"
 )
 
@@ -15,24 +16,44 @@ import (
 //
 // Recognized names:
 //
-//	ordered    suppress maporder: iteration order provably cannot leak
-//	wallclock  suppress simclock: wall-clock use is deliberate (telemetry)
-//	alloc      suppress hotpath: allocation is outside the steady state
-//	holder     on a type declaration: audited packet-holder type (pooluse)
+//	ordered       suppress maporder: iteration order provably cannot leak
+//	wallclock     suppress simclock: wall-clock use is deliberate (telemetry)
+//	alloc         suppress hotpath/hotpathx: allocation is outside the steady state
+//	holder        on a type declaration: audited packet-holder type (pooluse)
+//	controlplane  suppress shardsafe: Sched/Now use here is a control event
+//	rawseed       suppress rngstream: seed arithmetic is deliberate
+//	sharedrng     suppress rngstream: the RNG alias is an ownership transfer
+//	unbalanced    suppress ledgerbalance: partial ledger write is intended
+//	ledger <g>    on a struct field: membership in counter group <g> (ledgerbalance)
+//	coldpath      on a func declaration: prune this callee (and everything
+//	              only reachable through it) from hotpathx's closure —
+//	              the function runs only on exceptional events
 //
-// The function-marking directive //dmz:hotpath (note: dmz, not dmzvet)
-// is handled separately by the hotpath analyzer.
+// The function-marking directives //dmz:hotpath and //dmz:datapath
+// (note: dmz, not dmzvet) are handled separately: the former marks a
+// steady-state kernel root for hotpath/hotpathx, the latter marks a
+// packet-handler entry point shardsafe cannot discover because it is
+// registered through a func-value adapter.
 const directivePrefix = "//dmzvet:"
 
 type fileDirectives struct {
 	byLine map[int][]string // line -> directive names on that line
 }
 
-// directivesFor lazily extracts the //dmzvet: directives of f.
-func (p *Pass) directivesFor(f *ast.File) fileDirectives {
-	if d, ok := p.directives[f]; ok {
-		return d
+// hasOn reports whether the named directive sits on the given line.
+func (d fileDirectives) hasOn(line int, name string) bool {
+	for _, have := range d.byLine[line] {
+		if have == name {
+			return true
+		}
 	}
+	return false
+}
+
+// collectDirectives extracts the //dmzvet: directives of f. Only line
+// comments count: the prefix match requires the literal `//dmzvet:`
+// opening, so a directive spelled inside a /* */ block is inert.
+func collectDirectives(fset *token.FileSet, f *ast.File) fileDirectives {
 	d := fileDirectives{byLine: make(map[int][]string)}
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
@@ -45,10 +66,19 @@ func (p *Pass) directivesFor(f *ast.File) fileDirectives {
 			if name == "" {
 				continue
 			}
-			line := p.Fset.Position(c.Pos()).Line
+			line := fset.Position(c.Pos()).Line
 			d.byLine[line] = append(d.byLine[line], name)
 		}
 	}
+	return d
+}
+
+// directivesFor lazily extracts the //dmzvet: directives of f.
+func (p *Pass) directivesFor(f *ast.File) fileDirectives {
+	if d, ok := p.directives[f]; ok {
+		return d
+	}
+	d := collectDirectives(p.Fset, f)
 	if p.directives == nil {
 		p.directives = make(map[*ast.File]fileDirectives)
 	}
@@ -61,14 +91,7 @@ func (p *Pass) directivesFor(f *ast.File) fileDirectives {
 func (p *Pass) suppressed(f *ast.File, n ast.Node, name string) bool {
 	d := p.directivesFor(f)
 	line := p.Fset.Position(n.Pos()).Line
-	for _, l := range []int{line, line - 1} {
-		for _, have := range d.byLine[l] {
-			if have == name {
-				return true
-			}
-		}
-	}
-	return false
+	return d.hasOn(line, name) || d.hasOn(line-1, name)
 }
 
 // docHasMark reports whether a comment group contains a marker comment

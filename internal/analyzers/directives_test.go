@@ -1,0 +1,163 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseDirectives parses src as a single file and returns its collected
+// directives plus the fileset for position lookups.
+func parseDirectives(t *testing.T, src string) fileDirectives {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "dir_test.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return collectDirectives(fset, f)
+}
+
+func TestDirectiveOnWrongLineDoesNotSuppress(t *testing.T) {
+	// The directive sits two lines above the flagged statement; hasOn
+	// only honours the same line and the line directly above, so a
+	// stale justification cannot drift away from the code it excuses.
+	src := `package p
+
+func f() {
+	//dmzvet:alloc sized once at attach
+	_ = 1
+
+	_ = 2
+}
+`
+	d := parseDirectives(t, src)
+	if !d.hasOn(4, "alloc") {
+		t.Fatalf("directive not collected on its own line 4: %+v", d.byLine)
+	}
+	// Line 5 (the statement under the comment) is covered via the
+	// line-above rule at the call site; line 7 must not be.
+	if d.hasOn(7, "alloc") || d.hasOn(6, "alloc") {
+		t.Fatalf("directive leaked past the line it sits on: %+v", d.byLine)
+	}
+}
+
+func TestDuplicateDirectivesOnOneLine(t *testing.T) {
+	// Two names on separate comments of the same line both register;
+	// a duplicated name is harmless (idempotent membership test).
+	src := `package p
+
+func f() {
+	_ = 1 //dmzvet:alloc once //dmzvet:alloc twice
+}
+`
+	d := parseDirectives(t, src)
+	// The trailing //dmzvet:alloc is part of the first comment's text,
+	// not a second comment, so exactly one entry is recorded — and
+	// hasOn still answers true, which is all suppression needs.
+	if !d.hasOn(4, "alloc") {
+		t.Fatalf("duplicate directive line not recognized: %+v", d.byLine)
+	}
+	if got := len(d.byLine[4]); got != 1 {
+		t.Fatalf("want 1 collected directive on line 4 (rest is justification text), got %d: %v", got, d.byLine[4])
+	}
+}
+
+func TestTwoDistinctDirectivesStack(t *testing.T) {
+	// Distinct names above and on the flagged line coexist.
+	src := `package p
+
+func f() {
+	//dmzvet:ordered keys sorted below
+	_ = 1 //dmzvet:alloc collected once
+}
+`
+	d := parseDirectives(t, src)
+	if !d.hasOn(4, "ordered") {
+		t.Fatalf("line-above directive missing: %+v", d.byLine)
+	}
+	if !d.hasOn(5, "alloc") {
+		t.Fatalf("same-line directive missing: %+v", d.byLine)
+	}
+	if d.hasOn(5, "ordered") || d.hasOn(4, "alloc") {
+		t.Fatalf("directives bled across lines: %+v", d.byLine)
+	}
+}
+
+func TestDirectiveInsideBlockCommentIsInert(t *testing.T) {
+	// Only line comments carry directives: the //dmzvet: prefix match
+	// requires the literal line-comment opening, so the same text
+	// inside a /* */ block is documentation, not suppression.
+	src := `package p
+
+func f() {
+	/* dmzvet:alloc not a directive */
+	_ = 1
+	/*
+		//dmzvet:alloc still not a directive
+	*/
+	_ = 2
+}
+`
+	d := parseDirectives(t, src)
+	if len(d.byLine) != 0 {
+		t.Fatalf("block comments must not produce directives: %+v", d.byLine)
+	}
+}
+
+func TestDirectiveWithEmptyNameIgnored(t *testing.T) {
+	// A bare "//dmzvet:" (or one followed only by spaces) names
+	// nothing and is dropped rather than matching everything.
+	src := `package p
+
+func f() {
+	//dmzvet:
+	_ = 1 //dmzvet:
+}
+`
+	d := parseDirectives(t, src)
+	if len(d.byLine) != 0 {
+		t.Fatalf("empty directive names must be ignored: %+v", d.byLine)
+	}
+}
+
+func TestDocMarkPrefixIsExact(t *testing.T) {
+	// docHasMark must not treat //dmz:hotpathx or //dmz:hotpath-ish
+	// prose as the //dmz:hotpath mark, but must accept trailing text
+	// after a space (a justification on the mark line).
+	src := `package p
+
+// a has the real mark.
+//
+//dmz:hotpath
+func a() {}
+
+// b mentions a longer name that shares the prefix.
+//
+//dmz:hotpathx
+func b() {}
+
+//dmz:hotpath per-packet kernel
+func c() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "mark_test.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	got := map[string]bool{}
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		got[fd.Name.Name] = docHasMark(fd.Doc, HotPathMark)
+	}
+	want := map[string]bool{"a": true, "b": false, "c": true}
+	for name, w := range want {
+		if got[name] != w {
+			t.Fatalf("docHasMark(%s) = %v, want %v", name, got[name], w)
+		}
+	}
+}

@@ -84,9 +84,23 @@ func runHotPath(pass *Pass) error {
 // checkHotBody reports every known allocation source in a hot-path
 // function body.
 func checkHotBody(pass *Pass, f *ast.File, name string, body *ast.BlockStmt) {
+	scanAllocs(pass.TypesInfo, body, func(n ast.Node, what string) {
+		if pass.suppressed(f, n, "alloc") {
+			return
+		}
+		pass.Reportf(n.Pos(), "%s in //dmz:hotpath function %s — the steady state must stay 0 allocs/op (see DESIGN.md); move it off the hot path or justify with //dmzvet:alloc", what, name)
+	})
+}
+
+// scanAllocs walks a function body and reports every known allocation
+// source outside panic paths (arguments to the panic builtin never run
+// in steady state). It is the shared alloc-fact engine behind both the
+// function-local hotpath analyzer and the interprocedural hotpathx
+// analyzer; callers layer their own directive suppression on top.
+func scanAllocs(info *types.Info, body *ast.BlockStmt, report func(n ast.Node, what string)) {
 	var panicRanges []ast.Node // subtrees that only run while panicking
 	ast.Inspect(body, func(n ast.Node) bool {
-		if call, ok := n.(*ast.CallExpr); ok && isBuiltin(pass, call, "panic") {
+		if call, ok := n.(*ast.CallExpr); ok && isBuiltin(info, call, "panic") {
 			panicRanges = append(panicRanges, call)
 		}
 		return true
@@ -99,54 +113,52 @@ func checkHotBody(pass *Pass, f *ast.File, name string, body *ast.BlockStmt) {
 		}
 		return false
 	}
-	report := func(n ast.Node, format string, args ...any) {
-		if inPanic(n) || pass.suppressed(f, n, "alloc") {
-			return
+	rep := func(n ast.Node, what string) {
+		if !inPanic(n) {
+			report(n, what)
 		}
-		args = append(args, name)
-		pass.Reportf(n.Pos(), format+" in //dmz:hotpath function %s — the steady state must stay 0 allocs/op (see DESIGN.md); move it off the hot path or justify with //dmzvet:alloc", args...)
 	}
 
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch e := n.(type) {
 		case *ast.FuncLit:
-			report(e, "func literal allocates a closure")
+			rep(e, "func literal allocates a closure")
 			return false // its body is off the table once flagged
 		case *ast.CallExpr:
-			checkHotCall(pass, report, e)
+			checkHotCall(info, rep, e)
 		case *ast.UnaryExpr:
 			if e.Op == token.AND {
 				if lit, ok := e.X.(*ast.CompositeLit); ok {
-					report(lit, "&composite literal allocates")
+					rep(lit, "&composite literal allocates")
 				}
 			}
 		case *ast.CompositeLit:
-			if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Type != nil {
+			if tv, ok := info.Types[e]; ok && tv.Type != nil {
 				switch tv.Type.Underlying().(type) {
 				case *types.Slice, *types.Map:
-					report(e, "slice/map literal allocates")
+					rep(e, "slice/map literal allocates")
 				}
 			}
 		case *ast.BinaryExpr:
 			// Constant-folded concatenation ("a"+"b") never allocates.
-			if e.Op == token.ADD && isStringType(pass, e) && !isConstant(pass, e) {
-				report(e, "string concatenation allocates")
+			if e.Op == token.ADD && isStringTypeInfo(info, e) && !isConstantInfo(info, e) {
+				rep(e, "string concatenation allocates")
 			}
 		}
 		return true
 	})
 }
 
-func checkHotCall(pass *Pass, report func(ast.Node, string, ...any), call *ast.CallExpr) {
-	if isBuiltin(pass, call, "make") {
+func checkHotCall(info *types.Info, report func(ast.Node, string), call *ast.CallExpr) {
+	if isBuiltin(info, call, "make") {
 		report(call, "make allocates")
 		return
 	}
-	if isBuiltin(pass, call, "new") {
+	if isBuiltin(info, call, "new") {
 		report(call, "new allocates")
 		return
 	}
-	if conv, ok := allocConversion(pass, call); ok {
+	if conv, ok := allocConversion(info, call); ok {
 		report(call, conv+" allocates")
 		return
 	}
@@ -154,7 +166,7 @@ func checkHotCall(pass *Pass, report func(ast.Node, string, ...any), call *ast.C
 	if !ok {
 		return
 	}
-	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
 	if !ok {
 		return
 	}
@@ -170,27 +182,27 @@ func checkHotCall(pass *Pass, report func(ast.Node, string, ...any), call *ast.C
 	}
 }
 
-func isBuiltin(pass *Pass, call *ast.CallExpr, name string) bool {
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
 	id, ok := call.Fun.(*ast.Ident)
 	if !ok || id.Name != name {
 		return false
 	}
-	_, isB := pass.TypesInfo.Uses[id].(*types.Builtin)
+	_, isB := info.Uses[id].(*types.Builtin)
 	return isB
 }
 
 // allocConversion detects string([]byte), []byte(string), string([]rune),
 // []rune(string) conversions.
-func allocConversion(pass *Pass, call *ast.CallExpr) (string, bool) {
+func allocConversion(info *types.Info, call *ast.CallExpr) (string, bool) {
 	if len(call.Args) != 1 {
 		return "", false
 	}
-	tv, ok := pass.TypesInfo.Types[call.Fun]
+	tv, ok := info.Types[call.Fun]
 	if !ok || !tv.IsType() {
 		return "", false
 	}
 	to := tv.Type.Underlying()
-	argTv, ok := pass.TypesInfo.Types[call.Args[0]]
+	argTv, ok := info.Types[call.Args[0]]
 	if !ok || argTv.Type == nil {
 		return "", false
 	}
@@ -219,13 +231,13 @@ func isByteOrRuneSlice(t types.Type) bool {
 		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
 }
 
-func isConstant(pass *Pass, e ast.Expr) bool {
-	tv, ok := pass.TypesInfo.Types[e]
+func isConstantInfo(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
 	return ok && tv.Value != nil
 }
 
-func isStringType(pass *Pass, e ast.Expr) bool {
-	tv, ok := pass.TypesInfo.Types[e]
+func isStringTypeInfo(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
 	if !ok || tv.Type == nil {
 		return false
 	}

@@ -1,0 +1,79 @@
+package analyzers
+
+import "go/ast"
+
+// HotPathX is the interprocedural half of the hot-path contract. The
+// function-local hotpath analyzer proves a //dmz:hotpath body itself is
+// allocation-free; it says nothing about the helpers that body calls. A
+// marked function calling an unmarked helper that calls fmt.Sprintf is
+// exactly as much of a regression as the Sprintf being inline — the
+// steady-state benchmark (BENCH_8.json, 0 allocs/op) fails either way,
+// just later and with a worse stack trace.
+//
+// HotPathX propagates alloc-facts over the callgraph: it takes every
+// //dmz:hotpath function as a root, walks the static call closure, and
+// runs the shared scanAllocs engine over every reachable *unmarked*
+// function (marked ones are already covered locally, and reporting them
+// twice would double every fixture want). Diagnostics carry the call
+// chain back to the root, so "helper two hops away allocates" reads as
+// Port.Send -> drainQueue -> logDrop.
+//
+// Only static edges are traversed: the real hot path's interface calls
+// land on implementations that are themselves marked or are packet
+// endpoints (shardsafe roots), while name+arity dynamic resolution
+// would pull every same-named cold-path method into the closure and
+// drown the signal. Calls through func values are likewise invisible —
+// a hot callback bound to a var carries its own //dmz:hotpath mark (the
+// local analyzer's var-decl rule).
+//
+// Escapes: the same //dmzvet:alloc <reason> used by the local
+// analyzer, placed at the allocation site in the callee; and
+// //dmzvet:coldpath <reason> in a callee's doc comment, which prunes
+// that function (and everything only reachable through it) from the
+// closure — for helpers a hot function calls only on exceptional
+// events, like drop accounting, that may allocate because they never
+// run in steady state.
+var HotPathX = &ProgramAnalyzer{
+	Name: "hotpathx",
+	Doc:  "forbid allocations anywhere in the static call closure of //dmz:hotpath functions",
+	Run:  runHotPathX,
+}
+
+// ColdPathMark excuses a whole callee from hot-path closure traversal:
+// it runs only on exceptional events (drops, timeouts), never in the
+// steady state the 0 allocs/op contract covers.
+const ColdPathMark = "//dmzvet:coldpath"
+
+func runHotPathX(pass *ProgramPass) error {
+	prog := pass.Prog
+	var roots []*FuncInfo
+	marked := make(map[*FuncInfo]bool)
+	for _, fi := range prog.Funcs() {
+		if docHasMark(fi.Decl.Doc, HotPathMark) {
+			roots = append(roots, fi)
+			marked[fi] = true
+		}
+	}
+	parent := prog.ReachableSkip(roots, false, func(fi *FuncInfo) bool {
+		return docHasMark(fi.Decl.Doc, ColdPathMark)
+	})
+	for _, fi := range prog.Funcs() {
+		if _, reached := parent[fi]; !reached || marked[fi] {
+			continue
+		}
+		if !simScoped(fi.Pkg.Path) {
+			continue
+		}
+		callee := fi
+		root := Root(parent, fi)
+		scanAllocs(fi.Pkg.TypesInfo, fi.Decl.Body, func(n ast.Node, what string) {
+			if pass.suppressed(callee.Pkg, callee.File, n, "alloc") {
+				return
+			}
+			pass.Reportf(callee.Pkg, n,
+				"%s in %s, reachable from //dmz:hotpath %s via %s — the whole hot-path closure must stay 0 allocs/op; move it off the path or justify with //dmzvet:alloc",
+				what, callee.ShortName(), root.ShortName(), Chain(parent, callee))
+		})
+	}
+	return nil
+}

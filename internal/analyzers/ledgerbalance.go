@@ -1,0 +1,456 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LedgerBalance enforces the conservation ledgers the fluid engine and
+// the port counters keep (DESIGN.md, "Hybrid fluid engine"): groups of
+// counters that only mean anything when they move together. FluidQueue's
+// column Offered = Delivered + Dropped + Bytes balances to the byte
+// because Engine.tick writes all four fields in one block; TxPackets is
+// only trustworthy next to TxBytes because every transmit site bumps
+// both. A later edit that adds a write to one field of a group on some
+// path — an early return between the bumps, a new branch that drops
+// without counting bytes — silently breaks the invariant the metamorphic
+// and conservation tests then chase for hours.
+//
+// Declaring a group: tag each field with `//dmzvet:ledger <group>` on
+// the field's own line (or its doc comment):
+//
+//	type PortCounters struct {
+//		TxPackets uint64 //dmzvet:ledger porttx
+//		TxBytes   units.ByteSize //dmzvet:ledger porttx
+//	}
+//
+// The contract: in every function, on every control-flow path, the set
+// of a group's fields written is either empty or the whole group. The
+// check is path-sensitive — it abstractly evaluates the function body,
+// tracking the per-path set of group fields written, branching at
+// if/switch and iterating loops to a fixpoint — so a write pair split
+// across an if/else is fine, while a pair split across a `return` is
+// flagged.
+//
+// Escape: a function that deliberately moves half a ledger (a
+// reconciliation step, a test helper seeding an imbalance) carries
+// `//dmzvet:unbalanced <reason>` on the line above its `func` line
+// (typically the last doc-comment line).
+//
+// Scope notes: writes inside func literals belong to the literal's own
+// execution, not the enclosing function's paths, and are skipped;
+// break/continue/goto are treated as falling through (an
+// under-approximation that can miss a skipped balance, never invent
+// one); mutation through a method call on the struct is invisible — the
+// analyzer sees direct field writes only.
+var LedgerBalance = &ProgramAnalyzer{
+	Name: "ledgerbalance",
+	Doc:  "require //dmzvet:ledger counter groups to be written together on every path",
+	Run:  runLedgerBalance,
+}
+
+const ledgerDirective = "//dmzvet:ledger"
+
+// ledgerGroup is one declared counter group: the annotated fields, in
+// declaration order, each keyed pkgPath.TypeName.FieldName.
+type ledgerGroup struct {
+	name   string
+	fields []string        // keys, declaration order
+	bit    map[string]uint // key -> bit index
+}
+
+func (g *ledgerGroup) full() uint64 { return 1<<uint(len(g.fields)) - 1 }
+
+// shortField strips the package path off a field key for diagnostics.
+func shortField(key string) string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		key = key[i+1:]
+	}
+	// key is now pkgname.Type.Field (or Type.Field for fixture packages).
+	if i := strings.Index(key, "."); i >= 0 && strings.Count(key, ".") > 1 {
+		key = key[i+1:]
+	}
+	return key
+}
+
+// collectLedgerGroups scans every loaded package's struct declarations
+// for //dmzvet:ledger field tags.
+func collectLedgerGroups(prog *Program) map[string]*ledgerGroup {
+	groups := make(map[string]*ledgerGroup)
+	add := func(group, key string) {
+		g := groups[group]
+		if g == nil {
+			g = &ledgerGroup{name: group, bit: make(map[string]uint)}
+			groups[group] = g
+		}
+		if _, dup := g.bit[key]; dup {
+			return
+		}
+		g.bit[key] = uint(len(g.fields))
+		g.fields = append(g.fields, key)
+	}
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						group := fieldLedgerTag(field)
+						if group == "" {
+							continue
+						}
+						for _, name := range field.Names {
+							add(group, pkg.Path+"."+ts.Name.Name+"."+name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return groups
+}
+
+// fieldLedgerTag returns the group named by a //dmzvet:ledger tag in the
+// field's doc or trailing comment, or "".
+func fieldLedgerTag(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, ledgerDirective)
+			if !ok {
+				continue
+			}
+			group, _, _ := strings.Cut(strings.TrimSpace(rest), " ")
+			if group != "" {
+				return group
+			}
+		}
+	}
+	return ""
+}
+
+func runLedgerBalance(pass *ProgramPass) error {
+	groups := collectLedgerGroups(pass.Prog)
+	if len(groups) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(groups))
+	for name := range groups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, fi := range pass.Prog.Funcs() {
+		if !simScoped(fi.Pkg.Path) {
+			continue
+		}
+		touched := touchedGroups(fi, groups)
+		if len(touched) == 0 {
+			continue
+		}
+		for _, name := range names {
+			if !touched[name] {
+				continue
+			}
+			checkLedgerFunc(pass, fi, groups[name])
+		}
+	}
+	return nil
+}
+
+// touchedGroups reports which groups have a field written anywhere in
+// fi's body (cheap pre-filter before the path evaluation).
+func touchedGroups(fi *FuncInfo, groups map[string]*ledgerGroup) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		var lhs []ast.Expr
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			lhs = s.Lhs
+		case *ast.IncDecStmt:
+			lhs = []ast.Expr{s.X}
+		}
+		for _, e := range lhs {
+			key := writtenFieldKey(fi.Pkg.TypesInfo, e)
+			if key == "" {
+				continue
+			}
+			for name, g := range groups {
+				if _, ok := g.bit[key]; ok {
+					out[name] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// writtenFieldKey resolves an assignment target to a ledger field key
+// (pkgPath.TypeName.FieldName), or "".
+func writtenFieldKey(info *types.Info, e ast.Expr) string {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	v, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() {
+		return ""
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path() + "." + obj.Name() + "." + sel.Sel.Name
+}
+
+// checkLedgerFunc path-evaluates fi against one group and reports any
+// terminal path whose written-field set is a nonempty proper subset.
+func checkLedgerFunc(pass *ProgramPass, fi *FuncInfo, g *ledgerGroup) {
+	ev := &ledgerEval{info: fi.Pkg.TypesInfo, group: g, terminals: make(map[uint64]bool)}
+	out := ev.stmts(fi.Decl.Body.List, masks{0: true})
+	for m := range out {
+		ev.terminals[m] = true
+	}
+	full := g.full()
+	var bad uint64
+	found := false
+	for m := range ev.terminals {
+		if m != 0 && m != full {
+			if !found || m < bad {
+				bad, found = m, true
+			}
+		}
+	}
+	if !found {
+		return
+	}
+	if pass.suppressed(fi.Pkg, fi.File, fi.Decl, "unbalanced") {
+		return
+	}
+	var wrote, missing []string
+	for _, key := range g.fields {
+		if bad&(1<<g.bit[key]) != 0 {
+			wrote = append(wrote, shortField(key))
+		} else {
+			missing = append(missing, shortField(key))
+		}
+	}
+	pass.Reportf(fi.Pkg, fi.Decl.Name,
+		"ledger group %q unbalanced in %s: a path writes %s without %s — conservation counters must move together on every path (declare intent with //dmzvet:unbalanced if deliberate)",
+		g.name, fi.ShortName(), strings.Join(wrote, ", "), strings.Join(missing, ", "))
+}
+
+// masks is the abstract state: the set of possible written-field
+// bitmasks at a program point.
+type masks map[uint64]bool
+
+func (m masks) clone() masks {
+	out := make(masks, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+func union(a, b masks) masks {
+	out := a.clone()
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func sameMasks(a, b masks) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// ledgerEval abstractly evaluates statement lists, tracking which of one
+// group's fields each path has written. Returns terminate a path: their
+// masks land in terminals. The masks left after the outermost list are
+// the fall-off-the-end terminals (the caller adds them).
+type ledgerEval struct {
+	info      *types.Info
+	group     *ledgerGroup
+	terminals map[uint64]bool
+}
+
+func (ev *ledgerEval) writes(s ast.Stmt) uint64 {
+	var lhs []ast.Expr
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		lhs = st.Lhs
+	case *ast.IncDecStmt:
+		lhs = []ast.Expr{st.X}
+	default:
+		return 0
+	}
+	var bits uint64
+	for _, e := range lhs {
+		if key := writtenFieldKey(ev.info, e); key != "" {
+			if b, ok := ev.group.bit[key]; ok {
+				bits |= 1 << b
+			}
+		}
+	}
+	return bits
+}
+
+func (ev *ledgerEval) apply(in masks, bits uint64) masks {
+	if bits == 0 {
+		return in
+	}
+	out := make(masks, len(in))
+	for m := range in {
+		out[m|bits] = true
+	}
+	return out
+}
+
+// stmts evaluates a statement list. An empty result means every path
+// through the list returned.
+func (ev *ledgerEval) stmts(list []ast.Stmt, in masks) masks {
+	cur := in
+	for _, s := range list {
+		if len(cur) == 0 {
+			return cur
+		}
+		cur = ev.stmt(s, cur)
+	}
+	return cur
+}
+
+func (ev *ledgerEval) stmt(s ast.Stmt, in masks) masks {
+	switch st := s.(type) {
+	case *ast.AssignStmt, *ast.IncDecStmt:
+		return ev.apply(in, ev.writes(s))
+	case *ast.BlockStmt:
+		return ev.stmts(st.List, in)
+	case *ast.LabeledStmt:
+		return ev.stmt(st.Stmt, in)
+	case *ast.ReturnStmt:
+		for m := range in {
+			ev.terminals[m] = true
+		}
+		return masks{}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			in = ev.stmt(st.Init, in)
+		}
+		thenOut := ev.stmts(st.Body.List, in)
+		elseOut := in
+		if st.Else != nil {
+			elseOut = ev.stmt(st.Else, in)
+		}
+		return union(thenOut, elseOut)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			in = ev.stmt(st.Init, in)
+		}
+		body := func(m masks) masks {
+			out := ev.stmts(st.Body.List, m)
+			if st.Post != nil {
+				out = ev.stmt(st.Post, out)
+			}
+			return out
+		}
+		return ev.loop(in, body)
+	case *ast.RangeStmt:
+		return ev.loop(in, func(m masks) masks { return ev.stmts(st.Body.List, m) })
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			in = ev.stmt(st.Init, in)
+		}
+		return ev.cases(st.Body, in)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			in = ev.stmt(st.Init, in)
+		}
+		return ev.cases(st.Body, in)
+	case *ast.SelectStmt:
+		return ev.cases(st.Body, in)
+	default:
+		// Branch statements fall through (documented under-approximation);
+		// expression statements, declarations, defers, go statements, and
+		// func-literal bodies do not move the group's fields directly.
+		return in
+	}
+}
+
+// loop iterates a loop body to fixpoint. Written-field masks only grow,
+// so the set stabilizes within len(fields) iterations; the zero-trip
+// path (in) is always included.
+func (ev *ledgerEval) loop(in masks, body func(masks) masks) masks {
+	cur := in
+	for i := 0; i <= len(ev.group.fields)+1; i++ {
+		next := union(cur, body(cur))
+		if sameMasks(next, cur) {
+			return cur
+		}
+		cur = next
+	}
+	return cur
+}
+
+// cases unions the outcomes of a switch/select body's clauses; a
+// switch with no default also keeps the skip-everything path.
+func (ev *ledgerEval) cases(body *ast.BlockStmt, in masks) masks {
+	out := masks{}
+	hasDefault := false
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			stmts = c.Body
+			if c.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			stmts = c.Body
+			if c.Comm == nil {
+				hasDefault = true
+			}
+		default:
+			continue
+		}
+		out = union(out, ev.stmts(stmts, in))
+	}
+	if !hasDefault {
+		out = union(out, in)
+	}
+	return out
+}

@@ -1,0 +1,334 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Interprocedural layer. The four original analyzers are function-local:
+// each looks at one body at a time. The contracts added with the sharded
+// engine (PR 7) and the hybrid fluid engine (PR 8) are not local — a
+// //dmz:hotpath function can satisfy the syntactic check and still call
+// an allocating helper two hops away, and "data-path code must never
+// touch Network.Sched" is a property of everything reachable from a
+// per-packet entry point, not of any single function. Program builds the
+// whole-module view those checks need: every loaded package, a callgraph
+// over their declared functions, and reachability queries with
+// explainable call chains.
+//
+// Identity across packages is by symbol name, not object pointer: each
+// package is type-checked as its own unit (go/importer source mode), so
+// the *types.Func for netsim.(*Port).Send seen from inside netsim is a
+// different object than the one the tcp package resolves through its
+// import. types.Func.FullName — "(*repro/internal/netsim.Port).Send" —
+// is stable across those worlds and is the graph's node key.
+//
+// Call edges come in two kinds:
+//
+//   - static: the callee resolves to a named function or concrete method
+//     declared in the program;
+//   - dynamic: the callee is an interface method. Cross-world type
+//     identity makes types.Implements unreliable here, so dynamic edges
+//     are resolved by method name + arity over all program methods — a
+//     deliberate over-approximation that errs toward reachability
+//     (analyzers gate what they report, not what they traverse).
+//
+// Calls through plain func values (callbacks, HandlerFunc adapters) are
+// not resolvable statically and produce no edge; entry points reached
+// only that way must carry an explicit //dmz:datapath or //dmz:hotpath
+// mark (see shardsafe.go).
+
+// FuncInfo is one declared function or method with a body, the program
+// callgraph's node.
+type FuncInfo struct {
+	Name string // types.Func.FullName: pkg-qualified, receiver-qualified
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	File *ast.File
+	Pkg  *Package
+
+	calls []progCall
+}
+
+// progCall is one call site inside a FuncInfo's body (including bodies
+// of func literals nested in it — a closure's calls are attributed to
+// the function that lexically contains it).
+type progCall struct {
+	site    *ast.CallExpr
+	callee  string // FullName for static calls, bare method name for dynamic
+	arity   int    // parameter count of the callee signature (dynamic only)
+	dynamic bool
+}
+
+// ShortName returns the diagnostic-friendly name: receiver-qualified for
+// methods, bare for functions, without the package path noise.
+func (fi *FuncInfo) ShortName() string {
+	if fi.Decl.Recv != nil && len(fi.Decl.Recv.List) > 0 {
+		t := fi.Decl.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			return id.Name + "." + fi.Decl.Name.Name
+		}
+	}
+	return fi.Decl.Name.Name
+}
+
+// Program is the whole-module analysis unit: every loaded package plus
+// the callgraph over their declared functions.
+type Program struct {
+	Pkgs []*Package
+
+	funcs         map[string]*FuncInfo   // FullName -> declaration
+	methodsByName map[string][]*FuncInfo // bare method name -> declared methods
+	order         []*FuncInfo            // deterministic iteration order
+}
+
+// BuildProgram constructs the callgraph over the loaded packages.
+func BuildProgram(pkgs []*Package) *Program {
+	p := &Program{
+		Pkgs:          pkgs,
+		funcs:         make(map[string]*FuncInfo),
+		methodsByName: make(map[string][]*FuncInfo),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fi := &FuncInfo{Name: obj.FullName(), Obj: obj, Decl: fd, File: f, Pkg: pkg}
+				p.funcs[fi.Name] = fi
+				p.order = append(p.order, fi)
+				if fd.Recv != nil {
+					p.methodsByName[fd.Name.Name] = append(p.methodsByName[fd.Name.Name], fi)
+				}
+			}
+		}
+	}
+	sort.Slice(p.order, func(i, j int) bool { return p.order[i].Name < p.order[j].Name })
+	for _, fi := range p.order {
+		p.resolveCalls(fi)
+	}
+	return p
+}
+
+// resolveCalls records fi's outgoing edges.
+func (p *Program) resolveCalls(fi *FuncInfo) {
+	info := fi.Pkg.TypesInfo
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var fn *types.Func
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			fn, _ = info.Uses[fun].(*types.Func)
+		case *ast.SelectorExpr:
+			fn, _ = info.Uses[fun.Sel].(*types.Func)
+		}
+		if fn == nil {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return true
+		}
+		if recv := sig.Recv(); recv != nil && types.IsInterface(recv.Type()) {
+			fi.calls = append(fi.calls, progCall{
+				site: call, callee: fn.Name(), arity: sig.Params().Len(), dynamic: true,
+			})
+			return true
+		}
+		fi.calls = append(fi.calls, progCall{site: call, callee: fn.FullName()})
+		return true
+	})
+}
+
+// Funcs returns every declared function in deterministic (FullName)
+// order.
+func (p *Program) Funcs() []*FuncInfo { return p.order }
+
+// Lookup returns the declaration of a FullName, or nil.
+func (p *Program) Lookup(fullName string) *FuncInfo { return p.funcs[fullName] }
+
+// callees resolves fi's outgoing edges to program declarations.
+// Dynamic (interface) edges are included only when dynamic is true.
+type edge struct {
+	to   *FuncInfo
+	site *ast.CallExpr
+}
+
+func (p *Program) callees(fi *FuncInfo, dynamic bool) []edge {
+	var out []edge
+	for _, c := range fi.calls {
+		if !c.dynamic {
+			if to := p.funcs[c.callee]; to != nil {
+				out = append(out, edge{to: to, site: c.site})
+			}
+			continue
+		}
+		if !dynamic {
+			continue
+		}
+		for _, to := range p.methodsByName[c.callee] {
+			if sig, ok := to.Obj.Type().(*types.Signature); ok && sig.Params().Len() == c.arity {
+				out = append(out, edge{to: to, site: c.site})
+			}
+		}
+	}
+	return out
+}
+
+// Reachable walks the callgraph from roots and returns the parent
+// relation of the BFS forest: reached function -> the caller it was
+// first reached from (roots map to nil). Traversal order is
+// deterministic: roots and edges are visited in FullName order.
+func (p *Program) Reachable(roots []*FuncInfo, dynamic bool) map[*FuncInfo]*FuncInfo {
+	return p.ReachableSkip(roots, dynamic, nil)
+}
+
+// ReachableSkip is Reachable with a pruning predicate: a function skip
+// reports true for is neither entered nor traversed through (hotpathx
+// uses this for //dmzvet:coldpath callees). Roots are never pruned.
+func (p *Program) ReachableSkip(roots []*FuncInfo, dynamic bool, skip func(*FuncInfo) bool) map[*FuncInfo]*FuncInfo {
+	parent := make(map[*FuncInfo]*FuncInfo, len(roots))
+	sorted := append([]*FuncInfo(nil), roots...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	queue := make([]*FuncInfo, 0, len(sorted))
+	for _, r := range sorted {
+		if _, seen := parent[r]; !seen {
+			parent[r] = nil
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		fi := queue[0]
+		queue = queue[1:]
+		es := p.callees(fi, dynamic)
+		sort.Slice(es, func(i, j int) bool { return es[i].to.Name < es[j].to.Name })
+		for _, e := range es {
+			if _, seen := parent[e.to]; seen {
+				continue
+			}
+			if skip != nil && skip(e.to) {
+				continue
+			}
+			parent[e.to] = fi
+			queue = append(queue, e.to)
+		}
+	}
+	return parent
+}
+
+// Chain renders the BFS path from a root down to fi, e.g.
+// "Port.Send -> Link.carry -> Port.deliver". Roots render as their own
+// name.
+func Chain(parent map[*FuncInfo]*FuncInfo, fi *FuncInfo) string {
+	var names []string
+	for cur := fi; cur != nil; cur = parent[cur] {
+		names = append(names, cur.ShortName())
+		if parent[cur] == nil {
+			break
+		}
+	}
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return strings.Join(names, " -> ")
+}
+
+// Root returns the BFS root fi was reached from.
+func Root(parent map[*FuncInfo]*FuncInfo, fi *FuncInfo) *FuncInfo {
+	cur := fi
+	for parent[cur] != nil {
+		cur = parent[cur]
+	}
+	return cur
+}
+
+// ProgramAnalyzer is a whole-program pass: unlike Analyzer it sees every
+// package at once plus the callgraph, so it can enforce contracts that
+// span function and package boundaries.
+type ProgramAnalyzer struct {
+	Name string
+	Doc  string
+	Run  func(*ProgramPass) error
+}
+
+// AllProgram returns the interprocedural suite in a stable order.
+func AllProgram() []*ProgramAnalyzer {
+	return []*ProgramAnalyzer{ShardSafe, RNGStream, LedgerBalance, HotPathX}
+}
+
+// ProgramPass carries one interprocedural analyzer's view of the
+// program.
+type ProgramPass struct {
+	Analyzer *ProgramAnalyzer
+	Prog     *Program
+
+	directives map[*ast.File]fileDirectives
+	report     func(Diagnostic)
+}
+
+// Reportf records a diagnostic. The position is resolved through the
+// declaring package's FileSet (all packages of one Load share it).
+func (p *ProgramPass) Reportf(pkg *Package, pos ast.Node, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      pkg.Fset.Position(pos.Pos()),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// suppressed reports whether a `//dmzvet:<name>` directive covers the
+// node (same line or the line directly above), mirroring Pass.suppressed.
+func (p *ProgramPass) suppressed(pkg *Package, f *ast.File, n ast.Node, name string) bool {
+	if p.directives == nil {
+		p.directives = make(map[*ast.File]fileDirectives)
+	}
+	d, ok := p.directives[f]
+	if !ok {
+		d = collectDirectives(pkg.Fset, f)
+		p.directives[f] = d
+	}
+	line := pkg.Fset.Position(n.Pos()).Line
+	return d.hasOn(line, name) || d.hasOn(line-1, name)
+}
+
+// RunProgram applies the interprocedural analyzers to the program and
+// returns their combined diagnostics sorted by position.
+func RunProgram(prog *Program, as []*ProgramAnalyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, a := range as {
+		pass := &ProgramPass{
+			Analyzer: a,
+			Prog:     prog,
+			report:   func(d Diagnostic) { out = append(out, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return out, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sortDiagnostics(out)
+	return out, nil
+}
+
+// simScoped reports whether a package path is subject to the
+// simulation-only analyzers (simclock, shardsafe, rngstream): the
+// internal/ simulation packages, and fixture packages (whose paths have
+// no slash). Wall-clock entropy and ad-hoc seeding stay legal in cmd/
+// front-ends and examples.
+func simScoped(path string) bool {
+	return strings.Contains(path, "internal/") || !strings.Contains(path, "/")
+}

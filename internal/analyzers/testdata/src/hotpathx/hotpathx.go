@@ -1,0 +1,66 @@
+// Package hotpathx exercises the interprocedural hot-path analyzer:
+// the whole static call closure of a //dmz:hotpath function must be
+// allocation-free, with diagnostics pointing back along the call chain.
+package hotpathx
+
+import "fmt"
+
+type record struct{ seq int }
+
+// process is the per-packet kernel entry.
+//
+//dmz:hotpath
+func process(seq int) {
+	note(seq)
+	_ = coldInit(seq)
+	if seq < 0 {
+		account(seq)
+	}
+}
+
+// note is one hop from the hot path and clean itself.
+func note(seq int) {
+	describe(seq)
+	_ = spill(record{seq: seq})
+}
+
+// describe is two hops from the hot path: the acceptance case.
+func describe(seq int) {
+	_ = fmt.Sprintf("seq=%d", seq) // want `fmt.Sprintf allocates in describe, reachable from //dmz:hotpath process via process -> note -> describe`
+}
+
+func spill(r record) *record {
+	return &record{seq: r.seq + 1} // want `&composite literal allocates in spill, reachable from //dmz:hotpath process via process -> note -> spill`
+}
+
+// coldInit allocates deliberately; the justification rides on the site.
+func coldInit(n int) []int {
+	return make([]int, n) //dmzvet:alloc ring buffer sized once at attach, off the steady state
+}
+
+// account runs only when a packet is destroyed — an exceptional event,
+// never the steady state — so the whole callee is excused and the
+// formatting helper below it stays unreported too.
+//
+//dmzvet:coldpath drop accounting allocates by design, off the steady state
+func account(seq int) {
+	_ = render(seq)
+}
+
+// render is only reachable through the coldpath-pruned account.
+func render(seq int) string {
+	return fmt.Sprintf("drop %d", seq)
+}
+
+// inline is itself marked: the function-local hotpath analyzer owns its
+// body, and hotpathx must not double-report it.
+//
+//dmz:hotpath
+func inline() {
+	_ = make([]int, 4)
+}
+
+// offPath allocates but is unreachable from any marked function.
+func offPath() string {
+	return fmt.Sprintf("cold")
+}

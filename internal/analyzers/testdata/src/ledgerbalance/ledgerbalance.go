@@ -1,0 +1,87 @@
+// Package ledgerbalance exercises the conservation-ledger analyzer:
+// fields tagged //dmzvet:ledger <group> must be written together on
+// every control-flow path through a function, mirroring the FluidQueue
+// conservation column and the paired port counters.
+package ledgerbalance
+
+type Queue struct {
+	Offered   int //dmzvet:ledger q
+	Delivered int //dmzvet:ledger q
+	Dropped   int //dmzvet:ledger q
+	Share     float64
+}
+
+type Counters struct {
+	TxPackets int //dmzvet:ledger tx
+	TxBytes   int //dmzvet:ledger tx
+}
+
+// okAll writes the whole group in one block, the Engine.tick pattern.
+func okAll(q *Queue, n int) {
+	q.Offered += n
+	q.Delivered += n / 2
+	q.Dropped += n - n/2
+	q.Share = 0.5 // untagged fields move freely
+}
+
+// okBranches balances the pair inside each branch.
+func okBranches(c *Counters, n int) {
+	if n > 0 {
+		c.TxPackets++
+		c.TxBytes += n
+	} else {
+		c.TxPackets++
+		c.TxBytes -= n
+	}
+}
+
+// okLoop: zero iterations write nothing, each iteration writes both.
+func okLoop(c *Counters, sizes []int) {
+	for _, s := range sizes {
+		c.TxPackets++
+		c.TxBytes += s
+	}
+}
+
+func badEarlyReturn(c *Counters, n int) { // want `ledger group "tx" unbalanced in badEarlyReturn: a path writes Counters.TxPackets without Counters.TxBytes`
+	c.TxPackets++
+	if n == 0 {
+		return
+	}
+	c.TxBytes += n
+}
+
+func badBranch(q *Queue, n int) { // want `ledger group "q" unbalanced in badBranch: a path writes Queue.Offered without Queue.Delivered, Queue.Dropped`
+	q.Offered += n
+	if n > 3 {
+		q.Delivered += n
+		q.Dropped += 0
+	}
+}
+
+func badSwitch(c *Counters, n int) { // want `ledger group "tx" unbalanced in badSwitch`
+	switch {
+	case n == 0:
+		c.TxPackets++
+	default:
+		c.TxPackets++
+		c.TxBytes += n
+	}
+}
+
+// okBoth moves two independent groups, each balanced.
+func okBoth(q *Queue, c *Counters, n int) {
+	q.Offered += n
+	q.Delivered += n
+	q.Dropped += 0
+	c.TxPackets++
+	c.TxBytes += n
+}
+
+// reconcile deliberately moves one column of the ledger; the barrier
+// rebalances it and the conservation test audits the result.
+//
+//dmzvet:unbalanced reconciliation step audited by the conservation test
+func reconcile(c *Counters) {
+	c.TxPackets++
+}

@@ -1,0 +1,88 @@
+// Package shardsafe exercises the interprocedural shard-safety
+// analyzer: code reachable from data-path entry points (packet
+// endpoints, //dmz:hotpath functions, //dmz:datapath marks) must not
+// touch the Network-level control scheduler. The types mirror the
+// netsim shapes the analyzer matches by name.
+package shardsafe
+
+type Time int64
+
+type Scheduler struct{ now Time }
+
+func (s *Scheduler) Now() Time { return s.now }
+
+type Network struct {
+	Sched *Scheduler
+}
+
+// Now is the control-plane clock. Its body only trips the analyzer once
+// the method becomes reachable from a data-path root (stamp below).
+func (n *Network) Now() Time {
+	return n.Sched.Now() // want `Network.Sched touched on the data path`
+}
+
+type Packet struct{ Size int }
+
+type Host struct {
+	net *Network
+	now Time
+}
+
+func (h *Host) Now() Time { return h.now }
+
+// Receive is a packet endpoint: method named Receive with a *Packet
+// parameter. It roots the walk without any mark.
+func (h *Host) Receive(pkt *Packet) {
+	_ = h.Now() // shard-local clock: legal
+	h.enqueue(pkt)
+}
+
+func (h *Host) enqueue(pkt *Packet) { h.stampDrop(pkt) }
+
+// stampDrop is two hops from the endpoint; the violation is still found
+// and the diagnostic explains the chain.
+func (h *Host) stampDrop(pkt *Packet) {
+	_ = h.net.Sched // want `Network.Sched touched on the data path \(reachable from Host.Receive via Host.Receive -> Host.enqueue -> Host.stampDrop\)`
+}
+
+// stamp is on the per-packet path.
+//
+//dmz:hotpath
+func stamp(net *Network) Time {
+	return net.Now() // want `Network.Now called on the data path`
+}
+
+// onPacket is invoked through a func-value handler adapter the
+// callgraph cannot see; the //dmz:datapath mark roots it explicitly.
+//
+//dmz:datapath
+func onPacket(net *Network, pkt *Packet) {
+	//dmzvet:controlplane deliberate: guarded to run only at the barrier
+	_ = net.Sched
+	_ = net.Sched // want `Network.Sched touched on the data path`
+}
+
+// Dropper is an interface whose method name is not an endpoint name, so
+// reaching lossy.Drop proves dynamic (interface) edges are traversed.
+type Dropper interface {
+	Drop(pkt *Packet, when Time)
+}
+
+// dispatch hands packets to a Dropper on the hot path.
+//
+//dmz:hotpath
+func dispatch(d Dropper, pkt *Packet, when Time) {
+	d.Drop(pkt, when)
+}
+
+type lossy struct{ net *Network }
+
+func (l *lossy) Drop(pkt *Packet, when Time) {
+	l.net.Sched.Now() // want `Network.Sched touched on the data path \(reachable from dispatch via dispatch -> lossy.Drop\)`
+}
+
+// barrierFlush is control-plane code no root reaches: its scheduler use
+// is legal, proving the walk scopes reporting to the reachable closure.
+func barrierFlush(net *Network) {
+	net.Sched.Now()
+}

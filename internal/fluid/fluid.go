@@ -134,8 +134,10 @@ type Aggregate struct {
 	delivered float64 // end-to-end delivered bits/s at the last tick
 	lossP     float64 // smoothed end-to-end loss fraction
 
-	offeredBytes   units.ByteSize
-	deliveredBytes units.ByteSize
+	// Cumulative byte odometers, read by experiment reports; tagged so
+	// dmzvet proves every tick advances both together.
+	offeredBytes   units.ByteSize //dmzvet:ledger aggbytes
+	deliveredBytes units.ByteSize //dmzvet:ledger aggbytes
 }
 
 // Name returns the aggregate's configured name.

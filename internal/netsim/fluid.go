@@ -44,10 +44,13 @@ const maxFluidShare = 0.95
 // writes these fields, and control events run with every shard
 // quiesced (see internal/shard), so the packet path may read them
 // without synchronization at any shard count.
+// The //dmzvet:ledger tags declare the conservation column to dmzvet's
+// ledgerbalance analyzer: every path that moves one column field must
+// move all four, or Balanced() silently stops closing.
 type FluidQueue struct {
 	// Bytes is the current fluid backlog occupying this port's egress
 	// buffer, shared with the packet queues.
-	Bytes units.ByteSize
+	Bytes units.ByteSize //dmzvet:ledger fluidq
 
 	// Share is the fraction of the link rate the fluid traffic is
 	// currently consuming, in [0, maxFluidShare]. Packet serialization
@@ -56,9 +59,9 @@ type FluidQueue struct {
 
 	// Conservation column: every fluid byte offered to this port is
 	// eventually delivered downstream, dropped, or still queued.
-	Offered   units.ByteSize
-	Delivered units.ByteSize
-	Dropped   units.ByteSize
+	Offered   units.ByteSize //dmzvet:ledger fluidq
+	Delivered units.ByteSize //dmzvet:ledger fluidq
+	Dropped   units.ByteSize //dmzvet:ledger fluidq
 }
 
 // Balanced reports whether the port's fluid byte column closes.

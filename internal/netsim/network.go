@@ -324,6 +324,7 @@ func (n *Network) Connect(a, b Node, cfg LinkConfig) *Link {
 	pb := &Port{Owner: b, Link: l, QueueCap: n.defaultQueue(b, cfg.Rate, cfg.QueueB), net: n, ctx: n.sctx(b)}
 	pa.peer, pb.peer = pb, pa
 	l.A, l.B = pa, pb
+	l.desc = a.Name() + "<->" + b.Name()
 	a.attach(pa)
 	b.attach(pb)
 	n.links = append(n.links, l)
@@ -361,6 +362,8 @@ func (n *Network) nextPacketID() uint64 {
 // event and its capture bus receives it, so drops order correctly under
 // sharded execution. The tally maps are cold-path and commutative, so a
 // mutex (not ordering) is all they need.
+//
+//dmzvet:coldpath drops are exceptional events outside the 0 allocs/op steady state; the legacy text key allocates by design
 func (n *Network) countDrop(sc *shardCtx, pkt *Packet, reason DropReason, node, detail string) {
 	text := reason.Format(node, detail)
 	n.dropMu.Lock()

@@ -27,14 +27,20 @@ type TapFunc func(p *Packet, d Dir)
 // WireDrops caused by LossModels deliberately do NOT appear here: the
 // paper's point is that such soft failures are invisible to device error
 // monitoring and only detectable by end-to-end active measurement.
+// The //dmzvet:ledger tags below pair each packet counter with its byte
+// counter: dmzvet's ledgerbalance analyzer proves every code path moves
+// both or neither, so the SNMP view can never show packets without
+// bytes (or vice versa) after a refactor.
 type PortCounters struct {
-	TxPackets, RxPackets uint64
-	TxBytes, RxBytes     units.ByteSize
+	TxPackets uint64         //dmzvet:ledger porttx
+	TxBytes   units.ByteSize //dmzvet:ledger porttx
+	RxPackets uint64         //dmzvet:ledger portrx
+	RxBytes   units.ByteSize //dmzvet:ledger portrx
 
 	// QueueDrops counts packets dropped on egress because the output
 	// queue was full. These are visible to device monitoring.
-	QueueDrops     uint64
-	QueueDropBytes units.ByteSize
+	QueueDrops     uint64         //dmzvet:ledger portdrop
+	QueueDropBytes units.ByteSize //dmzvet:ledger portdrop
 }
 
 // Port is one end of a Link, owned by a Node. Egress is modelled as a
@@ -154,6 +160,11 @@ func (p *Port) Send(pkt *Packet) {
 	p.startTx(pkt)
 }
 
+// emitQueueEvent publishes enqueue/dequeue telemetry when a trace bus
+// listens; the Enabled() guard returns before any formatting in the
+// untraced steady state.
+//
+//dmzvet:coldpath emission is guarded by bus.Enabled(); steady state returns before allocating
 func (p *Port) emitQueueEvent(kind telemetry.EventKind, pkt *Packet) {
 	bus := p.ctx.tracebus(p.net)
 	if !bus.Enabled() {
@@ -293,6 +304,10 @@ type Link struct {
 	cutHint bool
 	noCut   bool
 
+	// desc is the "a<->b" rendering, cached at Connect time so the
+	// drop path never concatenates strings (hotpathx contract).
+	desc string
+
 	net *Network
 }
 
@@ -353,5 +368,5 @@ func (l *Link) carry(from *Port, pkt *Packet) {
 }
 
 func (l *Link) describe() string {
-	return l.A.Owner.Name() + "<->" + l.B.Owner.Name()
+	return l.desc
 }

@@ -64,6 +64,10 @@ func (r *receiver) net() *netsim.Network  { return r.srv.Host.Network() }
 func (r *receiver) sched() *sim.Scheduler { return r.srv.Host.EventScheduler() }
 func (r *receiver) now() sim.Time         { return r.sched().Now() }
 
+// deliver is the per-connection segment handler on the server side,
+// invoked through the Server.deliver dispatch.
+//
+//dmz:datapath
 func (r *receiver) deliver(pkt *netsim.Packet) {
 	switch {
 	case pkt.Flags.Has(netsim.FlagSYN):
