@@ -23,12 +23,14 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/content"
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/netsim"
 	"repro/internal/shard"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/units"
 )
 
 // renderer is any experiment result.
@@ -38,7 +40,34 @@ type renderer interface{ Render() string }
 // run on the sweep harness. Any value produces byte-identical output.
 var parallelWorkers int
 
+// cacheBudget / catalogPath are the -cache-budget / -catalog flag
+// values, read by the tier2 content-caching experiment.
+var (
+	cacheBudget int64
+	catalogPath string
+)
+
+// tier2Config assembles the content experiment from its flags.
+func tier2Config() experiments.Tier2Config {
+	cfg := experiments.Tier2Config{Budget: units.ByteSize(cacheBudget)}
+	if catalogPath != "" {
+		data, err := os.ReadFile(catalogPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "-catalog:", err)
+			os.Exit(1)
+		}
+		cat, err := content.Parse(string(data))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "-catalog:", err)
+			os.Exit(1)
+		}
+		cfg.Catalog = cat
+	}
+	return cfg
+}
+
 var registry = map[string]func() renderer{
+	"tier2":    func() renderer { return experiments.Tier2(tier2Config()) },
 	"fig1":     func() renderer { return experiments.Fig1(experiments.Fig1Config{Parallel: parallelWorkers}) },
 	"fig2":     func() renderer { return experiments.Fig2() },
 	"fig3":     func() renderer { return experiments.Fig3() },
@@ -74,6 +103,7 @@ var descriptions = map[string]string{
 	"sdnbypass": "§7.3: OpenFlow IDS-gated firewall bypass",
 	"audit":     "pattern audit across notional designs",
 	"hybrid":    "hybrid fluid/packet engine: validation + background scaling",
+	"tier2":     "Tier-2 dataset pulls: in-network content caching vs WAN egress",
 }
 
 func names() []string {
@@ -296,6 +326,8 @@ func main() {
 	faultPeriods := flag.String("fault-periods", "", "with -faults: comma-separated BWCTL test periods (e.g. 15s,30s,60s) to sweep as a detection campaign")
 	faultSevs := flag.String("fault-severities", "", "with -fault-periods: comma-separated loss severities for the campaign's second axis")
 	flag.IntVar(&parallelWorkers, "parallel", 0, "sweep worker count (0 = GOMAXPROCS); results are identical at any value")
+	flag.Int64Var(&cacheBudget, "cache-budget", 0, "with -run tier2: absolute content-cache byte budget (0 = 10% of catalog bytes)")
+	flag.StringVar(&catalogPath, "catalog", "", "with -run tier2: dataset catalog file, one 'name bytes chunk-bytes' per line (default: synthetic 240 x 1 MB)")
 	shards := flag.Int("shards", 0, "run the simulated network on N parallel shards (0 = the classic single-scheduler path; results are byte-identical at any N)")
 	flag.Parse()
 

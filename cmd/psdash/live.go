@@ -83,11 +83,72 @@ func fetch(client *http.Client, url string) ([]byte, error) {
 // simulation progress, and telemetry health.
 const defaultLiveFilter = `^(sim_now_seconds|fault_|dropped_events|tcp_bytes_acked|tcp_retransmits)`
 
+// cacheFilter selects the content-cache series (the -cache flag's
+// default view).
+const cacheFilter = `^content_cache_`
+
+// cacheSummary derives the operator's cache lines from the
+// content_cache_* series: hit ratio, WAN egress saved, and store
+// occupancy, one line per cache label set.
+func cacheSummary(samples []promSample) []string {
+	per := map[string]map[string]float64{}
+	for _, s := range samples {
+		if !strings.HasPrefix(s.Name, "content_cache_") {
+			continue
+		}
+		m := per[s.Labels]
+		if m == nil {
+			m = map[string]float64{}
+			per[s.Labels] = m
+		}
+		m[strings.TrimPrefix(s.Name, "content_cache_")] = s.Value
+	}
+	labels := make([]string, 0, len(per))
+	for l := range per {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	var out []string
+	for _, l := range labels {
+		m := per[l]
+		lookups := m["hits"] + m["misses"]
+		hitRatio := 0.0
+		if lookups > 0 {
+			hitRatio = m["hits"] / lookups
+		}
+		occupancy := 0.0
+		if m["store_budget_bytes"] > 0 {
+			occupancy = m["store_bytes"] / m["store_budget_bytes"]
+		}
+		out = append(out, fmt.Sprintf(
+			"  cache%s hit-ratio=%.1f%%  egress-saved=%s  occupancy=%.1f%% (%.0f chunks, %s of %s)",
+			l, 100*hitRatio, byteSize(m["egress_saved_bytes"]),
+			100*occupancy, m["store_chunks"],
+			byteSize(m["store_bytes"]), byteSize(m["store_budget_bytes"])))
+	}
+	return out
+}
+
+// byteSize renders a float byte count in the fixed binary-ish units the
+// dashboard uses elsewhere.
+func byteSize(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2f GB", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2f MB", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.2f KB", v/1e3)
+	}
+	return fmt.Sprintf("%.0f B", v)
+}
+
 // runLive polls base (a dmzsim -serve URL) every refresh interval and
 // renders health plus the metric series matching pattern. count > 0
 // stops after that many polls (count = 0 polls until the endpoint
-// reports done and then twice more to show the final state).
-func runLive(base string, refresh time.Duration, count int, pattern string) error {
+// reports done and then twice more to show the final state). showCache
+// adds the derived content-cache summary lines to every poll.
+func runLive(base string, refresh time.Duration, count int, pattern string, showCache bool) error {
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
@@ -140,6 +201,15 @@ func runLive(base string, refresh time.Duration, count int, pattern string) erro
 		}
 		if shown == 0 {
 			fmt.Println("  (no series match the filter yet)")
+		}
+		if showCache {
+			lines := cacheSummary(samples)
+			if len(lines) == 0 {
+				fmt.Println("  (no content caches in this simulation)")
+			}
+			for _, l := range lines {
+				fmt.Println(l)
+			}
 		}
 		if h.Status == "done" {
 			donePolls++

@@ -57,10 +57,15 @@ func main() {
 	refresh := flag.Duration("refresh", time.Second, "with -live: poll interval")
 	pollCount := flag.Int("count", 0, "with -live: number of polls (0 = until the run reports done)")
 	liveFilter := flag.String("live-filter", defaultLiveFilter, "with -live: regexp selecting metric series to display")
+	cache := flag.Bool("cache", false, "with -live: show the content-cache summary (hit ratio, egress saved, occupancy) and default the filter to "+cacheFilter)
 	flag.Parse()
 
 	if *live != "" {
-		if err := runLive(*live, *refresh, *pollCount, *liveFilter); err != nil {
+		filter := *liveFilter
+		if *cache && filter == defaultLiveFilter {
+			filter = cacheFilter
+		}
+		if err := runLive(*live, *refresh, *pollCount, filter, *cache); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

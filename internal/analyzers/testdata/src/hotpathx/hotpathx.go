@@ -64,3 +64,64 @@ func inline() {
 func offPath() string {
 	return fmt.Sprintf("cold")
 }
+
+// The content-store shape: a free-listed LRU whose marked hot
+// operations reach unmarked helpers. The pool-miss allocation is
+// justified at the site; the trace spill two hops out is the violation.
+
+type chunk struct{ name string }
+
+type lruEntry struct {
+	c    *chunk
+	next *lruEntry
+}
+
+type lru struct {
+	free    *lruEntry
+	onEvict func(*chunk)
+}
+
+// cacheInsert is the marked store mutation; its helpers are unmarked.
+//
+//dmz:hotpath
+func (s *lru) cacheInsert(c *chunk) {
+	e := s.cacheNewEntry()
+	e.c = c
+	s.cacheEvict(e)
+}
+
+// cacheNewEntry is the free-list pop; the pool-miss path allocates with
+// a site justification, the steady state recycles.
+func (s *lru) cacheNewEntry() *lruEntry {
+	if e := s.free; e != nil {
+		s.free = e.next
+		return e
+	}
+	return &lruEntry{} //dmzvet:alloc pool-miss path: steady state recycles evicted entries
+}
+
+// cacheEvict recycles the entry and notifies through a func field; the
+// dynamic call is not traversed, so the observer may allocate freely.
+func (s *lru) cacheEvict(e *lruEntry) {
+	c := e.c
+	e.c = nil
+	e.next = s.free
+	s.free = e
+	if f := s.onEvict; f != nil {
+		f(c)
+	}
+	_ = s.cacheSpillName(c)
+}
+
+// cacheSpillName is the violation: a trace string built on the evict
+// path, two hops from the marked root.
+func (s *lru) cacheSpillName(c *chunk) string {
+	return "evict " + c.name // want `string concatenation allocates in lru.cacheSpillName, reachable from //dmz:hotpath lru.cacheInsert via lru.cacheInsert -> lru.cacheEvict -> lru.cacheSpillName`
+}
+
+// traceEvict is only ever called through the onEvict func field: it
+// allocates, and hotpathx must not see it (dynamic calls are invisible;
+// hot callbacks carry their own mark by convention).
+func traceEvict(c *chunk) {
+	_ = fmt.Sprintf("evicted %s", c.name)
+}

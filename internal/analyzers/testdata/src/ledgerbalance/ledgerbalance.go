@@ -85,3 +85,50 @@ func okBoth(q *Queue, c *Counters, n int) {
 func reconcile(c *Counters) {
 	c.TxPackets++
 }
+
+// The content-cache shape: hit/miss/evict counts each paired with their
+// byte columns, classified per lookup outcome.
+
+type CacheStats struct {
+	Hits         int //dmzvet:ledger cachehit
+	HitBytes     int //dmzvet:ledger cachehit
+	Misses       int //dmzvet:ledger cachemiss
+	MissBytes    int //dmzvet:ledger cachemiss
+	Evictions    int //dmzvet:ledger cacheevict
+	EvictedBytes int //dmzvet:ledger cacheevict
+}
+
+// okLookup mirrors Cache.interest: each outcome moves its own group,
+// count and bytes together.
+func okLookup(cs *CacheStats, hit bool, bytes int) {
+	if hit {
+		cs.Hits++
+		cs.HitBytes += bytes
+	} else {
+		cs.Misses++
+		cs.MissBytes += bytes
+	}
+}
+
+// okEvictLoop mirrors Store.evictLRU driven from Insert's fit loop.
+func okEvictLoop(cs *CacheStats, sizes []int) {
+	for _, s := range sizes {
+		cs.Evictions++
+		cs.EvictedBytes += s
+	}
+}
+
+func badHitNoBytes(cs *CacheStats, bytes int) { // want `ledger group "cachehit" unbalanced in badHitNoBytes: a path writes CacheStats.Hits without CacheStats.HitBytes`
+	cs.Hits++
+	if bytes > 0 {
+		cs.HitBytes += bytes
+	}
+}
+
+func badEvictEarlyReturn(cs *CacheStats, empty bool, bytes int) { // want `ledger group "cacheevict" unbalanced in badEvictEarlyReturn: a path writes CacheStats.Evictions without CacheStats.EvictedBytes`
+	cs.Evictions++
+	if empty {
+		return
+	}
+	cs.EvictedBytes += bytes
+}

@@ -1,0 +1,237 @@
+// Package content is a named-object data-distribution layer over the
+// packet engine: the Science DMZ read path at LHC Tier-2 scale, where
+// many sites repeatedly pull the same hot Tier-1 datasets across the
+// WAN.
+//
+// Datasets are named, chunked objects served by an origin (the Tier-1
+// DTN). Consumers request chunks by name with small interest packets;
+// the origin answers each interest with a burst of data segments. A
+// switch-resident Cache (an netsim.Interceptor on a DMZ or WAN device)
+// can answer repeat interests from a byte-budgeted LRU content store —
+// NDN-style in-network caching — so hot chunks stop re-crossing the
+// WAN. An optional PIT (pending-interest table) collapses concurrent
+// misses for the same chunk into one upstream fetch.
+//
+// Everything is deterministic: consumer request streams draw from
+// FNV-1a-derived per-consumer RNG streams (the flowgen convention),
+// cache state changes only in event order, and results are
+// byte-identical at any shard count.
+package content
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// Wire constants of the content protocol.
+const (
+	// SegPayload is the application payload carried per data segment;
+	// with HeaderBytes it fills a 9000-byte jumbo frame, the Science DMZ
+	// path MTU.
+	SegPayload units.ByteSize = 8960
+
+	// HeaderBytes is the per-packet wire overhead (IP + transport).
+	HeaderBytes units.ByteSize = 40
+
+	// InterestBytes is the wire size of one chunk interest.
+	InterestBytes units.ByteSize = 64
+
+	// OriginPort is the origin server's well-known UDP port. Interests
+	// travel toward it; caches recognize content traffic by it.
+	OriginPort uint16 = 7000
+
+	// ConsumerPort is the consumer-side UDP port data segments return to.
+	ConsumerPort uint16 = 7001
+)
+
+// Parse limits. The catalog format is fuzzed; these bound the chunk
+// tables a hostile catalog can make Parse build.
+const (
+	maxDatasets         = 1 << 14
+	maxChunksPerDataset = 1 << 16
+	maxDatasetBytes     = units.ByteSize(1) << 42 // 4 TiB
+)
+
+// Chunk is one fetchable unit of a dataset — the cache granularity.
+// Chunks are interned: every packet, PIT entry, and store entry refers
+// to the same *Chunk, so the hot path compares pointers and never
+// hashes names.
+type Chunk struct {
+	// DS is the owning dataset.
+	DS *Dataset
+	// Index is the chunk's position within the dataset.
+	Index int
+	// Bytes is the chunk's payload size (the last chunk may be short).
+	Bytes units.ByteSize
+	// Segs is the number of data segments carrying the chunk.
+	Segs int
+
+	name string // "<dataset>/<index>", precomputed for trace details
+}
+
+// Name returns the chunk's canonical "<dataset>/<index>" name.
+func (c *Chunk) Name() string { return c.name }
+
+// SegBytes returns the wire size of segment i (payload + headers); the
+// final segment carries the remainder.
+func (c *Chunk) SegBytes(i int) units.ByteSize {
+	if i < c.Segs-1 {
+		return SegPayload + HeaderBytes
+	}
+	last := c.Bytes - units.ByteSize(c.Segs-1)*SegPayload
+	return last + HeaderBytes
+}
+
+// Dataset is one named object in the catalog.
+type Dataset struct {
+	// Name identifies the dataset; no whitespace or '#'.
+	Name string
+	// Bytes is the total object size.
+	Bytes units.ByteSize
+	// ChunkBytes is the fetch/cache granularity.
+	ChunkBytes units.ByteSize
+	// Chunks is the interned chunk table, built by NewCatalog.
+	Chunks []*Chunk
+}
+
+// Catalog is the set of datasets an origin serves, with interned
+// chunks. Build one with NewCatalog, Parse, or Uniform.
+type Catalog struct {
+	// Datasets in catalog order (popularity rank order for Zipf
+	// workloads: index 0 is the hottest).
+	Datasets []*Dataset
+
+	// TotalBytes sums all dataset sizes.
+	TotalBytes units.ByteSize
+	// TotalChunks counts all chunks.
+	TotalChunks int
+
+	byName map[string]*Dataset
+}
+
+// NewCatalog validates the datasets, builds their chunk tables, and
+// returns the catalog. Dataset order is preserved (it is the Zipf
+// popularity order).
+func NewCatalog(datasets []*Dataset) (*Catalog, error) {
+	if len(datasets) == 0 {
+		return nil, fmt.Errorf("content: empty catalog")
+	}
+	if len(datasets) > maxDatasets {
+		return nil, fmt.Errorf("content: %d datasets exceeds limit %d", len(datasets), maxDatasets)
+	}
+	cat := &Catalog{byName: make(map[string]*Dataset, len(datasets))}
+	for _, ds := range datasets {
+		if ds.Name == "" || strings.ContainsAny(ds.Name, " \t\n\r#") {
+			return nil, fmt.Errorf("content: bad dataset name %q", ds.Name)
+		}
+		if _, dup := cat.byName[ds.Name]; dup {
+			return nil, fmt.Errorf("content: duplicate dataset %q", ds.Name)
+		}
+		if ds.Bytes <= 0 || ds.Bytes > maxDatasetBytes {
+			return nil, fmt.Errorf("content: dataset %q size %d outside (0, %d]", ds.Name, ds.Bytes, maxDatasetBytes)
+		}
+		if ds.ChunkBytes <= 0 {
+			return nil, fmt.Errorf("content: dataset %q chunk size %d not positive", ds.Name, ds.ChunkBytes)
+		}
+		nchunks := int((ds.Bytes + ds.ChunkBytes - 1) / ds.ChunkBytes)
+		if nchunks > maxChunksPerDataset {
+			return nil, fmt.Errorf("content: dataset %q has %d chunks, exceeds limit %d", ds.Name, nchunks, maxChunksPerDataset)
+		}
+		ds.Chunks = make([]*Chunk, nchunks)
+		rem := ds.Bytes
+		for i := range ds.Chunks {
+			sz := ds.ChunkBytes
+			if sz > rem {
+				sz = rem
+			}
+			rem -= sz
+			segs := int((sz + SegPayload - 1) / SegPayload)
+			ds.Chunks[i] = &Chunk{
+				DS: ds, Index: i, Bytes: sz, Segs: segs,
+				name: fmt.Sprintf("%s/%d", ds.Name, i),
+			}
+		}
+		cat.Datasets = append(cat.Datasets, ds)
+		cat.byName[ds.Name] = ds
+		cat.TotalBytes += ds.Bytes
+		cat.TotalChunks += nchunks
+	}
+	return cat, nil
+}
+
+// Dataset returns the named dataset, or nil.
+func (c *Catalog) Dataset(name string) *Dataset { return c.byName[name] }
+
+// Format renders the catalog in its text form, one dataset per line:
+//
+//	<name> <bytes> <chunk-bytes>
+//
+// Parse inverts it exactly (FuzzCatalog pins the round trip).
+func (c *Catalog) Format() string {
+	var b strings.Builder
+	for _, ds := range c.Datasets {
+		fmt.Fprintf(&b, "%s %d %d\n", ds.Name, int64(ds.Bytes), int64(ds.ChunkBytes))
+	}
+	return b.String()
+}
+
+// Parse reads the text catalog format: one "<name> <bytes>
+// <chunk-bytes>" dataset per line, blank lines and '#' comments
+// ignored. Line order is popularity order.
+func Parse(text string) (*Catalog, error) {
+	var datasets []*Dataset
+	for ln, line := range strings.Split(text, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("content: line %d: want \"name bytes chunk-bytes\", got %d fields", ln+1, len(fields))
+		}
+		var size, chunk int64
+		if _, err := fmt.Sscanf(fields[1], "%d", &size); err != nil {
+			return nil, fmt.Errorf("content: line %d: bad size %q", ln+1, fields[1])
+		}
+		if _, err := fmt.Sscanf(fields[2], "%d", &chunk); err != nil {
+			return nil, fmt.Errorf("content: line %d: bad chunk size %q", ln+1, fields[2])
+		}
+		datasets = append(datasets, &Dataset{
+			Name: fields[0], Bytes: units.ByteSize(size), ChunkBytes: units.ByteSize(chunk),
+		})
+	}
+	return NewCatalog(datasets)
+}
+
+// Uniform builds a catalog of n equally sized datasets named
+// <prefix>-000, <prefix>-001, … — the synthetic Tier-2 workload shape.
+func Uniform(prefix string, n int, dsBytes, chunkBytes units.ByteSize) *Catalog {
+	datasets := make([]*Dataset, n)
+	for i := range datasets {
+		datasets[i] = &Dataset{
+			Name:       fmt.Sprintf("%s-%03d", prefix, i),
+			Bytes:      dsBytes,
+			ChunkBytes: chunkBytes,
+		}
+	}
+	cat, err := NewCatalog(datasets)
+	if err != nil {
+		panic(err) // only reachable via invalid arguments
+	}
+	return cat
+}
+
+// Names returns all dataset names, sorted — for deterministic rendering.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.Datasets))
+	for _, ds := range c.Datasets {
+		out = append(out, ds.Name)
+	}
+	sort.Strings(out)
+	return out
+}

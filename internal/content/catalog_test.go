@@ -1,0 +1,162 @@
+package content
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestCatalogChunking(t *testing.T) {
+	cat, err := NewCatalog([]*Dataset{
+		{Name: "run-A", Bytes: 1 * units.MB, ChunkBytes: 256 * units.KB},
+		{Name: "run-B", Bytes: 300 * units.KB, ChunkBytes: 256 * units.KB},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := cat.Dataset("run-A")
+	if a == nil || len(a.Chunks) != 4 {
+		t.Fatalf("run-A: want 4 chunks, got %+v", a)
+	}
+	var sum units.ByteSize
+	for _, c := range a.Chunks {
+		sum += c.Bytes
+		if c.DS != a {
+			t.Fatalf("chunk %s not interned to its dataset", c.Name())
+		}
+	}
+	if sum != a.Bytes {
+		t.Fatalf("chunk bytes sum %v != dataset bytes %v", sum, a.Bytes)
+	}
+	b := cat.Dataset("run-B")
+	if len(b.Chunks) != 2 {
+		t.Fatalf("run-B: want 2 chunks, got %d", len(b.Chunks))
+	}
+	if got := b.Chunks[1].Bytes; got != 300*units.KB-256*units.KB {
+		t.Fatalf("short tail chunk: want %v, got %v", 300*units.KB-256*units.KB, got)
+	}
+	if cat.TotalBytes != 1*units.MB+300*units.KB || cat.TotalChunks != 6 {
+		t.Fatalf("totals: %v bytes, %d chunks", cat.TotalBytes, cat.TotalChunks)
+	}
+	if name := a.Chunks[2].Name(); name != "run-A/2" {
+		t.Fatalf("chunk name: %q", name)
+	}
+}
+
+func TestCatalogSegSizes(t *testing.T) {
+	cat, err := NewCatalog([]*Dataset{
+		{Name: "d", Bytes: 2*SegPayload + 100, ChunkBytes: 2*SegPayload + 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cat.Datasets[0].Chunks[0]
+	if c.Segs != 3 {
+		t.Fatalf("segs: want 3, got %d", c.Segs)
+	}
+	if got := c.SegBytes(0); got != SegPayload+HeaderBytes {
+		t.Fatalf("seg 0: %v", got)
+	}
+	if got := c.SegBytes(2); got != 100+HeaderBytes {
+		t.Fatalf("tail seg: want %v, got %v", 100+HeaderBytes, got)
+	}
+}
+
+func TestCatalogRejects(t *testing.T) {
+	bad := [][]*Dataset{
+		nil,
+		{{Name: "", Bytes: 1, ChunkBytes: 1}},
+		{{Name: "has space", Bytes: 1, ChunkBytes: 1}},
+		{{Name: "has#hash", Bytes: 1, ChunkBytes: 1}},
+		{{Name: "dup", Bytes: 1, ChunkBytes: 1}, {Name: "dup", Bytes: 1, ChunkBytes: 1}},
+		{{Name: "zero", Bytes: 0, ChunkBytes: 1}},
+		{{Name: "neg-chunk", Bytes: 1, ChunkBytes: 0}},
+		{{Name: "too-big", Bytes: maxDatasetBytes + 1, ChunkBytes: units.MB}},
+		{{Name: "too-many-chunks", Bytes: units.ByteSize(maxChunksPerDataset) + 1, ChunkBytes: 1}},
+	}
+	for i, ds := range bad {
+		if _, err := NewCatalog(ds); err == nil {
+			t.Errorf("case %d: want error, got nil", i)
+		}
+	}
+}
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	text := `# Tier-1 catalog
+run-A 1048576 262144
+
+run-B 307200 262144  # trailing comment
+`
+	cat, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Datasets) != 2 || cat.Datasets[0].Name != "run-A" {
+		t.Fatalf("parsed: %+v", cat.Names())
+	}
+	formatted := cat.Format()
+	again, err := Parse(formatted)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if again.Format() != formatted {
+		t.Fatalf("round trip not fixed point:\n%q\n%q", formatted, again.Format())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, text := range []string{
+		"only-two-fields 100",
+		"four fields here 100",
+		"bad-size x 100",
+		"bad-chunk 100 x",
+		"",         // no datasets at all
+		"# only\n", // comments only
+	} {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("Parse(%q): want error, got nil", text)
+		}
+	}
+}
+
+func TestUniform(t *testing.T) {
+	cat := Uniform("ds", 12, units.MB, 256*units.KB)
+	if len(cat.Datasets) != 12 || cat.Datasets[3].Name != "ds-003" {
+		t.Fatalf("uniform: %v", cat.Names())
+	}
+	if cat.TotalBytes != 12*units.MB {
+		t.Fatalf("total: %v", cat.TotalBytes)
+	}
+}
+
+// FuzzCatalog pins the Parse/Format round trip: any text Parse accepts
+// must Format to a fixed point (Parse(Format(x)) == Format(x)), with
+// totals preserved.
+func FuzzCatalog(f *testing.F) {
+	f.Add("run-A 1048576 262144\nrun-B 307200 262144\n")
+	f.Add("# comment\n\nd 1 1\n")
+	f.Add("x 4398046511104 8960\n")
+	f.Add("bad")
+	f.Fuzz(func(t *testing.T, text string) {
+		cat, err := Parse(text)
+		if err != nil {
+			return
+		}
+		formatted := cat.Format()
+		again, err := Parse(formatted)
+		if err != nil {
+			t.Fatalf("reparse of Format output failed: %v\n%q", err, formatted)
+		}
+		if got := again.Format(); got != formatted {
+			t.Fatalf("round trip diverged:\n%q\n%q", formatted, got)
+		}
+		if again.TotalBytes != cat.TotalBytes || again.TotalChunks != cat.TotalChunks {
+			t.Fatalf("totals diverged: %v/%d vs %v/%d",
+				cat.TotalBytes, cat.TotalChunks, again.TotalBytes, again.TotalChunks)
+		}
+		if strings.Count(formatted, "\n") != len(cat.Datasets) {
+			t.Fatalf("format shape: %q for %d datasets", formatted, len(cat.Datasets))
+		}
+	})
+}

@@ -1,0 +1,54 @@
+package content
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/units"
+)
+
+// Origin is the authoritative server for a catalog — the Tier-1 DTN.
+// It binds OriginPort on its host and answers each chunk interest with
+// the chunk's data segments. The host's egress queue and NIC rate model
+// the origin's serving capacity; the origin itself is infinitely fast
+// (the paper's DTNs are provisioned so storage is not the bottleneck).
+type Origin struct {
+	// Host is the serving host.
+	Host *netsim.Host
+	// Catalog is what the origin serves; interests for chunks outside
+	// it are dropped (counted, like any unservable request).
+	Catalog *Catalog
+
+	// Served counts chunk interests answered; ServedBytes their bytes —
+	// the WAN egress the origin actually sourced.
+	Served      uint64         //dmzvet:ledger originserve
+	ServedBytes units.ByteSize //dmzvet:ledger originserve
+}
+
+// NewOrigin binds an origin for the catalog on the host.
+func NewOrigin(h *netsim.Host, cat *Catalog) *Origin {
+	o := &Origin{Host: h, Catalog: cat}
+	h.Bind(netsim.ProtoUDP, OriginPort, netsim.HandlerFunc(o.deliver))
+	return o
+}
+
+// deliver answers one interest with the chunk's segment burst. Bound
+// through a netsim.HandlerFunc adapter the callgraph cannot see.
+//
+//dmz:datapath
+func (o *Origin) deliver(pkt *netsim.Packet) {
+	chunk, ok := pkt.Payload.(*Chunk)
+	if ok && chunk.DS != nil && o.Catalog.Dataset(chunk.DS.Name) == chunk.DS {
+		o.Served++
+		o.ServedBytes += chunk.Bytes
+		flow := pkt.Flow.Reverse()
+		for seg := 0; seg < chunk.Segs; seg++ {
+			d := o.Host.NewPacket()
+			d.Flow = flow
+			d.Seq = int64(seg)
+			d.Size = chunk.SegBytes(seg)
+			d.Payload = chunk
+			o.Host.Send(d)
+		}
+	}
+	// The interest is fully consumed either way; recycle it.
+	o.Host.ReleasePacket(pkt)
+}

@@ -1,0 +1,164 @@
+package content
+
+import (
+	"repro/internal/units"
+)
+
+// Store is a byte-budgeted LRU content store — the switch-resident
+// cache memory. Chunks are tracked by identity only (the simulator
+// carries no payload bytes); an entry's cost is its chunk's byte size
+// against the budget.
+//
+// Determinism: the recency list mutates only in Get/Insert call order,
+// which is simulation event order, so eviction sequences are
+// byte-identical across runs and shard counts. Entries are free-listed,
+// so the lookup/insert/evict path runs allocation-free in steady state
+// (the dmzvet hotpathx analyzer proves it; the CI bench asserts it).
+type Store struct {
+	budget units.ByteSize
+	used   units.ByteSize
+
+	entries    map[*Chunk]*entry
+	head, tail entry  // recency-list sentinels: head.next is the MRU
+	freeList   *entry // recycled entries, chained through next
+
+	// onEvict, when non-nil, observes each eviction after the chunk is
+	// removed. The Cache installs a trace-emitting observer; the
+	// indirection keeps the evict path free of telemetry imports.
+	onEvict func(*Chunk)
+
+	// Insertions counts chunks admitted to the store.
+	Insertions uint64
+
+	// Eviction accounting moves together or not at all (the dmzvet
+	// ledgerbalance contract): a count without its bytes would make
+	// occupancy drift from the sum of evictions.
+	Evictions    uint64         //dmzvet:ledger cacheevict
+	EvictedBytes units.ByteSize //dmzvet:ledger cacheevict
+}
+
+// entry is one resident chunk in the recency list.
+type entry struct {
+	chunk      *Chunk
+	prev, next *entry
+}
+
+// NewStore creates a store with the given byte budget.
+func NewStore(budget units.ByteSize) *Store {
+	s := &Store{
+		budget:  budget,
+		entries: make(map[*Chunk]*entry),
+	}
+	s.head.next = &s.tail
+	s.tail.prev = &s.head
+	return s
+}
+
+// Budget returns the configured byte budget.
+func (s *Store) Budget() units.ByteSize { return s.budget }
+
+// UsedBytes returns the bytes currently resident.
+func (s *Store) UsedBytes() units.ByteSize { return s.used }
+
+// Len returns the number of resident chunks.
+func (s *Store) Len() int { return len(s.entries) }
+
+// Get reports whether the chunk is resident, refreshing its recency on
+// a hit.
+//
+//dmz:hotpath
+func (s *Store) Get(c *Chunk) bool {
+	e := s.entries[c]
+	if e == nil {
+		return false
+	}
+	s.unlink(e)
+	s.pushFront(e)
+	return true
+}
+
+// Insert admits the chunk, evicting least-recently-used chunks until it
+// fits. A chunk larger than the whole budget is refused (evicting the
+// entire store for one unfittable object would just thrash). Inserting
+// a resident chunk refreshes its recency.
+//
+//dmz:hotpath
+func (s *Store) Insert(c *Chunk) bool {
+	if e := s.entries[c]; e != nil {
+		s.unlink(e)
+		s.pushFront(e)
+		return true
+	}
+	if c.Bytes > s.budget {
+		return false
+	}
+	for s.used+c.Bytes > s.budget {
+		s.evictLRU()
+	}
+	e := s.newEntry()
+	e.chunk = c
+	s.pushFront(e)
+	s.entries[c] = e
+	s.used += c.Bytes
+	s.Insertions++
+	return true
+}
+
+// evictLRU removes the least-recently-used chunk and recycles its
+// entry.
+//
+//dmz:hotpath
+func (s *Store) evictLRU() {
+	e := s.tail.prev
+	if e == &s.head {
+		return // empty; only reachable if budget admits nothing
+	}
+	c := e.chunk
+	s.unlink(e)
+	delete(s.entries, c)
+	s.used -= c.Bytes
+	s.Evictions++
+	s.EvictedBytes += c.Bytes
+	e.chunk = nil
+	e.next = s.freeList
+	s.freeList = e
+	if f := s.onEvict; f != nil {
+		f(c)
+	}
+}
+
+//dmz:hotpath
+func (s *Store) newEntry() *entry {
+	if e := s.freeList; e != nil {
+		s.freeList = e.next
+		e.next = nil
+		return e
+	}
+	//dmzvet:alloc pool-miss path: steady state recycles evicted entries
+	return &entry{}
+}
+
+//dmz:hotpath
+func (s *Store) unlink(e *entry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+//dmz:hotpath
+func (s *Store) pushFront(e *entry) {
+	e.prev = &s.head
+	e.next = s.head.next
+	s.head.next.prev = e
+	s.head.next = e
+}
+
+// ContentsMRU returns the resident chunks in most-recently-used order —
+// the determinism tests compare this across runs and shard counts.
+func (s *Store) ContentsMRU() []*Chunk {
+	out := make([]*Chunk, 0, len(s.entries))
+	for e := s.head.next; e != &s.tail; e = e.next {
+		out = append(out, e.chunk)
+	}
+	return out
+}

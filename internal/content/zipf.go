@@ -1,0 +1,55 @@
+package content
+
+import (
+	"math"
+	"sort"
+)
+
+// Zipf samples ranks 0..n-1 with probability proportional to
+// 1/(rank+1)^s by inverting a precomputed CDF.
+//
+// math/rand's Zipf requires s > 1; dataset-popularity studies (and the
+// acceptance scenario here) need the s = 1.0 classic Zipf and flatter
+// skews, so this sampler supports any s >= 0 (s = 0 is uniform). The
+// CDF is built once per catalog; each draw is one binary search, fed by
+// a caller-supplied uniform variate so RNG stream ownership stays with
+// the consumer (the flowgen convention).
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf precomputes the CDF over n ranks at skew s. It panics on
+// n <= 0 or negative s — both are configuration bugs.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("content: Zipf needs n > 0")
+	}
+	if s < 0 || math.IsNaN(s) {
+		panic("content: Zipf needs s >= 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += math.Pow(float64(i+1), -s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[n-1] = 1 // exact, despite rounding
+	return &Zipf{cdf: cdf}
+}
+
+// Rank maps a uniform variate u in [0, 1) to a rank in [0, n).
+func (z *Zipf) Rank(u float64) int {
+	i := sort.SearchFloat64s(z.cdf, u)
+	// SearchFloat64s finds the first index with cdf[i] >= u; u exactly
+	// equal to a CDF step belongs to the next rank.
+	if i < len(z.cdf) && z.cdf[i] == u {
+		i++
+	}
+	if i >= len(z.cdf) {
+		i = len(z.cdf) - 1
+	}
+	return i
+}

@@ -1,0 +1,73 @@
+package content
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestZipfBounds(t *testing.T) {
+	for _, s := range []float64{0, 0.8, 1.0, 2.5} {
+		z := NewZipf(10, s)
+		for _, u := range []float64{0, 0.25, 0.5, 0.999999, 1} {
+			r := z.Rank(u)
+			if r < 0 || r >= 10 {
+				t.Fatalf("s=%v u=%v: rank %d out of [0,10)", s, u, r)
+			}
+		}
+	}
+}
+
+func TestZipfSkewOrdersMass(t *testing.T) {
+	// Higher skew concentrates more draws on rank 0.
+	const n, draws = 100, 20000
+	share := func(s float64) float64 {
+		z := NewZipf(n, s)
+		rng := sim.NewRand(sim.DeriveSeed("zipf-test"))
+		hits := 0
+		for i := 0; i < draws; i++ {
+			if z.Rank(rng.Float64()) == 0 {
+				hits++
+			}
+		}
+		return float64(hits) / draws
+	}
+	uniform, classic, steep := share(0), share(1.0), share(1.4)
+	if !(uniform < classic && classic < steep) {
+		t.Fatalf("rank-0 share not increasing with skew: %v %v %v", uniform, classic, steep)
+	}
+	if uniform > 0.05 {
+		t.Fatalf("uniform rank-0 share %v, want ~1/%d", uniform, n)
+	}
+	// Classic Zipf over 100 items puts ~1/H_100 ≈ 19%% of mass on rank 0.
+	if classic < 0.12 || classic > 0.28 {
+		t.Fatalf("classic Zipf rank-0 share %v, want ≈0.19", classic)
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	z := NewZipf(50, 1.0)
+	a := sim.NewRand(sim.DeriveSeed("zipf-det"))
+	b := sim.NewRand(sim.DeriveSeed("zipf-det"))
+	for i := 0; i < 1000; i++ {
+		if ra, rb := z.Rank(a.Float64()), z.Rank(b.Float64()); ra != rb {
+			t.Fatalf("draw %d: %d != %d", i, ra, rb)
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewZipf(0, 1) },
+		func() { NewZipf(10, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

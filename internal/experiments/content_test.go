@@ -1,0 +1,26 @@
+package experiments
+
+import "testing"
+
+// TestTier2 runs the content-caching sweep at its default shape and pins
+// the acceptance claim: at classic Zipf popularity a DMZ cache holding
+// 10% of the catalog removes at least half the WAN egress. The rendered
+// table is golden-pinned byte-for-byte.
+func TestTier2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run content sweep; skipped in -short")
+	}
+	res := Tier2(Tier2Config{})
+	out := res.Render()
+	if !res.Pass() {
+		t.Fatalf("tier2 runs incomplete or audit-dirty:\n%s", out)
+	}
+	red, ok := res.ReductionAt(1.0)
+	if !ok {
+		t.Fatalf("no cached cell at skew 1.0:\n%s", out)
+	}
+	if red < 0.5 {
+		t.Errorf("WAN egress reduction at Zipf 1.0 is %.1f%%, want ≥50%%:\n%s", 100*red, out)
+	}
+	checkGolden(t, "tier2.txt", out)
+}

@@ -397,6 +397,13 @@ func (e *Engine) tick() {
 		ps.q.Delivered += through
 		ps.q.Dropped += drop
 		ps.q.Bytes = rem
+		// Port-level observers (content caches, metering middleboxes)
+		// see the settled deposit here — fluid bytes never traverse the
+		// packet interception path. Nil-gated: tap-free runs execute
+		// identical instructions.
+		if t := ps.q.Tap; t != nil {
+			t(through, drop)
+		}
 		if avail > 0 {
 			ps.ratio = float64(through) / float64(avail)
 			ps.dropP = alpha*float64(drop)/float64(avail) + (1-alpha)*ps.dropP

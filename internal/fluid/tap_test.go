@@ -1,0 +1,103 @@
+package fluid
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/units"
+)
+
+// tapRun executes one hybrid scenario; when tapped, a counting observer
+// is installed on every fluid queue before Start. It returns the run's
+// fingerprint plus the per-queue tap sums and final ledger columns.
+func tapRun(t *testing.T, tapped bool) (fp string, tapDel, tapDrop, ledDel, ledDrop units.ByteSize) {
+	t.Helper()
+	// The overload dumbbell: 800 Mbps offered over a 300 Mbps bottleneck
+	// guarantees both delivered and dropped fluid bytes.
+	sc := Scenario{
+		Name: "tap-overload", Clients: 4, FlowsPerSecond: 400,
+		MeanSize: 250 * units.KB, Flows: 0,
+		Bottleneck: 300 * units.Mbps, Delay: 2 * time.Millisecond,
+		Elephant: false, Duration: 3 * time.Second, Seed: 7,
+	}
+	s := buildScenario(sc)
+	eng := New(s.net, Config{})
+	for _, c := range s.clients {
+		if _, err := eng.Add(AggregateConfig{
+			Name: "bg/" + c.Name(), Src: c.Name(), Dst: s.bgServer.Name(),
+			FlowsPerSecond: sc.FlowsPerSecond / float64(len(s.clients)),
+			MeanSize:       sc.MeanSize,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var queues []*netsim.FluidQueue
+	for _, name := range s.net.NodeNames() {
+		for _, p := range s.net.Node(name).Ports() {
+			if f := p.Fluid(); f != nil {
+				queues = append(queues, f)
+			}
+		}
+	}
+	if len(queues) == 0 {
+		t.Fatal("scenario attached no fluid queues")
+	}
+	if tapped {
+		for _, q := range queues {
+			q := q
+			q.Tap = func(delivered, dropped units.ByteSize) {
+				tapDel += delivered
+				tapDrop += dropped
+			}
+		}
+	}
+	eng.Start()
+	s.net.RunFor(sc.Duration)
+	if errs := s.net.AuditInvariants(); len(errs) != 0 {
+		t.Fatalf("audit (tapped=%v): %v", tapped, errs)
+	}
+	for _, q := range queues {
+		ledDel += q.Delivered
+		ledDrop += q.Dropped
+	}
+	fp = fmt.Sprintf("events=%d ticks=%d\n", s.net.Sched.Processed, eng.Ticks())
+	for _, a := range eng.Aggregates() {
+		fp += fmt.Sprintf("%s offered=%d delivered=%d loss=%.9f\n",
+			a.Name(), int64(a.OfferedBytes()), int64(a.DeliveredBytes()), a.LossRate())
+	}
+	fo, fd, fdr, fq := s.net.FluidLedger()
+	fp += fmt.Sprintf("fluid offered=%d delivered=%d dropped=%d queued=%d\n",
+		int64(fo), int64(fd), int64(fdr), int64(fq))
+	return fp, tapDel, tapDrop, ledDel, ledDrop
+}
+
+// TestFluidTapObservesDeposits is the tap regression gate: a counting
+// tap on every fluid queue (the hook content caches use to see
+// background byte deposits) must observe exactly the ledger's delivered
+// and dropped columns, and installing it must not change the simulation
+// in any observable way — the tap fires after the ledger fields settle,
+// so fluid results are byte-identical with and without it.
+func TestFluidTapObservesDeposits(t *testing.T) {
+	bareFP, _, _, bareDel, bareDrop := tapRun(t, false)
+	tapFP, tapDel, tapDrop, ledDel, ledDrop := tapRun(t, true)
+
+	if bareFP != tapFP {
+		t.Fatalf("tap changed the simulation:\nbare:\n%s\ntapped:\n%s", bareFP, tapFP)
+	}
+	if tapDel == 0 {
+		t.Fatal("tap observed no delivered bytes in a saturating scenario")
+	}
+	if tapDrop == 0 {
+		t.Fatal("tap observed no dropped bytes in a saturating scenario")
+	}
+	if tapDel != ledDel || tapDrop != ledDrop {
+		t.Fatalf("tap sums diverge from ledger columns: tap %v/%v, ledger %v/%v",
+			tapDel, tapDrop, ledDel, ledDrop)
+	}
+	if bareDel != ledDel || bareDrop != ledDrop {
+		t.Fatalf("ledger columns diverge between runs: bare %v/%v, tapped %v/%v",
+			bareDel, bareDrop, ledDel, ledDrop)
+	}
+}

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/sim"
@@ -24,6 +25,29 @@ type Filter interface {
 // redirection). Returning ok=false falls through to the routing table.
 type Forwarder interface {
 	Route(pkt *Packet, in *Port) (out *Port, ok bool)
+}
+
+// Interceptor sits on a device's forwarding path, between the filter
+// chain and forwarding. Unlike a Filter (which only passes or drops),
+// an interceptor may consume a packet and answer it with traffic of its
+// own — the attach point for in-network services such as content caches
+// (internal/content).
+//
+// Intercept returns true to let the packet continue down the normal
+// forwarding path. Returning false consumes it: the device does nothing
+// further, and the interceptor takes ownership. A consuming interceptor
+// MUST settle the conservation ledger for every packet it keeps:
+// Device.Absorb it (recycled, counted as terminated in-network), hold
+// it as a PacketHolder, or destroy it via Network.CountDropReason —
+// otherwise AuditInvariants reports the packet leaked. Traffic the
+// interceptor creates in response enters through Device.Originate, so
+// the ledger closes from the other side too.
+type Interceptor interface {
+	// InterceptorName identifies the interceptor in diagnostics.
+	InterceptorName() string
+	// Intercept examines a packet arriving at the device, after filters
+	// ran. False means the interceptor consumed the packet.
+	Intercept(pkt *Packet, in *Port) bool
 }
 
 // DeviceConfig describes a router or switch.
@@ -73,10 +97,18 @@ type Device struct {
 
 	Config DeviceConfig
 
-	net       *Network
-	fib       map[string]*Port
-	filters   []Filter
-	forwarder Forwarder
+	net         *Network
+	fib         map[string]*Port
+	filters     []Filter
+	forwarder   Forwarder
+	interceptor Interceptor
+
+	// Shard-count-invariant packet IDs for in-network origination,
+	// mirroring Host: when idBase is nonzero (ApplyShards sets it from
+	// the device's rank in sorted name order, in a namespace disjoint
+	// from the hosts'), Originate stamps IDs from the device's own
+	// counter instead of the network's shared one.
+	idBase, idSeq uint64
 
 	// Degraded reports whether a cut-through device has fallen back to
 	// store-and-forward mode (sticky until ResetMode).
@@ -110,6 +142,75 @@ func (d *Device) Filters() []Filter { return d.filters }
 // SetForwarder installs a routing override (e.g., an SDN flow table).
 func (d *Device) SetForwarder(f Forwarder) { d.forwarder = f }
 
+// SetInterceptor installs the device's forwarding-path service (at most
+// one — a second install panics, because two consuming interceptors
+// would make packet ownership ambiguous). It runs after the filter
+// chain on every received packet.
+func (d *Device) SetInterceptor(ic Interceptor) {
+	if d.interceptor != nil {
+		panic(fmt.Sprintf("netsim: %s already has interceptor %s", d.Name(), d.interceptor.InterceptorName()))
+	}
+	d.interceptor = ic
+}
+
+// Interceptor returns the installed interceptor, or nil.
+func (d *Device) Interceptor() Interceptor { return d.interceptor }
+
+// Network returns the network the device belongs to.
+func (d *Device) Network() *Network { return d.net }
+
+// Now returns the device's simulation clock: its shard scheduler's
+// under sharded execution, the network scheduler's otherwise.
+// Interceptor code stamping times must use this, never Network.Sched.
+func (d *Device) Now() sim.Time { return d.ctx.sched.Now() }
+
+// NewPacket allocates from the device's execution context's free-list,
+// for interceptors that originate reply traffic.
+//
+//dmz:hotpath
+func (d *Device) NewPacket() *Packet { return d.ctx.pool.get() }
+
+// ReleasePacket recycles a consumed packet into the device's context
+// pool. Only for packets the caller fully owns and has already settled
+// in the ledger (Absorb does both at once); double release panics.
+//
+//dmz:hotpath
+func (d *Device) ReleasePacket(p *Packet) { d.ctx.pool.put(p) }
+
+// TraceBus returns the bus the device's interceptor should emit trace
+// events to: the shard capture bus under sharded execution, the
+// network's live bus otherwise. Nil-receiver-safe via Bus.Enabled.
+func (d *Device) TraceBus() *telemetry.Bus { return d.ctx.tracebus(d.net) }
+
+// Originate stamps a device-created packet (an interceptor's reply) and
+// transmits it out the given port. It is the in-network counterpart of
+// Host.Send: the packet enters the conservation ledger through the
+// originated column, so hit-served traffic audits separately from host
+// traffic.
+//
+//dmz:hotpath
+func (d *Device) Originate(pkt *Packet, out *Port) {
+	if d.idBase != 0 {
+		d.idSeq++
+		pkt.ID = d.idBase | d.idSeq
+	} else {
+		pkt.ID = d.net.nextPacketID()
+	}
+	pkt.SentAt = d.ctx.sched.Now()
+	d.net.originated.Add(1)
+	out.Send(pkt)
+}
+
+// Absorb terminates a packet in-network: the interceptor consumed it
+// (a cache answering an interest locally) and no host will ever see it.
+// The packet is counted in the absorbed ledger column and recycled.
+//
+//dmz:hotpath
+func (d *Device) Absorb(pkt *Packet) {
+	d.net.absorbed.Add(1)
+	d.ctx.pool.put(pkt)
+}
+
 // SetRoute implements Router: it pins the egress port for a destination
 // host, overriding computed routes.
 func (d *Device) SetRoute(dst string, out *Port) { d.fib[dst] = out }
@@ -135,6 +236,12 @@ func (d *Device) Receive(pkt *Packet, in *Port) {
 			d.net.countDrop(d.ctx, pkt, DropFiltered, d.Name(), f.FilterName())
 			return
 		}
+	}
+
+	if ic := d.interceptor; ic != nil && !ic.Intercept(pkt, in) {
+		// Consumed: the interceptor now owns the packet and its ledger
+		// settlement (Absorb, holder accounting, or a counted drop).
+		return
 	}
 
 	if d.Config.CutThrough {

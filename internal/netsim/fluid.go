@@ -62,6 +62,18 @@ type FluidQueue struct {
 	Offered   units.ByteSize //dmzvet:ledger fluidq
 	Delivered units.ByteSize //dmzvet:ledger fluidq
 	Dropped   units.ByteSize //dmzvet:ledger fluidq
+
+	// Tap, when non-nil, observes every fluid settle on this port: the
+	// bytes the aggregate moved downstream and the bytes it shed, as of
+	// the tick that just completed. Fluid deposits never traverse the
+	// per-packet interception path (there are no packets), so port-level
+	// services — content caches sizing their budgets against background
+	// load, future middleboxes metering aggregate throughput — would
+	// otherwise be blind to them. The engine invokes the tap after the
+	// ledger fields above are updated, from the control tick (all shards
+	// quiesced), and the call is nil-gated: fluid-free and tap-free runs
+	// execute identical instructions on the settle path.
+	Tap func(delivered, dropped units.ByteSize)
 }
 
 // Balanced reports whether the port's fluid byte column closes.

@@ -26,26 +26,30 @@ type SelfAuditor interface {
 }
 
 // Conservation is the network-wide packet balance at a point in time.
-// In any correct state Injected == Delivered + Dropped + InFlight: every
-// packet that entered through Host.Send is either consumed by a transport
-// handler, destroyed through drop accounting, or still structurally
-// present in a queue, a wire, or a holding node.
+// In any correct state Injected + Originated == Delivered + Dropped +
+// Absorbed + InFlight: every packet that entered the network — through
+// Host.Send or an in-network source (Device.Originate) — is either
+// consumed by a transport handler, terminated in-network
+// (Device.Absorb), destroyed through drop accounting, or still
+// structurally present in a queue, a wire, or a holding node.
 type Conservation struct {
-	Injected  uint64 // packets stamped by Host.Send
-	Delivered uint64 // packets consumed by a bound transport handler
-	Dropped   uint64 // packets destroyed through countDrop
-	InFlight  uint64 // packets counted structurally in queues/wires/holders
+	Injected   uint64 // packets stamped by Host.Send
+	Originated uint64 // packets created in-network by Device.Originate
+	Delivered  uint64 // packets consumed by a bound transport handler
+	Dropped    uint64 // packets destroyed through countDrop
+	Absorbed   uint64 // packets terminated in-network by Device.Absorb
+	InFlight   uint64 // packets counted structurally in queues/wires/holders
 }
 
 // Balanced reports whether the ledger closes.
 func (c Conservation) Balanced() bool {
-	return c.Injected == c.Delivered+c.Dropped+c.InFlight
+	return c.Injected+c.Originated == c.Delivered+c.Dropped+c.Absorbed+c.InFlight
 }
 
 func (c Conservation) String() string {
-	return fmt.Sprintf("injected %d = delivered %d + dropped %d + in-flight %d (Δ %d)",
-		c.Injected, c.Delivered, c.Dropped, c.InFlight,
-		int64(c.Injected)-int64(c.Delivered)-int64(c.Dropped)-int64(c.InFlight))
+	return fmt.Sprintf("injected %d + originated %d = delivered %d + dropped %d + absorbed %d + in-flight %d (Δ %d)",
+		c.Injected, c.Originated, c.Delivered, c.Dropped, c.Absorbed, c.InFlight,
+		int64(c.Injected)+int64(c.Originated)-int64(c.Delivered)-int64(c.Dropped)-int64(c.Absorbed)-int64(c.InFlight))
 }
 
 // Conservation computes the current packet balance. InFlight is counted
@@ -54,10 +58,12 @@ func (c Conservation) String() string {
 // from the other three counters, so imbalance detects real leaks.
 func (n *Network) Conservation() Conservation {
 	c := Conservation{
-		Injected:  n.injected.Load(),
-		Delivered: n.delivered.Load(),
-		Dropped:   n.dropped.Load(),
-		InFlight:  n.transit.Load(),
+		Injected:   n.injected.Load(),
+		Originated: n.originated.Load(),
+		Delivered:  n.delivered.Load(),
+		Dropped:    n.dropped.Load(),
+		Absorbed:   n.absorbed.Load(),
+		InFlight:   n.transit.Load(),
 	}
 	for _, node := range n.nodes {
 		for _, p := range node.Ports() {

@@ -88,6 +88,15 @@ type Network struct {
 	dropped   atomic.Uint64
 	transit   atomic.Uint64
 
+	// In-network sources and sinks. Interceptors (content caches,
+	// internal/content) create reply traffic inside the network through
+	// Device.Originate and terminate request traffic through
+	// Device.Absorb. They get their own ledger columns so cache-served
+	// bytes audit cleanly instead of masquerading as host traffic:
+	// injected + originated = delivered + dropped + absorbed + in-flight.
+	originated atomic.Uint64
+	absorbed   atomic.Uint64
+
 	// ctl is the control execution context: scheduler Sched, the
 	// network-level packet free-list, rank 0. Node and port contexts
 	// alias it until ApplyShards installs a partition.

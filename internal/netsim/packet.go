@@ -52,6 +52,11 @@ const (
 	FlagFIN
 	FlagRST
 	FlagPSH
+
+	// FlagCached marks a content data packet served by an in-network
+	// cache (internal/content) rather than the origin server. Consumers
+	// use it to classify completions; it has no TCP meaning.
+	FlagCached
 )
 
 // Has reports whether all flags in f are set.
@@ -73,6 +78,9 @@ func (fl Flags) String() string {
 	}
 	if fl.Has(FlagPSH) {
 		s += "P"
+	}
+	if fl.Has(FlagCached) {
+		s += "C"
 	}
 	if s == "" {
 		return "-"

@@ -165,6 +165,21 @@ func (n *Network) ApplyShards(shards []ShardDef, cuts []CutDef, controlBus *tele
 		h.idBase = (uint64(i) + 1) << 40
 	}
 
+	// Devices that originate traffic in-network (interceptors such as
+	// content caches) stamp IDs the same way, from their rank in sorted
+	// device-name order. Bit 60 keeps the namespace disjoint from the
+	// hosts' — host ranks never reach 2^20.
+	var devs []string
+	for name, node := range n.nodes {
+		if _, ok := node.(*Device); ok {
+			devs = append(devs, name)
+		}
+	}
+	sort.Strings(devs)
+	for i, name := range devs {
+		n.nodes[name].(*Device).idBase = 1<<60 | uint64(i)<<40
+	}
+
 	// Shard-count-invariant wire-loss randomness: each port draws from a
 	// stream derived from (link creation index, direction) instead of the
 	// network's shared stream, whose draw order would depend on how the

@@ -61,6 +61,15 @@ const (
 	// or "abort" (fixed-duration test expiry / operator kill),
 	// Bytes=payload bytes acknowledged.
 	EvTCPDone
+	// EvCacheHit / EvCacheMiss: an in-network content store
+	// (internal/content) answered / forwarded a chunk interest.
+	// Node=cache device, Flow=interest flow, Detail=chunk name,
+	// Bytes=chunk bytes served (hit) or requested (miss).
+	EvCacheHit
+	EvCacheMiss
+	// EvCacheEvict: the store evicted a chunk to make room.
+	// Node=cache device, Detail=chunk name, Bytes=chunk bytes freed.
+	EvCacheEvict
 
 	numEventKinds // sentinel
 )
@@ -89,6 +98,13 @@ const (
 	// PhaseAppLimited: all queued application data has been sent; the
 	// sender is waiting for the final ACKs (or for more data).
 	PhaseAppLimited = "app-limited"
+	// PhaseCacheHit: a content consumer's current chunk was served by an
+	// in-network cache (internal/content) — the read completed without
+	// crossing the WAN.
+	PhaseCacheHit = "cache-hit"
+	// PhaseOriginServe: a content consumer's current chunk was served by
+	// the origin server — the full-path read the cache did not absorb.
+	PhaseOriginServe = "origin-serve"
 )
 
 var eventKindNames = [numEventKinds]string{
@@ -109,6 +125,9 @@ var eventKindNames = [numEventKinds]string{
 	EvTCPEstablished:   "tcp_established",
 	EvTCPPhase:         "tcp_phase",
 	EvTCPDone:          "tcp_done",
+	EvCacheHit:         "cache_hit",
+	EvCacheMiss:        "cache_miss",
+	EvCacheEvict:       "cache_evict",
 }
 
 func (k EventKind) String() string {

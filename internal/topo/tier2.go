@@ -1,0 +1,138 @@
+package topo
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/content"
+	"repro/internal/netsim"
+	"repro/internal/units"
+)
+
+// Tier2 is the many-reader content topology: an LHC-style Tier-1 DTN
+// serving a dataset catalog across the WAN to a Tier-2 site whose
+// analysis hosts repeatedly pull hot datasets through the site's
+// Science DMZ. The DMZ switch (or the border) can host a content
+// cache, so repeat pulls stop re-crossing the WAN.
+//
+//	t1-dtn — t1-sw ══ WAN ══ border — dmz-sw — reader-00..N
+type Tier2 struct {
+	Net *netsim.Network
+
+	// Origin serves the catalog from the Tier-1 side.
+	Origin *content.Origin
+	// OriginHost is the Tier-1 DTN host.
+	OriginHost *netsim.Host
+
+	T1Switch *netsim.Device
+	Border   *netsim.Device
+	DMZSw    *netsim.Device
+
+	// Cache is the content cache, nil when CacheBudget was zero.
+	Cache *content.Cache
+
+	// Readers are the Tier-2 analysis hosts.
+	Readers []*netsim.Host
+
+	// WANLink is the marked cut link; its Tier-1 side port's TxBytes is
+	// the WAN egress the cache is meant to shrink.
+	WANLink *netsim.Link
+
+	WAN WANConfig
+}
+
+// Tier2Config adjusts the many-reader build.
+type Tier2Config struct {
+	WAN WANConfig
+	// Catalog is the dataset catalog the origin serves. Required.
+	Catalog *content.Catalog
+	// Readers is the Tier-2 host count; zero means 16.
+	Readers int
+	// ReaderRate is each reader's access rate; zero means 10 Gb/s.
+	ReaderRate units.BitRate
+	// DMZBuffer is the DMZ switch egress buffer; zero means 64 MB.
+	DMZBuffer units.ByteSize
+
+	// CacheBudget sizes the content store; zero builds no cache (the
+	// ablation baseline).
+	CacheBudget units.ByteSize
+	// CacheAt places the store: "dmz-sw" (default) or "border".
+	CacheAt string
+	// NoAggregation disables PIT request collapsing (aggregation is on
+	// by default whenever a cache is built).
+	NoAggregation bool
+}
+
+// NewTier2 builds the many-reader content topology.
+func NewTier2(seed int64, cfg Tier2Config) *Tier2 {
+	if cfg.Catalog == nil {
+		panic("topo: Tier2Config.Catalog is required")
+	}
+	cfg.WAN = cfg.WAN.withDefaults()
+	if cfg.Readers == 0 {
+		cfg.Readers = 16
+	}
+	if cfg.ReaderRate == 0 {
+		cfg.ReaderRate = 10 * units.Gbps
+	}
+	if cfg.DMZBuffer == 0 {
+		cfg.DMZBuffer = 64 * units.MB
+	}
+	n := netsim.New(seed)
+
+	origin := n.NewHost("t1-dtn")
+	t1sw := n.NewDevice("t1-sw", netsim.DeviceConfig{EgressBuffer: 64 * units.MB})
+	border := n.NewDevice("border", netsim.DeviceConfig{EgressBuffer: 32 * units.MB})
+	dmzsw := n.NewDevice("dmz-sw", netsim.DeviceConfig{EgressBuffer: cfg.DMZBuffer})
+
+	fast := netsim.LinkConfig{Rate: 100 * units.Gbps, Delay: 10 * time.Microsecond, MTU: 9000}
+	n.Connect(origin, t1sw, fast)
+	wan := netsim.LinkConfig{Rate: cfg.WAN.Rate, Delay: cfg.WAN.Delay, MTU: cfg.WAN.MTU, Loss: cfg.WAN.Loss}
+	wanLink := n.Connect(t1sw, border, wan)
+	wanLink.MarkCut()
+	n.Connect(border, dmzsw, fast)
+
+	t := &Tier2{
+		Net:        n,
+		OriginHost: origin,
+		T1Switch:   t1sw,
+		Border:     border,
+		DMZSw:      dmzsw,
+		WANLink:    wanLink,
+		WAN:        cfg.WAN,
+	}
+	for i := 0; i < cfg.Readers; i++ {
+		h := n.NewHost(fmt.Sprintf("reader-%02d", i))
+		n.Connect(h, dmzsw, netsim.LinkConfig{Rate: cfg.ReaderRate, Delay: 10 * time.Microsecond, MTU: 9000})
+		t.Readers = append(t.Readers, h)
+	}
+	n.ComputeRoutes()
+
+	t.Origin = content.NewOrigin(origin, cfg.Catalog)
+	if cfg.CacheBudget > 0 {
+		at := t.DMZSw
+		switch cfg.CacheAt {
+		case "", "dmz-sw":
+		case "border":
+			at = t.Border
+		default:
+			panic(fmt.Sprintf("topo: unknown Tier2 cache placement %q (want dmz-sw or border)", cfg.CacheAt))
+		}
+		t.Cache = content.NewCache(at, content.CacheConfig{
+			Budget:    cfg.CacheBudget,
+			Aggregate: !cfg.NoAggregation,
+		})
+	}
+	return t
+}
+
+// WANEgressBytes returns the bytes the Tier-1 side has transmitted into
+// the WAN so far — the quantity a Tier-2 cache exists to reduce.
+func (t *Tier2) WANEgressBytes() units.ByteSize {
+	a, _ := t.WANLink.Ends()
+	port := t.WANLink.A
+	if a != t.T1Switch.Name() {
+		port = t.WANLink.B
+	}
+	return port.Counters.TxBytes
+}

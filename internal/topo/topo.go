@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/content"
 	"repro/internal/dtn"
 	"repro/internal/firewall"
 	"repro/internal/netsim"
@@ -152,6 +153,10 @@ type SimpleDMZ struct {
 	Campus   *netsim.Device
 	CampusPC *netsim.Host
 
+	// Cache is the DMZ-switch content cache, nil unless
+	// SimpleDMZConfig.CacheBudget was set.
+	Cache *content.Cache
+
 	WAN WANConfig
 }
 
@@ -163,6 +168,9 @@ type SimpleDMZConfig struct {
 	// DMZBuffer is the DMZ switch egress buffer; zero means 64 MB (the
 	// deep-buffered device the pattern calls for).
 	DMZBuffer units.ByteSize
+	// CacheBudget, when nonzero, attaches a content cache of that byte
+	// budget (with request aggregation) to the DMZ switch.
+	CacheBudget units.ByteSize
 }
 
 // NewSimpleDMZ builds the Figure 3 topology.
@@ -201,6 +209,14 @@ func NewSimpleDMZ(seed int64, cfg SimpleDMZConfig) *SimpleDMZ {
 	n.Connect(campus, pc, netsim.LinkConfig{Rate: units.Gbps, Delay: 10 * time.Microsecond})
 	n.ComputeRoutes()
 
+	var cache *content.Cache
+	if cfg.CacheBudget > 0 {
+		cache = content.NewCache(dmzsw, content.CacheConfig{
+			Budget:    cfg.CacheBudget,
+			Aggregate: true,
+		})
+	}
+
 	return &SimpleDMZ{
 		Net:       n,
 		RemoteDTN: dtn.New(remote, dtn.Disk{}, tcp.Tuned()),
@@ -212,6 +228,7 @@ func NewSimpleDMZ(seed int64, cfg SimpleDMZConfig) *SimpleDMZ {
 		Firewall:  fw,
 		Campus:    campus,
 		CampusPC:  pc,
+		Cache:     cache,
 		WAN:       cfg.WAN,
 	}
 }

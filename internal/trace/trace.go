@@ -183,10 +183,16 @@ func (c *Collector) Feed(e *telemetry.Event) {
 		}
 	case telemetry.EvTCPRetransmit, telemetry.EvTCPRTO,
 		telemetry.EvTCPRecoveryEnter, telemetry.EvTCPRecoveryExit,
-		telemetry.EvTCPCwnd:
+		telemetry.EvTCPCwnd,
+		telemetry.EvCacheHit, telemetry.EvCacheMiss, telemetry.EvCacheEvict:
 		if ft := c.flows[e.Flow]; ft != nil {
+			detail := e.Reason
+			if detail == "" {
+				// Cache events carry the chunk name in Detail.
+				detail = e.Detail
+			}
 			ft.Instants = append(ft.Instants, Instant{
-				At: e.At, Kind: e.Kind.String(), Detail: e.Reason,
+				At: e.At, Kind: e.Kind.String(), Detail: detail,
 			})
 			ft.End = e.At
 		}
